@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction repo.
+
+.PHONY: install test bench experiments quick-experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments --all --json results.json
+
+quick-experiments:
+	python -m repro.experiments --all --quick
+
+examples:
+	python examples/quickstart.py
+	python examples/custom_scheme.py
+	python examples/dissimilar_links.py
+	python examples/lossy_channels.py
+	python examples/video_striping.py
+	python examples/fault_tolerance.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale and prints it (run with ``-s`` or read the captured block).  The
+pytest-benchmark timing is incidental — what matters is the printed
+artifact and the shape assertions.
+"""

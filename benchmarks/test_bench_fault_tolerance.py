@@ -1,0 +1,33 @@
+"""Bench: the section 5 extensions — reset, reconfiguration, stabilization.
+
+Not a paper table; these quantify the fault-tolerance machinery the paper
+sketches ("we deal with sender or receiver node crashes by doing a reset";
+self-stabilization via snapshot + reset) and the reconfiguration built on
+it (dead-link removal, capacity adaptation).
+"""
+
+from repro.experiments.fault_tolerance import run_fault_tolerance
+
+
+def test_bench_fault_tolerance(benchmark):
+    report = benchmark.pedantic(run_fault_tolerance, rounds=1, iterations=1)
+    print()
+    print(report.render())
+
+    # Link failure: without handling the stream stalls; with the detector
+    # it keeps ~2/3 of the pre-failure rate on the two survivors.
+    no_handling, with_detector = report.link_failure.rows
+    assert no_handling.goodput_after < 0.5
+    assert with_detector.goodput_after > 0.55 * with_detector.goodput_before
+    assert with_detector.surviving_channels == 2
+
+    # Corruption: markers alone leave persistent reordering; local checking
+    # brings it back to the quasi-FIFO background level.
+    unchecked, checked = report.corruption.rows
+    assert unchecked.ooo_after_window > 10 * max(1, checked.ooo_after_window)
+    assert checked.resets >= 1
+
+    # Adaptation: reconfigured quanta recover most of the available rate.
+    static, adaptive = report.adaptation.rows
+    assert adaptive.goodput_after > 1.8 * static.goodput_after
+    assert adaptive.adaptations >= 1

@@ -1,0 +1,46 @@
+"""Bench: Figure 15 — throughput vs ATM PVC capacity, all seven curves.
+
+Paper shape (section 6.2):
+
+* the upper bound (sum of separately measured interfaces) rises with the
+  PVC rate;
+* strIPe (SRR + logical reception) tracks it until ~14 Mbps, then flattens
+  (interrupt-bound receiver);
+* every "no logical reception" variant sits below its resequenced
+  counterpart (TCP treats reordering as loss);
+* plain RR is capped by the Ethernet: flat beyond the crossover.
+"""
+
+from repro.experiments.figure15 import (
+    check_figure15_shape,
+    run_figure15,
+)
+
+ATM_RATES = (3.8, 7.6, 13.8, 17.8, 23.8)
+
+
+def test_bench_fig15(benchmark):
+    result = benchmark.pedantic(
+        run_figure15,
+        kwargs=dict(atm_rates_mbps=ATM_RATES, duration_s=2.0, warmup_s=0.5),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Figure 15: application-level throughput (Mbps) vs ATM PVC rate")
+    print(result.render())
+    violations = check_figure15_shape(result)
+    assert violations == [], violations
+
+    rows = result.rows
+    # strIPe tracks the upper bound at low rates...
+    low = rows[0]
+    assert low.variants["srr_lr"] > 0.85 * low.upper_bound
+    # ...and flattens below it at high rates (the CPU knee).
+    high = rows[-1]
+    assert high.variants["srr_lr"] < 0.85 * high.upper_bound
+    # RR is flat once the PVC outruns the Ethernet.
+    rr_tail = [row.variants["rr_lr"] for row in rows[-3:]]
+    assert max(rr_tail) - min(rr_tail) < 0.15 * max(rr_tail)
+    # Monotone upper bound.
+    uppers = [row.upper_bound for row in rows]
+    assert all(b > a - 0.5 for a, b in zip(uppers, uppers[1:]))

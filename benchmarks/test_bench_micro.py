@@ -1,0 +1,125 @@
+"""Micro-benchmarks: the paper's "little overhead" claim, timed.
+
+"SRR requires only a few extra instructions to increment the Deficit
+Counter and do a comparison; the marker based synchronization protocol is
+also simple since it only involves keeping a counter and sending a marker"
+(Conclusion).  These are real pytest-benchmark timings (many rounds) of
+the per-packet costs of each component, plus the raw event-engine rate
+that bounds every simulation in this repo.
+"""
+
+import random
+
+from repro.core.markers import SRRReceiver
+from repro.core.packet import Packet
+from repro.core.resequencer import Resequencer
+from repro.core.srr import SRR
+from repro.core.striper import ListPort, MarkerPolicy, Striper
+from repro.core.transform import TransformedLoadSharer
+from repro.sim.engine import Simulator
+
+N_PACKETS = 2000
+
+
+def make_packets(n=N_PACKETS, seed=1):
+    rng = random.Random(seed)
+    return [Packet(rng.randint(40, 1500), seq=i) for i in range(n)]
+
+
+def test_bench_srr_state_machine(benchmark):
+    """Pure SRR select+update per packet."""
+    srr = SRR([1500.0, 2070.0, 900.0])
+    packets = make_packets()
+
+    def run():
+        state = srr.initial_state()
+        for packet in packets:
+            srr.select(state)
+            state = srr.update(state, packet.size)
+        return state
+
+    benchmark(run)
+
+
+def test_bench_striper_throughput(benchmark):
+    """Full sender engine (markers every 10 rounds) per packet."""
+    packets = make_packets()
+
+    def run():
+        striper = Striper(
+            TransformedLoadSharer(SRR([1500.0, 2070.0])),
+            [ListPort(), ListPort()],
+            MarkerPolicy(interval_rounds=10, initial_markers=False),
+        )
+        for packet in packets:
+            striper.submit(packet)
+        return striper.packets_sent
+
+    result = benchmark(run)
+    assert result == N_PACKETS
+
+
+def test_bench_logical_reception(benchmark):
+    """Receiver simulation per packet (pre-striped stream)."""
+    algorithm = SRR([1500.0, 2070.0])
+    packets = make_packets()
+    channels = []
+    sharer = TransformedLoadSharer(SRR([1500.0, 2070.0]))
+    from repro.core.transform import stripe_sequence
+
+    channels = stripe_sequence(sharer, packets)
+
+    def run():
+        receiver = Resequencer(SRR([1500.0, 2070.0]))
+        count = [0]
+        receiver.on_deliver = lambda p: count.__setitem__(0, count[0] + 1)
+        for index, stream in enumerate(channels):
+            for packet in stream:
+                receiver.push(index, packet)
+        return count[0]
+
+    result = benchmark(run)
+    assert result == N_PACKETS
+
+
+def test_bench_marker_receiver(benchmark):
+    """Marker-synchronized receiver per packet (markers every round)."""
+    algorithm = SRR([1500.0, 2070.0])
+    ports = [ListPort(), ListPort()]
+    striper = Striper(
+        TransformedLoadSharer(SRR([1500.0, 2070.0])), ports,
+        MarkerPolicy(interval_rounds=1, initial_markers=False),
+    )
+    for packet in make_packets():
+        striper.submit(packet)
+    streams = [list(p.sent) for p in ports]
+
+    def run():
+        receiver = SRRReceiver(SRR([1500.0, 2070.0]))
+        for index, stream in enumerate(streams):
+            for packet in stream:
+                receiver.push(index, packet)
+        return receiver.stats.delivered
+
+    result = benchmark(run)
+    assert result == N_PACKETS
+
+
+def test_bench_event_engine(benchmark):
+    """Raw engine throughput: schedule+dispatch chains."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    result = benchmark(run)
+    assert result == 20000

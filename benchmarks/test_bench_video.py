@@ -1,0 +1,36 @@
+"""Bench: §6.3 finding 5 — video playback under quasi-FIFO vs pure loss.
+
+Paper: "Only at packet loss levels of 40% and above were any perceptible
+differences found in the NV playback...  pure packet loss of 40% produced
+the same qualitative difference" — i.e., reordering from quasi-FIFO
+delivery is insignificant compared to the loss itself.
+"""
+
+from repro.experiments.video_quality import run_video_quality
+
+
+def test_bench_video(benchmark):
+    result = benchmark.pedantic(
+        run_video_quality,
+        kwargs=dict(
+            loss_rates=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+            duration_s=8.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("§6.3 finding 5: video quality, striped quasi-FIFO vs pure loss")
+    print(result.render())
+
+    # Reordering adds (nearly) nothing on top of the loss itself.
+    assert result.reordering_insignificant()
+    # Both conditions cross the perceptibility threshold at the same
+    # swept loss rate, in the paper's regime.
+    striped = result.first_perceptible_loss("striped")
+    pure = result.first_perceptible_loss("pure_loss")
+    assert striped == pure
+    assert 0.3 <= striped <= 0.5  # paper: 40%
+    # Quality degrades monotonically-ish with loss.
+    qualities = [row.striped_quality for row in result.rows]
+    assert qualities[0] == max(qualities)
+    assert qualities[-1] == min(qualities)

@@ -1,0 +1,34 @@
+"""Benches: Figures 2-3, 5-6, and 8-13 — the paper's worked examples."""
+
+from repro.experiments.worked_examples import (
+    PAPER_FIG8_13_DELIVERY,
+    run_fig2_3,
+    run_fig5_6,
+    run_fig8_13,
+)
+
+
+def test_bench_fig2_3(benchmark):
+    """Figures 2 & 3: the fair queuing / load sharing duality."""
+    result = benchmark.pedantic(run_fig2_3, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.duality_holds
+    assert result.fq_order == ["a", "d", "e", "b", "c", "f"]
+
+
+def test_bench_fig5_6(benchmark):
+    """Figures 5 & 6: the SRR deficit-counter trace, quantum 500."""
+    result = benchmark.pedantic(run_fig5_6, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.matches_paper
+
+
+def test_bench_fig8_13(benchmark):
+    """Figures 8-13: marker recovery after losing packet 7."""
+    result = benchmark.pedantic(run_fig8_13, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.matches_paper
+    assert result.delivered == PAPER_FIG8_13_DELIVERY

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Surviving the real world: link death, corrupted state, shifting capacity.
+
+The paper handles crashes with a *reset* and sketches self-stabilization via
+periodic checking; this example exercises the full implementation of those
+ideas (``repro.core.session``) in three live scenarios:
+
+1. a channel in a 3-link bundle dies mid-stream,
+2. the receiver's protocol state is corrupted by a fault,
+3. one link's capacity silently drops 4x.
+
+Run with::
+
+    python examples/fault_tolerance.py
+"""
+
+from repro.experiments.fault_tolerance import run_fault_tolerance
+
+
+def main() -> None:
+    print("Running the three fault scenarios (each with/without handling)…\n")
+    report = run_fault_tolerance()
+    print(report.render())
+    print()
+    print("Mechanism summary:")
+    print(" * link failure  -> watchdog notices the silent channel and the")
+    print("   sender reconfigures the bundle with a RESET carrying the new")
+    print("   channel set; the stream resumes on the survivors.")
+    print(" * corruption    -> markers alone cannot re-arm condition C1 once")
+    print("   the receiver's round counter runs ahead; the local checker")
+    print("   ([Var93]-style local checking) spots the divergence on the")
+    print("   next marker and requests a correcting reset.")
+    print(" * capacity drop -> quanta are re-estimated from the sender's own")
+    print("   egress statistics and installed atomically at a reset epoch,")
+    print("   restoring weighted-fair striping.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Striping over lossy UDP channels with marker recovery and credits.
+
+Reproduces the section 6.3 operating conditions: application messages
+striped across two UDP flows, heavy Bernoulli loss on both channels for a
+while, then clean channels.  Shows
+
+* quasi-FIFO delivery while losses last,
+* exact FIFO delivery restored right after the losses stop,
+* FCVC credit flow control bounding receiver buffering on mismatched links.
+
+Run with::
+
+    python examples/lossy_channels.py [loss_rate]
+"""
+
+import sys
+
+from repro.analysis.reorder import analyze_order
+from repro.experiments.socket_harness import (
+    SocketTestbedConfig,
+    build_socket_testbed,
+)
+from repro.sim.engine import Simulator
+
+
+def recovery_demo(loss_rate: float) -> None:
+    print(f"--- phase demo: {loss_rate:.0%} loss for 1s, then clean ---")
+    sim = Simulator()
+    config = SocketTestbedConfig(loss_rates=(loss_rate,))
+    testbed = build_socket_testbed(sim, config)
+    testbed.stop_losses_at(1.0)
+    sim.run(until=2.5)
+
+    full = analyze_order(testbed.delivered_seqs(), testbed.messages_sent)
+    after = analyze_order([d.seq for d in testbed.deliveries_after(1.2)])
+    stats = testbed.receiver.resequencer.stats
+    print(f"  sent {testbed.messages_sent}, delivered {full.delivered}, "
+          f"lost {full.missing}")
+    print(f"  out-of-order while lossy:   {full.out_of_order - after.out_of_order}")
+    print(f"  out-of-order after recovery: {after.out_of_order}   "
+          f"(markers received: {stats.markers_received}, "
+          f"channel skips: {stats.channel_skips})")
+    print()
+
+
+def credit_demo() -> None:
+    print("--- credit flow control on mismatched links (10 vs 2 Mbps) ---")
+    for use_credit in (False, True):
+        sim = Simulator()
+        config = SocketTestbedConfig(
+            link_mbps=(10.0, 2.0),
+            prop_delay_s=(0.5e-3, 0.5e-3),
+            buffer_packets=12,
+            use_credit=use_credit,
+        )
+        testbed = build_socket_testbed(sim, config)
+        sim.run(until=2.0)
+        report = analyze_order(testbed.delivered_seqs(), testbed.messages_sent)
+        goodput = sum(d.size for d in testbed.deliveries) * 8 / 2.0 / 1e6
+        label = "with FCVC credits" if use_credit else "without credits  "
+        print(f"  {label}: delivered {report.delivered}, "
+              f"buffer drops {testbed.receiver.buffer_drops}, "
+              f"goodput {goodput:.2f} Mbps")
+    print()
+    print("Credits throttle the fast channel to the receiver's pace, so the")
+    print("bounded reassembly buffer never overflows (Kung-Chapman FCVC,")
+    print("advertisements piggybacked on the reverse control path).")
+
+
+def main() -> None:
+    loss = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    recovery_demo(loss)
+    recovery_demo(0.8)
+    credit_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Striping a video conference stream: is quasi-FIFO good enough?
+
+Recreates the paper's NV experiment (section 6.3): an NV-like synthetic
+video trace is striped over two lossy UDP channels with quasi-FIFO
+delivery, played back through a playout-deadline model, and compared with a
+pure-loss control (same losses, ideal FIFO timing).
+
+Run with::
+
+    python examples/video_striping.py
+"""
+
+from repro.experiments.video_quality import run_video_quality
+from repro.workloads.video import synthesize_nv_trace
+
+
+def main() -> None:
+    trace = synthesize_nv_trace(duration_s=8.0)
+    print(f"Synthetic NV trace: {len(trace.frames)} frames @ {trace.fps:.0f} fps, "
+          f"{trace.total_packets} packets, "
+          f"{sum(f.total_bytes for f in trace.frames) / 1e6:.2f} MB")
+    print()
+
+    result = run_video_quality(
+        loss_rates=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6), duration_s=8.0
+    )
+    print(result.render())
+    print()
+    if result.reordering_insignificant():
+        print("Conclusion (matches the paper): the reordering introduced by")
+        print("quasi-FIFO delivery is insignificant next to the loss itself;")
+        print("video degrades because packets are LOST, not because the")
+        print("survivors occasionally arrive out of order.")
+    else:
+        print("Unexpected: reordering penalty visible — inspect the rows.")
+
+
+if __name__ == "__main__":
+    main()

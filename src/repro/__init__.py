@@ -1,0 +1,35 @@
+"""repro — a reproduction of "A Reliable and Scalable Striping Protocol".
+
+Adiseshu, Parulkar & Varghese, ACM SIGCOMM 1996.
+
+The library implements the paper's full system from scratch:
+
+* :mod:`repro.core` — Surplus Round Robin striping, the causal-fair-queuing
+  transformation, logical reception, and marker-based resynchronization.
+* :mod:`repro.sim` — the discrete-event substrate (channels, loss models,
+  host CPU / interrupt costs).
+* :mod:`repro.net` — the strIPe architecture: a virtual IP interface that
+  stripes IP packets across heterogeneous links (Ethernet + ATM).
+* :mod:`repro.transport` — simplified TCP / UDP and credit-based flow
+  control used by the paper's evaluation.
+* :mod:`repro.baselines` — the comparison schemes of Table 1 (RR, GRR,
+  shortest-queue-first, random, address hashing, BONDING, MPPP).
+* :mod:`repro.workloads` — traffic generators, including the synthetic
+  NV-video workload.
+* :mod:`repro.analysis` — throughput / reordering / fairness metrics.
+* :mod:`repro.experiments` — one module per paper table or figure.
+
+Quickstart::
+
+    from repro.core import SRR, TransformedLoadSharer, Resequencer, Packet
+    srr = SRR(quanta=[1500, 1500])
+    sender = TransformedLoadSharer(srr)
+    receiver = Resequencer(srr)
+    # ... see examples/quickstart.py
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, sim
+
+__all__ = ["core", "sim", "__version__"]

@@ -1,0 +1,90 @@
+"""Terminal line charts for the experiment runner.
+
+The paper's Figure 15 is a seven-series line plot; this renders an
+equivalent view in plain text so ``python -m repro.experiments fig15``
+shows the *shape*, not just the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    name: str
+    marker: str
+    values: Sequence[float]
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Sequence[Series],
+    height: int = 16,
+    width: int = 64,
+    y_label: str = "",
+    x_label: str = "",
+    y_min: float = 0.0,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render multiple series on a shared-axes ASCII grid.
+
+    Each series is drawn with its single-character marker; later series
+    draw over earlier ones where they collide.  X positions are scaled
+    from the data (not assumed uniform).
+    """
+    if not x_values or not series:
+        raise ValueError("need at least one x value and one series")
+    for entry in series:
+        if len(entry.values) != len(x_values):
+            raise ValueError(
+                f"series {entry.name!r} has {len(entry.values)} values for "
+                f"{len(x_values)} x positions"
+            )
+    if y_max is None:
+        y_max = max(max(entry.values) for entry in series)
+        y_max = y_max * 1.05 if y_max > 0 else 1.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return min(width - 1, int(round((x - x_lo) / x_span * (width - 1))))
+
+    def row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        frac = min(1.0, max(0.0, frac))
+        return min(height - 1, int(round((1 - frac) * (height - 1))))
+
+    for entry in series:
+        points = [(col(x), row(y)) for x, y in zip(x_values, entry.values)]
+        # connect consecutive points with linear interpolation
+        for (c0, r0), (c1, r1) in zip(points, points[1:]):
+            steps = max(abs(c1 - c0), 1)
+            for step in range(steps + 1):
+                c = c0 + (c1 - c0) * step // steps
+                r = r0 + (r1 - r0) * step // steps
+                grid[r][c] = entry.marker
+        for c, r in points:
+            grid[r][c] = entry.marker
+
+    lines: List[str] = []
+    for index, cells in enumerate(grid):
+        y_at = y_max - (y_max - y_min) * index / (height - 1)
+        label = f"{y_at:7.1f} |" if index % 4 == 0 or index == height - 1 else "        |"
+        lines.append(label + "".join(cells))
+    lines.append("        +" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    pad = width - len(left) - len(right)
+    lines.append("         " + left + " " * max(1, pad) + right)
+    if x_label:
+        lines.append(f"         {x_label:^{width}}")
+    legend = "   ".join(f"{entry.marker}={entry.name}" for entry in series)
+    header = (f"{y_label}  [{legend}]" if y_label else f"[{legend}]")
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Regenerating the paper's Table 1 from scheme capability declarations.
+
+Every striping scheme in the library declares a
+:class:`~repro.core.cfq.Capabilities` record.  This module assembles the
+feature matrix the paper presents as Table 1 and renders it as text; the
+``table1`` benchmark additionally *verifies* the load-sharing and FIFO
+claims by micro-simulation (see ``benchmarks/test_bench_table1.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.cfq import Capabilities
+
+
+@dataclass(frozen=True)
+class TableRow:
+    scheme: str
+    fifo_delivery: str
+    load_sharing: str
+    environment: str
+
+
+_FIFO_LABEL = {
+    "guaranteed": "Guaranteed FIFO",
+    "quasi": "Quasi-FIFO",
+    "may_reorder": "May be non-FIFO",
+    "per_flow_fifo": "Per-destination FIFO only",
+}
+
+_SHARING_LABEL = {
+    "good": "Good",
+    "poor": "Poor",
+}
+
+
+def row_for(name: str, capabilities: Capabilities) -> TableRow:
+    return TableRow(
+        scheme=name,
+        fifo_delivery=_FIFO_LABEL.get(
+            capabilities.fifo_delivery, capabilities.fifo_delivery
+        ),
+        load_sharing=_SHARING_LABEL.get(
+            capabilities.load_sharing, capabilities.load_sharing
+        ),
+        environment=capabilities.environment,
+    )
+
+
+def paper_table1_rows() -> List[TableRow]:
+    """The five rows of the paper's Table 1, built from our implementations."""
+    from repro.baselines.bonding import BondingMux
+    from repro.core.srr import SRR, make_rr
+
+    rr = make_rr(2)
+    rr_with_header = Capabilities(
+        fifo_delivery="guaranteed",
+        load_sharing="poor",
+        environment="Only if we can add headers",
+        modifies_packets=True,
+    )
+    srr_with_header = Capabilities(
+        fifo_delivery="guaranteed",
+        load_sharing="good",
+        environment="Only if we can add headers",
+        modifies_packets=True,
+    )
+    srr = SRR([500, 500])
+    return [
+        row_for("Round-Robin, no header", rr.capabilities),
+        row_for("Round-Robin with header", rr_with_header),
+        row_for("BONDING", BondingMux.capabilities),
+        row_for("Fair Queuing algorithm with header", srr_with_header),
+        row_for("Fair Queuing algorithm, no header", srr.capabilities),
+    ]
+
+
+def extended_rows() -> List[TableRow]:
+    """All schemes implemented in this library (paper rows + section 2.1)."""
+    from repro.baselines.address_hash import AddressHashing
+    from repro.baselines.mppp import MpppSender
+    from repro.baselines.random_selection import RandomSelection
+    from repro.baselines.sqf import ShortestQueueFirst
+
+    rows = paper_table1_rows()
+    rows.extend(
+        [
+            row_for("Shortest Queue First (Linux EQL)",
+                    ShortestQueueFirst(2).capabilities),
+            row_for("Random Selection", RandomSelection(2).capabilities),
+            row_for("Address-based Hashing", AddressHashing(2).capabilities),
+            row_for("MPPP (RFC 1717)", MpppSender.capabilities),
+        ]
+    )
+    return rows
+
+
+def render_table(rows: Sequence[TableRow]) -> str:
+    """Plain-text rendering with aligned columns."""
+    headers = ("Scheme", "FIFO delivery", "Load sharing (var. len.)", "Target environment")
+    cells = [headers] + [
+        (r.scheme, r.fifo_delivery, r.load_sharing, r.environment) for r in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Packet types used throughout the library.
+
+Two kinds of packets cross a striped channel group:
+
+* :class:`Packet` — ordinary data packets.  Crucially, the striping protocol
+  never modifies them: no sequence number or striping header is added (this
+  is the paper's headline constraint, section 2.1).
+* :class:`MarkerPacket` — the periodic synchronization markers of section 5.
+  Markers are distinguished from data by a *codepoint* at the link layer
+  (e.g. a distinct Ethernet type field), not by modifying data packets.
+
+Packets carry a monotonically increasing ``seq`` assigned by the test/
+experiment harness at the *sender input*.  The protocol itself never reads
+``seq`` — it exists purely so that tests and metrics can check FIFO
+delivery.  (Think of it as the experimenter writing numbers on the outside
+of envelopes.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Codepoint:
+    """Link-layer demultiplexing codepoints.
+
+    The paper requires only that "the lower level protocol provides a
+    distinct codepoint... for the marker packets" (section 5).
+    """
+
+    DATA = "data"
+    MARKER = "marker"
+    CREDIT = "credit"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """An ordinary, unmodified data packet.
+
+    Attributes:
+        size: total size in bytes (as seen by the striping layer).
+        seq: harness-assigned input order (not carried on the wire, never
+            read by the protocol).
+        label: optional human-readable id, e.g. ``"a"`` in the paper's
+            Figure 2 example.
+        flow: optional flow key (src/dst) used by the address-hashing
+            baseline and by per-flow metrics.
+        payload: opaque upper-layer object (e.g. an IP packet or an
+            application message).
+        uid: unique object id for tracing.
+    """
+
+    size: int
+    seq: Optional[int] = None
+    label: Optional[str] = None
+    flow: Optional[Any] = None
+    payload: Optional[Any] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    codepoint: str = Codepoint.DATA
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    def __repr__(self) -> str:
+        tag = self.label if self.label is not None else self.seq
+        return f"Packet({tag}, {self.size}B)"
+
+
+@dataclass
+class MarkerPacket:
+    """A synchronization marker for one channel (section 5).
+
+    Attributes:
+        channel: the sender's number for the channel this marker travels on
+            (carried so the receiver adopts the sender's channel numbering —
+            condition C2).
+        round_number: round number ``r`` of the *next* data packet the
+            sender will send on this channel.
+        deficit: deficit-counter value ``d`` that channel will have when
+            that next packet is sent (the packet's implicit number is the
+            pair ``(r, d)``).
+        size: marker size in bytes; markers are tiny control packets.
+        credit: optional piggybacked flow-control credit (section 6.3 /
+            Kung-Chapman FCVC), in packets.
+    """
+
+    channel: int
+    round_number: int
+    deficit: float
+    size: int = 32
+    credit: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    codepoint: str = Codepoint.MARKER
+
+    def __repr__(self) -> str:
+        return (
+            f"Marker(ch={self.channel}, G={self.round_number}, "
+            f"DC={self.deficit})"
+        )
+
+
+def is_marker(packet: Any) -> bool:
+    """True if ``packet`` is a synchronization marker."""
+    return getattr(packet, "codepoint", Codepoint.DATA) == Codepoint.MARKER

@@ -1,0 +1,132 @@
+"""Logical reception: the receiver side of the striping protocol.
+
+Section 4's idea: separate *physical* reception (a packet arrives on a
+channel and is buffered) from *logical* reception (the resequencing
+algorithm removes packets from channel buffers in sender order).  Because
+the sender policy is a transformed **causal** FQ algorithm, the receiver
+can run the very same CFQ algorithm to predict which channel the next
+packet in sender order will arrive on, block on that channel, and buffer
+everything else.
+
+:class:`Resequencer` implements this for any :class:`~repro.core.cfq.CausalFQ`
+(Theorem 4.1 — exact FIFO when nothing is lost).  Loss recovery with
+markers is algorithm-specific and lives in :mod:`repro.core.markers`.
+
+:class:`NullResequencer` is the ablation: it delivers packets in physical
+arrival order ("no resequencing" in Figure 15).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.core.cfq import CausalFQ
+from repro.core.packet import is_marker
+
+
+class Resequencer:
+    """Generic logical-reception engine (no loss recovery).
+
+    Args:
+        algorithm: the same CFQ algorithm the sender's load sharer was
+            transformed from.
+        on_deliver: callback receiving packets in logical (sender) order.
+
+    Physical arrivals are pushed with :meth:`push`; each push drains as
+    many packets as the simulation allows.  If the expected channel's
+    buffer is empty the engine *blocks* — it simply returns and waits for a
+    later push.  Marker packets, if any arrive, are discarded (this engine
+    does not do recovery; see :class:`repro.core.markers.SRRReceiver`).
+    """
+
+    def __init__(
+        self,
+        algorithm: CausalFQ,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.on_deliver = on_deliver
+        self.state = algorithm.initial_state()
+        self.buffers: List[Deque[Any]] = [
+            deque() for _ in range(algorithm.n_channels)
+        ]
+        self.delivered = 0
+        self.max_buffered = 0
+
+    @property
+    def n_channels(self) -> int:
+        return self.algorithm.n_channels
+
+    @property
+    def buffered(self) -> int:
+        """Packets currently held in per-channel buffers."""
+        return sum(len(b) for b in self.buffers)
+
+    def expected_channel(self) -> int:
+        """The channel the next in-order packet will arrive on."""
+        return self.algorithm.select(self.state)
+
+    def push(self, channel: int, packet: Any) -> List[Any]:
+        """Physical arrival of ``packet`` on ``channel``.
+
+        Returns the packets delivered (in logical order) as a result; they
+        are also passed to ``on_deliver``.
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        self.buffers[channel].append(packet)
+        if self.buffered > self.max_buffered:
+            self.max_buffered = self.buffered
+        return self.drain()
+
+    def drain(self) -> List[Any]:
+        """Deliver everything currently deliverable in logical order."""
+        out: List[Any] = []
+        while True:
+            channel = self.algorithm.select(self.state)
+            buffer = self.buffers[channel]
+            if not buffer:
+                break  # block on the expected channel
+            packet = buffer.popleft()
+            if is_marker(packet):
+                continue  # recovery not handled here
+            out.append(packet)
+            self.delivered += 1
+            self.state = self.algorithm.update(self.state, packet.size)
+            if self.on_deliver is not None:
+                self.on_deliver(packet)
+        return out
+
+
+class NullResequencer:
+    """The "no resequencing" ablation: deliver in physical arrival order."""
+
+    def __init__(self, n_channels: int, on_deliver=None) -> None:
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        self._n = n_channels
+        self.on_deliver = on_deliver
+        self.delivered = 0
+        self.max_buffered = 0
+
+    @property
+    def n_channels(self) -> int:
+        return self._n
+
+    @property
+    def buffered(self) -> int:
+        return 0
+
+    def push(self, channel: int, packet: Any) -> List[Any]:
+        if not 0 <= channel < self._n:
+            raise ValueError(f"channel {channel} out of range")
+        if is_marker(packet):
+            return []
+        self.delivered += 1
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+        return [packet]
+
+    def drain(self) -> List[Any]:
+        return []

@@ -1,0 +1,466 @@
+"""Session control: reset, reconfiguration, and self-stabilization.
+
+Section 5 of the paper sketches what this module implements in full:
+
+    "It is also possible to make the marker algorithm self-stabilizing
+    (i.e., robust against any error in the state) by periodically running
+    a snapshot [CL85] and then doing a reset [Var93].  We deal with sender
+    or receiver node crashes by doing a reset."
+
+Three pieces:
+
+* **Reset protocol** — an epoch-numbered, per-channel in-band RESET
+  exchange that reinitializes both ends of a striped channel group.  A
+  RESET packet travels down every channel; it is the *separator* between
+  the old and new packet streams, so no data packet needs tagging.  The
+  receiver flushes (discards) pre-reset data still in flight, installs the
+  configuration carried by the RESET (quanta — so reconfiguration is just
+  reset-with-new-parameters), and acknowledges on the reverse control
+  path.  Lost RESETs/ACKs are retried on a timer.
+
+* **Reconfiguration** — because the RESET carries the striping
+  configuration, changing quanta (capacity re-estimation) or dropping a
+  dead channel is a single reset round trip: both ends atomically agree on
+  the new `(channels, quanta)` at the epoch boundary.
+
+* **Self-stabilization by local checking** — in the spirit of [Var93]
+  (local checking and correction): the sender periodically stamps markers
+  as *checkpoints* carrying its global round number.  In-flight data is
+  bounded (by channel queues / credits), so a synchronized receiver's
+  round lags the sender's by at most a computable window.  A checkpoint
+  whose round is outside that window proves the receiver's state is
+  corrupt (bit flip, bug, crash-restore) — correction is a reset request.
+  Ordinary marker adoption already repairs per-channel ``(r, d)`` drift;
+  the checkpoint check catches the global-round corruption that markers
+  alone cannot (a receiver whose ``G`` runs far ahead never skips, so C1
+  silently dies).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.markers import SRRReceiver
+from repro.core.packet import Codepoint, MarkerPacket
+from repro.core.srr import SRR
+from repro.core.striper import ChannelPort, MarkerPolicy, Striper
+from repro.core.transform import TransformedLoadSharer
+from repro.sim.engine import Event, Simulator
+
+_control_ids = itertools.count(1)
+
+CODEPOINT_RESET = "reset"
+CODEPOINT_RESET_ACK = "reset_ack"
+CODEPOINT_RESET_REQUEST = "reset_request"
+
+
+@dataclass(frozen=True)
+class StripeConfig:
+    """The striping parameters both ends must agree on."""
+
+    quanta: Tuple[float, ...]
+    count_packets: bool = False
+    #: indices into the *original* port list that are active this epoch
+    active_channels: Optional[Tuple[int, ...]] = None
+
+    def algorithm(self) -> SRR:
+        return SRR(list(self.quanta), count_packets=self.count_packets)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.quanta)
+
+
+@dataclass
+class ResetPacket:
+    """In-band epoch separator, sent on every active channel."""
+
+    epoch: int
+    config: StripeConfig
+    size: int = 40
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET
+
+    def __repr__(self) -> str:
+        return f"Reset(epoch={self.epoch}, {self.config.n_channels}ch)"
+
+
+@dataclass
+class ResetAckPacket:
+    """Reverse-path acknowledgement: all channels switched to ``epoch``."""
+
+    epoch: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET_ACK
+
+
+@dataclass
+class ResetRequestPacket:
+    """Reverse-path plea from the receiver (reboot, corruption, dead link).
+
+    ``exclude_channel`` (an *original* port index) asks the sender to
+    reconfigure without that channel — the link-failure path.
+    """
+
+    reason: str
+    exclude_channel: Optional[int] = None
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET_REQUEST
+
+
+class StripeSenderSession:
+    """Owns the sender striper across resets and reconfigurations.
+
+    Args:
+        sim: event engine (for retry timers).
+        ports: the full set of channel ports (a reset may activate a
+            subset).
+        config: initial striping configuration.
+        marker_policy: marker policy applied to every epoch's striper.
+        checkpoint_every_rounds: stamp a sender-round checkpoint onto the
+            markers this often (0 disables; see LocalChecker).
+        retry_timeout: seconds before an unacked RESET is retransmitted.
+
+    Upper layers call :meth:`submit`; during a reset, packets queue and are
+    replayed into the new epoch's striper.
+    """
+
+    RUNNING = "running"
+    RESETTING = "resetting"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ports: Sequence[ChannelPort],
+        config: StripeConfig,
+        marker_policy: Optional[MarkerPolicy] = None,
+        retry_timeout: float = 0.25,
+        max_retries: int = 20,
+    ) -> None:
+        if config.active_channels is None:
+            config = StripeConfig(
+                quanta=config.quanta,
+                count_packets=config.count_packets,
+                active_channels=tuple(range(len(ports)))[: config.n_channels],
+            )
+        if len(config.active_channels) != config.n_channels:
+            raise ValueError("active_channels must match quanta length")
+        self.sim = sim
+        self.all_ports = list(ports)
+        self.marker_policy = marker_policy
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.epoch = 0
+        self.config = config
+        self.state = self.RUNNING
+        self.striper = self._make_striper(config)
+        self._pending_during_reset: List[Any] = []
+        self._retry_event: Optional[Event] = None
+        self._retries = 0
+        self.resets_completed = 0
+        self.reset_packets_sent = 0
+        self.on_reset_complete: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------ #
+
+    def _make_striper(self, config: StripeConfig) -> Striper:
+        active = [self.all_ports[i] for i in config.active_channels]
+        return Striper(
+            TransformedLoadSharer(config.algorithm()),
+            active,
+            self.marker_policy,
+        )
+
+    @property
+    def active_ports(self) -> List[ChannelPort]:
+        return [self.all_ports[i] for i in self.config.active_channels]
+
+    def submit(self, packet: Any) -> None:
+        """Send a data packet (queued while a reset is in flight)."""
+        if self.state == self.RESETTING:
+            self._pending_during_reset.append(packet)
+            return
+        self.striper.submit(packet)
+
+    def pump(self) -> int:
+        if self.state == self.RESETTING:
+            return 0
+        return self.striper.pump()
+
+    # ------------------------------------------------------------------ #
+    # reset / reconfiguration
+
+    def initiate_reset(self, new_config: Optional[StripeConfig] = None) -> int:
+        """Start a reset (optionally with a new configuration).
+
+        Returns the new epoch number.  Data already in the old striper's
+        input queue carries over to the new epoch; packets submitted while
+        the reset is outstanding queue behind them.
+        """
+        if new_config is None:
+            new_config = self.config
+        if new_config.active_channels is None:
+            new_config = StripeConfig(
+                quanta=new_config.quanta,
+                count_packets=new_config.count_packets,
+                active_channels=tuple(range(new_config.n_channels)),
+            )
+        if any(i >= len(self.all_ports) for i in new_config.active_channels):
+            raise ValueError("active channel index out of range")
+        self.epoch += 1
+        # Preserve undelivered input.
+        self._pending_during_reset = list(self.striper.input_queue) + (
+            self._pending_during_reset
+        )
+        self.config = new_config
+        self.state = self.RESETTING
+        self._retries = 0
+        self._send_resets()
+        return self.epoch
+
+    def _send_resets(self) -> None:
+        packet_config = self.config
+        for index in self.config.active_channels:
+            self.all_ports[index].send(
+                ResetPacket(epoch=self.epoch, config=packet_config), force=True
+            )
+            self.reset_packets_sent += 1
+        self._arm_retry()
+
+    def _arm_retry(self) -> None:
+        self._cancel_retry()
+        self._retry_event = self.sim.schedule(
+            self.retry_timeout, self._on_retry_timeout
+        )
+
+    def _cancel_retry(self) -> None:
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+
+    def _on_retry_timeout(self) -> None:
+        self._retry_event = None
+        if self.state != self.RESETTING:
+            return
+        self._retries += 1
+        if self._retries > self.max_retries:
+            raise RuntimeError(
+                f"reset epoch {self.epoch} unacknowledged after "
+                f"{self.max_retries} retries"
+            )
+        self._send_resets()
+
+    def on_control(self, packet: Any) -> None:
+        """Reverse-path control input (ACKs and reset requests)."""
+        if isinstance(packet, ResetAckPacket):
+            if packet.epoch == self.epoch and self.state == self.RESETTING:
+                self._complete_reset()
+        elif isinstance(packet, ResetRequestPacket):
+            if self.state != self.RUNNING:
+                return
+            if (
+                packet.exclude_channel is not None
+                and packet.exclude_channel in self.config.active_channels
+                and len(self.config.active_channels) > 1
+            ):
+                self.initiate_reset(self.config_without(packet.exclude_channel))
+            else:
+                self.initiate_reset()
+
+    def _complete_reset(self) -> None:
+        self._cancel_retry()
+        self.state = self.RUNNING
+        self.resets_completed += 1
+        self.striper = self._make_striper(self.config)
+        pending = self._pending_during_reset
+        self._pending_during_reset = []
+        for packet in pending:
+            self.striper.submit(packet)
+        if self.on_reset_complete is not None:
+            self.on_reset_complete(self.epoch)
+
+    def config_without(self, port_index: int) -> StripeConfig:
+        """The current configuration minus one (failed) channel."""
+        if port_index not in self.config.active_channels:
+            raise ValueError(f"channel {port_index} is not active")
+        if len(self.config.active_channels) <= 1:
+            raise ValueError("cannot drop the last active channel")
+        keep = [
+            (channel, quantum)
+            for channel, quantum in zip(
+                self.config.active_channels, self.config.quanta
+            )
+            if channel != port_index
+        ]
+        return StripeConfig(
+            quanta=tuple(q for _, q in keep),
+            count_packets=self.config.count_packets,
+            active_channels=tuple(c for c, _ in keep),
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpoints (self-stabilization support)
+
+    def checkpoint_round(self) -> int:
+        """The sender's current global round (stamped onto markers by the
+        session wiring; see LocalChecker)."""
+        state = self.striper._srr_state()
+        return state.round_number if state is not None else 0
+
+
+class StripeReceiverSession:
+    """Owns the receiver across resets; demuxes in-band control packets.
+
+    Args:
+        sim: event engine.
+        n_ports: size of the full channel set.
+        config: initial configuration (must match the sender's).
+        send_control: reverse-path transmit function for ACKs/requests.
+        on_deliver: in-order data callback.
+        checker: optional :class:`LocalChecker` for self-stabilization.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ports: int,
+        config: StripeConfig,
+        send_control: Callable[[Any], None],
+        on_deliver: Optional[Callable[[Any], None]] = None,
+        checker: Optional["LocalChecker"] = None,
+    ) -> None:
+        if config.active_channels is None:
+            config = StripeConfig(
+                quanta=config.quanta,
+                count_packets=config.count_packets,
+                active_channels=tuple(range(config.n_channels)),
+            )
+        self.sim = sim
+        self.n_ports = n_ports
+        self.send_control = send_control
+        self.on_deliver = on_deliver
+        self.checker = checker
+        if checker is not None:
+            checker.attach(self)
+        self.epoch = 0
+        self.config = config
+        self.receiver = self._make_receiver(config)
+        #: epoch each physical channel's stream is currently in
+        self._channel_epoch = [0] * n_ports
+        self.reset_discards = 0
+        self.resets_seen = 0
+        self.acks_sent = 0
+
+    def _make_receiver(self, config: StripeConfig) -> SRRReceiver:
+        receiver = SRRReceiver(
+            config.algorithm(),
+            on_deliver=self._deliver,
+            clock=lambda: self.sim.now,
+        )
+        return receiver
+
+    def _deliver(self, packet: Any) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+
+    # ------------------------------------------------------------------ #
+
+    def push(self, port_index: int, packet: Any) -> None:
+        """Physical arrival on a channel (by *original* port index)."""
+        codepoint = getattr(packet, "codepoint", Codepoint.DATA)
+        if codepoint == CODEPOINT_RESET:
+            self._on_reset(port_index, packet)
+            return
+        if self._channel_epoch[port_index] != self.epoch:
+            # Pre-reset stragglers (or packets racing ahead of this
+            # channel's RESET): not part of the current stream.
+            self.reset_discards += 1
+            return
+        try:
+            channel = self.config.active_channels.index(port_index)
+        except ValueError:
+            self.reset_discards += 1
+            return
+        if self.checker is not None and isinstance(packet, MarkerPacket):
+            self.checker.observe_marker(packet)
+        self.receiver.push(channel, packet)
+
+    def _on_reset(self, port_index: int, packet: ResetPacket) -> None:
+        if packet.epoch < self.epoch:
+            return  # stale duplicate
+        if packet.epoch > self.epoch:
+            # First RESET of a new epoch: reinitialize wholesale.
+            self.epoch = packet.epoch
+            self.config = packet.config
+            if self.config.active_channels is None:
+                self.config = StripeConfig(
+                    quanta=packet.config.quanta,
+                    count_packets=packet.config.count_packets,
+                    active_channels=tuple(range(packet.config.n_channels)),
+                )
+            discarded = sum(len(b) for b in self.receiver.buffers)
+            self.reset_discards += discarded
+            self.receiver = self._make_receiver(self.config)
+            self.resets_seen += 1
+            if self.checker is not None:
+                self.checker.on_reset(self.epoch)
+        # Mark this channel as switched (idempotent for retries).
+        self._channel_epoch[port_index] = packet.epoch
+        if all(
+            self._channel_epoch[i] == self.epoch
+            for i in self.config.active_channels
+        ):
+            self.acks_sent += 1
+            self.send_control(ResetAckPacket(epoch=self.epoch))
+
+    def request_reset(self, reason: str) -> None:
+        """Ask the sender for a reset (reboot, detected corruption)."""
+        self.send_control(ResetRequestPacket(reason=reason))
+
+
+class LocalChecker:
+    """Self-stabilization by local checking ([Var93]) and correction.
+
+    The sender's markers each carry the sender round number ``r`` for the
+    channel they ride; with bounded in-flight data the receiver's global
+    round ``G`` must satisfy ``r - window <= G <= r + window`` whenever a
+    marker is *observed on arrival* (no blocking involved).  A violation
+    proves state corruption; the correction is a reset request.
+
+    Args:
+        window_rounds: tolerated |marker round − receiver round| slack;
+            choose ≥ the worst-case in-flight rounds (channel queue depth /
+            packets-per-round) plus the marker interval.
+    """
+
+    def __init__(self, window_rounds: int = 50) -> None:
+        if window_rounds < 1:
+            raise ValueError("window must be >= 1 round")
+        self.window_rounds = window_rounds
+        self.session: Optional[StripeReceiverSession] = None
+        self.violations = 0
+        self.resets_requested = 0
+        self._requested_this_epoch = False
+
+    def attach(self, session: StripeReceiverSession) -> None:
+        self.session = session
+
+    def on_reset(self, epoch: int) -> None:
+        self._requested_this_epoch = False
+
+    def observe_marker(self, marker: MarkerPacket) -> None:
+        assert self.session is not None
+        receiver_round = self.session.receiver.round_number
+        if abs(marker.round_number - receiver_round) > self.window_rounds:
+            self.violations += 1
+            if not self._requested_this_epoch:
+                self._requested_this_epoch = True
+                self.resets_requested += 1
+                self.session.request_reset(
+                    f"round divergence {marker.round_number} vs "
+                    f"{receiver_round}"
+                )

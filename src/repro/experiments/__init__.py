@@ -1,0 +1,9 @@
+"""One module per paper table/figure, plus shared testbeds and a runner.
+
+See DESIGN.md section 4 for the experiment index.  Run from the command
+line with ``python -m repro.experiments --list``.
+"""
+
+from repro.experiments.runner import EXPERIMENTS, Experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment"]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.experiments``."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,474 @@
+"""Fault-tolerance experiments (extensions the paper sketches in §5).
+
+The paper: "It is also possible to make the marker algorithm
+self-stabilizing ... by periodically running a snapshot and then doing a
+reset.  We deal with sender or receiver node crashes by doing a reset."
+Section 1 also lists resilience to "link crashes" as a design goal.  These
+experiments exercise the session-control implementation of those ideas:
+
+* ``link_failure`` — one of three channels dies mid-run.  Without fault
+  handling, logical reception head-of-line blocks on the dead channel and
+  delivery stops; with the failure detector + reconfiguration reset, the
+  stream continues on the survivors at ~2/3 rate.
+* ``state_corruption`` — the receiver's global round is corrupted mid-run
+  while channel loss is ongoing.  Markers alone cannot restore condition
+  C1 (the receiver never skips when its round runs ahead), so reordering
+  persists; the local checker detects the divergence and a reset corrects
+  it.
+* ``capacity_adaptation`` — one channel's rate drops 4×.  Static quanta
+  bottleneck the whole bundle on the slow channel; the quanta adapter
+  re-estimates weights from queue pressure and reconfigures via reset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.reorder import analyze_order
+from repro.core.session import LocalChecker, StripeConfig
+from repro.core.striper import MarkerPolicy
+from repro.net.ethernet import EthernetInterface
+from repro.net.stack import Link, Stack
+from repro.sim.engine import Simulator
+from repro.sim.loss import BernoulliLoss
+from repro.transport.session_striping import (
+    ChannelFailureDetector,
+    SessionSocketReceiver,
+    SessionSocketSender,
+)
+from repro.workloads.generators import ClosedLoopSource, ConstantSizes
+
+BASE_PORT = 6100
+CONTROL_PORT = 6900
+
+
+@dataclass
+class SessionTestbed:
+    sim: Simulator
+    sender: SessionSocketSender
+    receiver: SessionSocketReceiver
+    source: ClosedLoopSource
+    links: List[Link]
+    loss_models: List[BernoulliLoss]
+    deliveries: List[Tuple[float, int]] = field(default_factory=list)
+
+    def delivered_between(self, start: float, end: float) -> List[int]:
+        return [seq for t, seq in self.deliveries if start <= t < end]
+
+    def goodput_mbps(self, start: float, end: float, message_bytes: int) -> float:
+        count = len(self.delivered_between(start, end))
+        return count * message_bytes * 8 / (end - start) / 1e6
+
+
+def build_session_testbed(
+    sim: Simulator,
+    n_channels: int = 2,
+    link_mbps: Sequence[float] = (10.0, 10.0),
+    loss_rates: Sequence[float] = (0.0, 0.0),
+    message_bytes: int = 1000,
+    quanta: Optional[Sequence[float]] = None,
+    checker: Optional[LocalChecker] = None,
+    failure_detector: Optional[ChannelFailureDetector] = None,
+    queue_frames: int = 40,
+    seed: int = 0,
+) -> SessionTestbed:
+    """Two hosts, N links, session-managed striped UDP, closed-loop source."""
+    link_mbps = list(link_mbps)
+    loss_rates = list(loss_rates)
+    if len(link_mbps) == 1:
+        link_mbps *= n_channels
+    if len(loss_rates) == 1:
+        loss_rates *= n_channels
+    sender_stack = Stack(sim, "S")
+    receiver_stack = Stack(sim, "R")
+    links: List[Link] = []
+    loss_models: List[BernoulliLoss] = []
+    destinations = []
+    rng = random.Random(seed)
+    for index in range(n_channels):
+        s_ip = f"10.{30 + index}.0.1"
+        r_ip = f"10.{30 + index}.0.2"
+        s_if = EthernetInterface(sim, f"ch{index}s", s_ip)
+        r_if = EthernetInterface(sim, f"ch{index}r", r_ip)
+        sender_stack.add_interface(s_if)
+        receiver_stack.add_interface(r_if)
+        loss = BernoulliLoss(
+            loss_rates[index], rng=random.Random(rng.randrange(1 << 30))
+        )
+        loss_models.append(loss)
+        links.append(
+            Link(
+                sim, s_if, r_if,
+                bandwidth_bps=link_mbps[index] * 1e6,
+                prop_delay=0.5e-3,
+                queue_limit=queue_frames,
+                loss_ab=loss,
+                name=f"channel{index}",
+            )
+        )
+        sender_stack.routing.add(r_ip, 24, s_if)
+        receiver_stack.routing.add(s_ip, 24, r_if)
+        s_if.arp_cache.install(r_if.ip_address, r_if.mac)
+        r_if.arp_cache.install(s_if.ip_address, s_if.mac)
+        destinations.append((r_ip, BASE_PORT + index))
+
+    config = StripeConfig(
+        quanta=tuple(quanta) if quanta else tuple([float(message_bytes)] * n_channels)
+    )
+    sender = SessionSocketSender(
+        sim, sender_stack, destinations, config,
+        marker_policy=MarkerPolicy(interval_rounds=1),
+        control_port=CONTROL_PORT,
+    )
+    deliveries: List[Tuple[float, int]] = []
+    receiver = SessionSocketReceiver(
+        sim, receiver_stack, n_channels, config,
+        base_port=BASE_PORT,
+        control_to="10.30.0.1",
+        control_port=CONTROL_PORT,
+        on_message=lambda p: deliveries.append((sim.now, p.seq)),
+        checker=checker,
+        failure_detector=failure_detector,
+    )
+    source = ClosedLoopSource(
+        sim,
+        submit=sender.submit_packet,
+        backlog_fn=lambda: sender.backlog,
+        size_fn=ConstantSizes(message_bytes),
+        target=16,
+    )
+    source.start()
+
+    def wake() -> None:
+        sender.pump()
+        source.poke()
+
+    for link in links:
+        link.ab.on_space = wake
+
+    return SessionTestbed(
+        sim=sim, sender=sender, receiver=receiver, source=source,
+        links=links, loss_models=loss_models, deliveries=deliveries,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# link failure
+
+
+@dataclass
+class LinkFailureResult:
+    with_detector: bool
+    goodput_before: float
+    goodput_after: float
+    resets: int
+    surviving_channels: int
+
+    def render_row(self) -> str:
+        mode = "detector+reset" if self.with_detector else "no fault handling"
+        return (
+            f"  {mode:>18}: before {self.goodput_before:5.2f} Mbps, "
+            f"after {self.goodput_after:5.2f} Mbps "
+            f"(resets={self.resets}, channels={self.surviving_channels})"
+        )
+
+
+@dataclass
+class LinkFailureExperiment:
+    rows: List[LinkFailureResult]
+
+    def render(self) -> str:
+        lines = ["link failure at t=0.8s (channel 1 of 3 goes dark):"]
+        lines += [row.render_row() for row in self.rows]
+        return "\n".join(lines)
+
+
+def run_link_failure(
+    fail_at: float = 0.8,
+    total_s: float = 2.5,
+    message_bytes: int = 1000,
+) -> LinkFailureExperiment:
+    """Kill one of three channels; compare with and without fault handling."""
+    rows: List[LinkFailureResult] = []
+    for with_detector in (False, True):
+        sim = Simulator()
+        detector = (
+            ChannelFailureDetector(sim, silence_threshold=0.2)
+            if with_detector else None
+        )
+        testbed = build_session_testbed(
+            sim, n_channels=3, link_mbps=(10.0,), loss_rates=(0.0,),
+            message_bytes=message_bytes, failure_detector=detector,
+        )
+        # The channel dies: everything sent on it vanishes.
+        sim.schedule_at(
+            fail_at, lambda tb=testbed: setattr(tb.loss_models[1], "p", 1.0)
+        )
+        sim.run(until=total_s)
+        rows.append(
+            LinkFailureResult(
+                with_detector=with_detector,
+                goodput_before=testbed.goodput_mbps(
+                    0.2, fail_at, message_bytes
+                ),
+                goodput_after=testbed.goodput_mbps(
+                    fail_at + 0.5, total_s, message_bytes
+                ),
+                resets=testbed.receiver.session.resets_seen,
+                surviving_channels=len(
+                    testbed.receiver.session.config.active_channels
+                ),
+            )
+        )
+    return LinkFailureExperiment(rows)
+
+
+# ---------------------------------------------------------------------- #
+# state corruption / self-stabilization
+
+
+@dataclass
+class CorruptionResult:
+    with_checker: bool
+    ooo_before: int
+    ooo_after_window: int
+    violations: int
+    resets: int
+
+    def render_row(self) -> str:
+        mode = "local checking" if self.with_checker else "markers only"
+        return (
+            f"  {mode:>15}: OOO before corruption {self.ooo_before}, "
+            f"OOO in final window {self.ooo_after_window} "
+            f"(violations={self.violations}, resets={self.resets})"
+        )
+
+
+@dataclass
+class CorruptionExperiment:
+    rows: List[CorruptionResult]
+
+    def render(self) -> str:
+        lines = [
+            "receiver global-round corruption at t=0.8s, 10% ongoing loss:",
+        ]
+        lines += [row.render_row() for row in self.rows]
+        return "\n".join(lines)
+
+
+def run_state_corruption(
+    corrupt_at: float = 0.8,
+    total_s: float = 3.0,
+    loss_rate: float = 0.1,
+    message_bytes: int = 1000,
+) -> CorruptionExperiment:
+    """Corrupt the receiver's round counter under ongoing loss."""
+    rows: List[CorruptionResult] = []
+    for with_checker in (False, True):
+        sim = Simulator()
+        checker = LocalChecker(window_rounds=60) if with_checker else None
+        testbed = build_session_testbed(
+            sim, n_channels=2, link_mbps=(10.0,),
+            loss_rates=(loss_rate,),
+            message_bytes=message_bytes, checker=checker,
+        )
+
+        def corrupt(tb=testbed):
+            tb.receiver.session.receiver.round_number += 10_000
+
+        sim.schedule_at(corrupt_at, corrupt)
+        sim.run(until=total_s)
+
+        before = analyze_order(testbed.delivered_between(0.0, corrupt_at))
+        final = analyze_order(
+            testbed.delivered_between(total_s - 1.0, total_s)
+        )
+        rows.append(
+            CorruptionResult(
+                with_checker=with_checker,
+                ooo_before=before.out_of_order,
+                ooo_after_window=final.out_of_order,
+                violations=checker.violations if checker else 0,
+                resets=testbed.receiver.session.resets_seen,
+            )
+        )
+    return CorruptionExperiment(rows)
+
+
+# ---------------------------------------------------------------------- #
+# capacity adaptation
+
+
+class QuantaAdapter:
+    """Sender-side weight adapter driven by queue pressure.
+
+    Every ``interval`` seconds it inspects the active ports' transmit
+    queues; if one is saturated while another is near-empty, the quanta are
+    re-estimated from the byte drain per channel since the last check and
+    installed via a reconfiguration reset.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: SessionSocketSender,
+        links: Sequence[Link],
+        interval: float = 0.2,
+        min_quantum: float = 1000.0,
+        cooldown: float = 0.4,
+    ) -> None:
+        self.sim = sim
+        self.sender = sender
+        self.links = list(links)
+        self.interval = interval
+        self.min_quantum = min_quantum
+        self.cooldown = cooldown
+        self.adaptations = 0
+        self._last_bytes = [0] * len(self.links)
+        self._last_busy = [0.0] * len(self.links)
+        self._last_adapt = -1e9
+        sim.schedule(interval, self._tick)
+
+    def _estimate_rates(self, active) -> Optional[List[float]]:
+        """Per-channel line rate from the sender's own egress statistics:
+        bytes delivered per second of transmitter busy time — independent
+        of how much the striper offered each channel."""
+        rates: List[float] = []
+        for index in active:
+            stats = self.links[index].ab.stats
+            delta_bytes = stats.delivered_bytes - self._last_bytes[index]
+            delta_busy = stats.busy_time - self._last_busy[index]
+            self._last_bytes[index] = stats.delivered_bytes
+            self._last_busy[index] = stats.busy_time
+            if delta_busy <= 1e-6 or delta_bytes <= 0:
+                return None  # not enough signal this interval
+            rates.append(delta_bytes / delta_busy)
+        return rates
+
+    def _tick(self) -> None:
+        session = self.sender.session
+        if session.state == session.RUNNING:
+            active = session.config.active_channels
+            rates = self._estimate_rates(active)
+            queues = [self.sender.ports[i].queue_length for i in active]
+            imbalanced = max(queues) >= 30 and min(queues) <= 2
+            if (
+                rates is not None
+                and imbalanced
+                and self.sim.now - self._last_adapt > self.cooldown
+            ):
+                slowest = min(rates)
+                quanta = tuple(
+                    max(self.min_quantum, round(self.min_quantum * r / slowest))
+                    for r in rates
+                )
+                current = session.config.quanta
+                changed = any(
+                    abs(a - b) / b > 0.25 for a, b in zip(quanta, current)
+                )
+                if changed:
+                    self._last_adapt = self.sim.now
+                    self.adaptations += 1
+                    session.initiate_reset(
+                        StripeConfig(quanta=quanta, active_channels=active)
+                    )
+        self.sim.schedule(self.interval, self._tick)
+
+
+@dataclass
+class AdaptationResult:
+    adaptive: bool
+    goodput_before: float
+    goodput_after: float
+    adaptations: int
+    final_quanta: Tuple[float, ...]
+
+    def render_row(self) -> str:
+        mode = "adaptive quanta" if self.adaptive else "static quanta"
+        quanta = "/".join(f"{q:.0f}" for q in self.final_quanta)
+        return (
+            f"  {mode:>15}: before {self.goodput_before:5.2f} Mbps, "
+            f"after {self.goodput_after:5.2f} Mbps "
+            f"(adaptations={self.adaptations}, quanta={quanta})"
+        )
+
+
+@dataclass
+class AdaptationExperiment:
+    rows: List[AdaptationResult]
+
+    def render(self) -> str:
+        lines = ["channel 1 rate drops 10 -> 2.5 Mbps at t=1.0s:"]
+        lines += [row.render_row() for row in self.rows]
+        return "\n".join(lines)
+
+
+def run_capacity_adaptation(
+    change_at: float = 1.0,
+    total_s: float = 4.0,
+    message_bytes: int = 1000,
+) -> AdaptationExperiment:
+    """Halve-and-halve-again one channel's rate; adapt quanta via resets."""
+    rows: List[AdaptationResult] = []
+    for adaptive in (False, True):
+        sim = Simulator()
+        testbed = build_session_testbed(
+            sim, n_channels=2, link_mbps=(10.0, 10.0), loss_rates=(0.0,),
+            message_bytes=message_bytes,
+        )
+        adapter = (
+            QuantaAdapter(sim, testbed.sender, testbed.links)
+            if adaptive else None
+        )
+        sim.schedule_at(
+            change_at,
+            lambda tb=testbed: tb.links[1].set_rate(2.5e6),
+        )
+        sim.run(until=total_s)
+        rows.append(
+            AdaptationResult(
+                adaptive=adaptive,
+                goodput_before=testbed.goodput_mbps(
+                    0.3, change_at, message_bytes
+                ),
+                goodput_after=testbed.goodput_mbps(
+                    total_s - 1.5, total_s, message_bytes
+                ),
+                adaptations=adapter.adaptations if adapter else 0,
+                final_quanta=testbed.sender.session.config.quanta,
+            )
+        )
+    return AdaptationExperiment(rows)
+
+
+@dataclass
+class FaultToleranceReport:
+    link_failure: LinkFailureExperiment
+    corruption: CorruptionExperiment
+    adaptation: AdaptationExperiment
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                self.link_failure.render(),
+                self.corruption.render(),
+                self.adaptation.render(),
+            ]
+        )
+
+
+def run_fault_tolerance(quick: bool = False) -> FaultToleranceReport:
+    """All three fault-tolerance scenarios."""
+    if quick:
+        return FaultToleranceReport(
+            link_failure=run_link_failure(total_s=1.8),
+            corruption=run_state_corruption(total_s=2.0),
+            adaptation=run_capacity_adaptation(total_s=3.0),
+        )
+    return FaultToleranceReport(
+        link_failure=run_link_failure(),
+        corruption=run_state_corruption(),
+        adaptation=run_capacity_adaptation(),
+    )

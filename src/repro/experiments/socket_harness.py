@@ -1,0 +1,233 @@
+"""Shared harness for the transport-level (section 6.3) experiments.
+
+Builds N parallel links between two hosts, a striped-socket sender
+(SRR + markers over UDP) and receiver, a closed-loop message source, and
+per-delivery records for reordering analysis.  Loss models are installed on
+the forward channels and can be switched off mid-run (the "after packet
+losses stopped" part of the paper's findings).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.srr import SRR
+from repro.core.striper import MarkerPolicy
+from repro.net.ethernet import EthernetInterface
+from repro.net.stack import Link, Stack
+from repro.sim.engine import Simulator
+from repro.sim.loss import BernoulliLoss, SizeGatedLoss
+from repro.transport.credit import CreditSender
+from repro.transport.socket_striping import (
+    StripedSocketReceiver,
+    StripedSocketSender,
+)
+from repro.workloads.generators import ClosedLoopSource, ConstantSizes
+
+BASE_PORT = 6000
+CREDIT_PORT = 6999
+
+
+@dataclass
+class SocketTestbedConfig:
+    """Configuration of the N-channel UDP striping testbed."""
+
+    n_channels: int = 2
+    link_mbps: Sequence[float] = (10.0, 10.0)
+    prop_delay_s: Sequence[float] = (0.5e-3, 1.5e-3)
+    link_queue_frames: int = 40
+    loss_rates: Sequence[float] = (0.0, 0.0)
+    message_bytes: int = 1000
+    marker_interval_rounds: int = 1
+    marker_position: int = 0
+    mode: str = "marker"  # marker | plain | none
+    buffer_packets: Optional[int] = None
+    use_credit: bool = False
+    source_backlog: int = 16
+    #: if False, no closed-loop source is created; the caller paces
+    #: submissions itself (e.g. the video workload).
+    closed_loop: bool = True
+    #: if True, loss hits only data-sized frames (markers/credits immune),
+    #: giving an identical data-loss pattern across control-plane variants
+    #: (used by the marker-position study).
+    data_only_loss: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("link_mbps", "prop_delay_s", "loss_rates"):
+            values = list(getattr(self, name))
+            if len(values) == 1:
+                values = values * self.n_channels
+            if len(values) != self.n_channels:
+                raise ValueError(f"{name} must have {self.n_channels} entries")
+            setattr(self, name, tuple(values))
+
+
+@dataclass
+class Delivery:
+    time: float
+    seq: int
+    size: int
+
+
+@dataclass
+class SocketTestbed:
+    """A built §6.3 testbed."""
+
+    sim: Simulator
+    config: SocketTestbedConfig
+    sender_stack: Stack
+    receiver_stack: Stack
+    links: List[Link]
+    loss_models: List[BernoulliLoss]
+    sender: StripedSocketSender
+    receiver: StripedSocketReceiver
+    source: Optional[ClosedLoopSource]
+    deliveries: List[Delivery] = field(default_factory=list)
+
+    def stop_losses_at(self, time: float) -> None:
+        """Schedule all channel loss to cease at ``time``."""
+
+        def stop() -> None:
+            for model in self.loss_models:
+                model.p = 0.0
+
+        self.sim.schedule_at(time, stop)
+
+    def delivered_seqs(self) -> List[int]:
+        return [d.seq for d in self.deliveries]
+
+    def deliveries_after(self, time: float) -> List[Delivery]:
+        return [d for d in self.deliveries if d.time >= time]
+
+    @property
+    def messages_sent(self) -> int:
+        if self.source is not None:
+            return self.source.generated
+        return self.sender.messages_submitted
+
+
+def build_socket_testbed(
+    sim: Simulator, config: SocketTestbedConfig
+) -> SocketTestbed:
+    """Assemble hosts, N links, striped sockets, and the message source."""
+    sender_stack = Stack(sim, "S")
+    receiver_stack = Stack(sim, "R")
+    links: List[Link] = []
+    loss_models: List[BernoulliLoss] = []
+    destinations: List[Tuple[str, int]] = []
+    rng = random.Random(config.seed)
+
+    for index in range(config.n_channels):
+        s_ip = f"10.{10 + index}.0.1"
+        r_ip = f"10.{10 + index}.0.2"
+        s_if = EthernetInterface(sim, f"ch{index}s", s_ip)
+        r_if = EthernetInterface(sim, f"ch{index}r", r_ip)
+        sender_stack.add_interface(s_if)
+        receiver_stack.add_interface(r_if)
+        loss = BernoulliLoss(
+            config.loss_rates[index],
+            rng=random.Random(rng.randrange(1 << 30)),
+        )
+        loss_models.append(loss)
+        installed_loss = (
+            SizeGatedLoss(loss, min_size=500)
+            if config.data_only_loss
+            else loss
+        )
+        links.append(
+            Link(
+                sim, s_if, r_if,
+                bandwidth_bps=config.link_mbps[index] * 1e6,
+                prop_delay=config.prop_delay_s[index],
+                queue_limit=config.link_queue_frames,
+                loss_ab=installed_loss,
+                name=f"channel{index}",
+            )
+        )
+        sender_stack.routing.add(r_ip, 24, s_if)
+        receiver_stack.routing.add(s_ip, 24, r_if)
+        # Pre-populate ARP: the paper's channels are long-lived, and an
+        # ARP exchange lost to injected channel loss would otherwise
+        # dominate the measurement.
+        s_if.arp_cache.install(r_if.ip_address, r_if.mac)
+        r_if.arp_cache.install(s_if.ip_address, s_if.mac)
+        destinations.append((r_ip, BASE_PORT + index))
+
+    algorithm_s = SRR([float(config.message_bytes)] * config.n_channels)
+    algorithm_r = SRR([float(config.message_bytes)] * config.n_channels)
+    marker_policy = None
+    if config.mode == "marker" and config.marker_interval_rounds > 0:
+        marker_policy = MarkerPolicy(
+            interval_rounds=config.marker_interval_rounds,
+            position=config.marker_position,
+        )
+
+    credit_sender: Optional[CreditSender] = None
+    if config.use_credit:
+        if config.buffer_packets is None:
+            raise ValueError("use_credit requires buffer_packets")
+        credit_sender = CreditSender(
+            config.n_channels, initial_credit=config.buffer_packets
+        )
+
+    sender = StripedSocketSender(
+        sim, sender_stack, destinations, algorithm_s,
+        marker_policy=marker_policy,
+        credit=credit_sender,
+        credit_port=CREDIT_PORT if config.use_credit else None,
+    )
+
+    testbed_ref: List[SocketTestbed] = []
+
+    def on_message(packet) -> None:
+        testbed_ref[0].deliveries.append(
+            Delivery(time=sim.now, seq=packet.seq, size=packet.size)
+        )
+
+    receiver = StripedSocketReceiver(
+        sim, receiver_stack, config.n_channels, algorithm_r,
+        base_port=BASE_PORT,
+        mode=config.mode,
+        on_message=on_message,
+        buffer_packets=config.buffer_packets,
+        credit_to="10.10.0.1" if config.use_credit else None,
+        credit_port=CREDIT_PORT if config.use_credit else None,
+    )
+
+    source: Optional[ClosedLoopSource] = None
+    if config.closed_loop:
+        source = ClosedLoopSource(
+            sim,
+            submit=sender.submit_packet,
+            backlog_fn=lambda: sender.backlog,
+            size_fn=ConstantSizes(config.message_bytes),
+            target=config.source_backlog,
+        )
+        source.start()
+
+    # Wake the striper (and refill the source) whenever a channel's
+    # transmit queue drains — the backpressure feedback path.
+    def wake() -> None:
+        sender.pump()
+        if source is not None:
+            source.poke()
+
+    for link in links:
+        link.ab.on_space = wake
+
+    testbed = SocketTestbed(
+        sim=sim,
+        config=config,
+        sender_stack=sender_stack,
+        receiver_stack=receiver_stack,
+        links=links,
+        loss_models=loss_models,
+        sender=sender,
+        receiver=receiver,
+        source=source,
+    )
+    testbed_ref.append(testbed)
+    return testbed

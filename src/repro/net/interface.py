@@ -1,0 +1,165 @@
+"""Network interface base machinery shared by Ethernet and ATM.
+
+A :class:`NetworkInterface` joins an IP stack to a pair of simulated
+channels (one per direction).  Its receive path optionally flows through the
+host CPU / interrupt model, which is how the Figure 15 interrupt bottleneck
+enters the picture.
+
+Frames carry a *codepoint* — the link-layer demultiplexing field the paper
+relies on: ordinary IP, strIPe data, strIPe markers, and ARP are all told
+apart by codepoint, never by modifying packet contents.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.addresses import IPAddress
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.host import NicQueue
+
+
+class FrameType:
+    """Link-layer codepoints (Ethernet type field / LLC-SNAP equivalents)."""
+
+    IPV4 = "ipv4"
+    ARP = "arp"
+    STRIPE_DATA = "stripe_data"
+    STRIPE_MARKER = "stripe_marker"
+    STRIPE_CREDIT = "stripe_credit"
+
+
+@dataclass
+class Frame:
+    """A generic link-layer frame.
+
+    Attributes:
+        codepoint: one of :class:`FrameType`.
+        payload: the encapsulated packet (IP packet, marker, ARP, ...).
+        size: total bytes on the wire, including link overhead.
+        dst_mac / src_mac: used by broadcast media (Ethernet); None on
+            point-to-point links.
+    """
+
+    codepoint: str
+    payload: Any
+    size: int
+    dst_mac: Any = None
+    src_mac: Any = None
+
+
+class NetworkInterface(abc.ABC):
+    """Base class for simulated IP interfaces.
+
+    Subclasses implement framing (:meth:`encapsulate`) and next-hop
+    delivery (:meth:`send_ip`).  The base class owns channel attachment and
+    the receive path.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip_address: IPAddress | str,
+        mtu: int,
+    ) -> None:
+        if mtu <= 0:
+            raise ValueError("MTU must be positive")
+        self.sim = sim
+        self.name = name
+        self.ip_address = IPAddress.parse(ip_address)
+        self.mtu = mtu
+        self.stack: Optional[Any] = None  # set by Stack.add_interface
+        self.channel_out: Optional[Channel] = None
+        self.channel_in: Optional[Channel] = None
+        self.nic_queue: Optional[NicQueue] = None
+        #: demux hooks: codepoint -> callable(payload, interface)
+        self.demux: dict[str, Callable[[Any, "NetworkInterface"], None]] = {}
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+
+    def attach(self, channel_out: Channel, channel_in: Channel) -> None:
+        """Connect to a bidirectional link (two FIFO channels)."""
+        self.channel_out = channel_out
+        self.channel_in = channel_in
+        channel_in.on_deliver = self._physical_receive
+
+    def use_cpu(self, nic_queue: NicQueue) -> None:
+        """Route received frames through the host CPU model.
+
+        The owning :class:`~repro.net.stack.Stack` dispatches processed
+        frames back to :meth:`handle_frame` via the CPU's ``on_packet``.
+        """
+        self.nic_queue = nic_queue
+
+    # ------------------------------------------------------------------ #
+    # send path
+
+    @abc.abstractmethod
+    def encapsulate(
+        self, payload: Any, codepoint: str, next_hop: Optional[IPAddress]
+    ) -> Optional[Frame]:
+        """Build a frame, or None if the payload cannot be framed yet
+        (e.g. awaiting ARP resolution, which the subclass must handle)."""
+
+    @abc.abstractmethod
+    def send_ip(
+        self, packet: Any, next_hop: Optional[IPAddress], force: bool = False
+    ) -> bool:
+        """Transmit an IP packet toward ``next_hop`` (or its destination).
+
+        ``force`` bypasses transmit-queue limits for small control packets
+        (markers, credits) that must not be lost to transient backlog.
+        """
+
+    def transmit_frame(self, frame: Frame, force: bool = False) -> bool:
+        """Hand a frame to the outgoing channel."""
+        if self.channel_out is None:
+            raise RuntimeError(f"interface {self.name} is not attached")
+        ok = self.channel_out.send(frame, force=force)
+        if ok:
+            self.tx_frames += 1
+            self.tx_bytes += frame.size
+        return ok
+
+    def can_accept(self) -> bool:
+        """True if the transmit queue has room (striper backpressure)."""
+        if self.channel_out is None:
+            return False
+        return self.channel_out.can_accept()
+
+    @property
+    def queue_length(self) -> int:
+        return self.channel_out.queue_length if self.channel_out else 0
+
+    # ------------------------------------------------------------------ #
+    # receive path
+
+    def _physical_receive(self, frame: Frame) -> None:
+        """Frame arrival from the wire: NIC queue (CPU model) or direct."""
+        if self.nic_queue is not None:
+            self.nic_queue.enqueue(frame)
+        else:
+            self.handle_frame(frame)
+
+    def handle_frame(self, frame: Frame) -> None:
+        """Demultiplex a received frame by codepoint."""
+        self.rx_frames += 1
+        self.rx_bytes += frame.size
+        handler = self.demux.get(frame.codepoint)
+        if handler is not None:
+            handler(frame.payload, self)
+            return
+        if frame.codepoint == FrameType.IPV4 and self.stack is not None:
+            self.stack.ip_input(frame.payload, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.ip_address} mtu={self.mtu}>"

@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+This package provides the simulated "hardware" that the striping protocol
+runs over: an event-driven clock (:mod:`repro.sim.engine`), FIFO channels
+with bandwidth / propagation delay / skew / loss (:mod:`repro.sim.channel`),
+loss and corruption models (:mod:`repro.sim.loss`), a host CPU model with
+interrupt costs (:mod:`repro.sim.host`), seeded randomness
+(:mod:`repro.sim.random`), and structured event tracing
+(:mod:`repro.sim.trace`).
+
+The paper's testbed was a pair of NetBSD workstations joined by an Ethernet
+and an ATM PVC; this package is the substitute substrate (see DESIGN.md
+section 2).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.channel import Channel, ChannelStats
+from repro.sim.loss import (
+    BernoulliLoss,
+    CorruptionModel,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+)
+from repro.sim.host import HostCPU, NicQueue
+from repro.sim.random import RandomStreams
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Channel",
+    "ChannelStats",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+    "CorruptionModel",
+    "HostCPU",
+    "NicQueue",
+    "RandomStreams",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,222 @@
+"""A simulated FIFO channel.
+
+The paper's channel abstraction (section 2): a logical FIFO path with
+
+* a transmission rate (bits/second) — packets are serialized onto the wire,
+* a propagation delay, possibly different per channel (static *skew*),
+* per-packet delay variation (dynamic skew) that still preserves FIFO order,
+* packet loss and corruption (corrupted packets are discarded on arrival).
+
+A channel also has a finite transmit queue.  A full queue exerts
+*backpressure* on the striping sender: this is what makes plain round robin
+throughput collapse to the slowest link in Figure 15 — the sender must wait
+for the slow channel's queue to drain before it may send the next packet in
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.loss import CorruptionModel, LossModel, NoLoss
+
+
+@dataclass
+class ChannelStats:
+    """Counters accumulated by a :class:`Channel` over its lifetime."""
+
+    offered_packets: int = 0
+    offered_bytes: int = 0
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    lost_packets: int = 0
+    corrupted_packets: int = 0
+    queue_drops: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the transmitter spent sending."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Channel:
+    """A FIFO channel between one sender and one receiver.
+
+    Args:
+        sim: the event engine.
+        bandwidth_bps: transmission rate in bits per second.
+        prop_delay: one-way propagation delay in seconds.
+        name: label used in traces and errors.
+        queue_limit: max packets waiting in the transmit queue (excludes the
+            packet on the wire).  ``None`` means unbounded.
+        loss_model: decides which packets the channel loses.
+        corruption: optional bit-error model; corrupted packets are dropped
+            at the receiver (CRC failure), exactly like losses but counted
+            separately.
+        skew: optional callable ``() -> float`` giving extra per-packet delay
+            (dynamic skew).  Arrival times are clamped to be non-decreasing
+            so the channel remains FIFO, as the paper's model requires.
+        size_of: maps a packet object to its size in bytes on this channel
+            (default: ``packet.size`` attribute).  Interfaces override this
+            to add framing overhead (Ethernet headers, ATM cell padding).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        prop_delay: float,
+        *,
+        name: str = "channel",
+        queue_limit: Optional[int] = None,
+        loss_model: Optional[LossModel] = None,
+        corruption: Optional[CorruptionModel] = None,
+        skew: Optional[Callable[[], float]] = None,
+        size_of: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.name = name
+        self.queue_limit = queue_limit
+        self.loss_model: LossModel = loss_model if loss_model is not None else NoLoss()
+        self.corruption = corruption
+        self.skew = skew
+        self.size_of = size_of if size_of is not None else _default_size
+        self.stats = ChannelStats()
+
+        self.on_deliver: Optional[Callable[[Any], None]] = None
+        self.on_drop: Optional[Callable[[Any, str], None]] = None
+        self.on_space: Optional[Callable[[], None]] = None
+
+        self._queue: Deque[Any] = deque()
+        self._transmitting = False
+        self._last_arrival = 0.0
+        self._offered_index = 0
+
+    # ------------------------------------------------------------------ #
+    # sender side
+
+    @property
+    def queue_length(self) -> int:
+        """Packets waiting in the transmit queue (not counting in-flight)."""
+        return len(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        return sum(self.size_of(p) for p in self._queue)
+
+    def can_accept(self) -> bool:
+        """True if :meth:`send` would enqueue rather than drop."""
+        if self.queue_limit is None:
+            return True
+        return len(self._queue) < self.queue_limit
+
+    def send(self, packet: Any, force: bool = False) -> bool:
+        """Offer a packet to the channel.
+
+        Returns True if the packet was queued for transmission, False if it
+        was dropped because the transmit queue is full.  ``force`` bypasses
+        the queue limit — used for tiny control packets (markers, credits)
+        that must not be lost to transient data backlog.
+        """
+        size = self.size_of(packet)
+        self.stats.offered_packets += 1
+        self.stats.offered_bytes += size
+        if force:
+            self._queue.append(packet)
+            if not self._transmitting:
+                self._start_next()
+            return True
+        if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
+            self.stats.queue_drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "queue_full")
+            return False
+        self._queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # internal transmission pipeline
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        size = self.size_of(packet)
+        tx_time = (8.0 * size) / self.bandwidth_bps
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, self._tx_done, packet, size)
+
+    def _tx_done(self, packet: Any, size: int) -> None:
+        index = self._offered_index
+        self._offered_index += 1
+
+        lost = self.loss_model.should_drop(index, size)
+        corrupted = (
+            not lost
+            and self.corruption is not None
+            and self.corruption.is_corrupted(size)
+        )
+        if lost:
+            self.stats.lost_packets += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "loss")
+        elif corrupted:
+            self.stats.corrupted_packets += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, "corruption")
+        else:
+            arrival = self.sim.now + self.prop_delay
+            if self.skew is not None:
+                extra = self.skew()
+                if extra < 0:
+                    extra = 0.0
+                arrival += extra
+            # Clamp so arrivals are non-decreasing: the channel is FIFO even
+            # under dynamic skew (the paper's model, section 2).
+            if arrival < self._last_arrival:
+                arrival = self._last_arrival
+            self._last_arrival = arrival
+            self.sim.schedule_at(arrival, self._deliver, packet, size)
+
+        had_backlog = len(self._queue) > 0
+        self._start_next()
+        # The queue just shrank by one; tell the sender space is available.
+        if self.on_space is not None and (
+            self.queue_limit is None or len(self._queue) < self.queue_limit
+        ):
+            self.on_space()
+        del had_backlog
+
+    def _deliver(self, packet: Any, size: int) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += size
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Channel {self.name} {self.bandwidth_bps / 1e6:.2f} Mbps "
+            f"prop={self.prop_delay * 1e3:.2f} ms qlen={len(self._queue)}>"
+        )
+
+
+def _default_size(packet: Any) -> int:
+    size = getattr(packet, "size", None)
+    if size is None:
+        raise TypeError(f"packet {packet!r} has no 'size' attribute")
+    return int(size)

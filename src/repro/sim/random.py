@@ -1,0 +1,45 @@
+"""Seeded randomness for reproducible simulations.
+
+Every stochastic component in the simulator draws from its own named stream
+derived from a single experiment seed.  Two runs with the same seed produce
+bit-identical event sequences; changing one component's draw pattern does not
+perturb the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A factory of independent, named :class:`random.Random` streams.
+
+    Usage::
+
+        streams = RandomStreams(seed=42)
+        loss_rng = streams.stream("channel0.loss")
+        skew_rng = streams.stream("channel0.skew")
+
+    The same ``(seed, name)`` pair always yields the same stream, and
+    repeated calls with the same name return the same object.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the RNG stream for ``name``, creating it if needed."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Derive a child factory whose streams are independent of ours."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,61 @@
+"""Transport substrate: UDP, simplified TCP, FCVC credits, socket striping.
+
+* :mod:`repro.transport.udp` — datagram sockets over the simulated stack.
+* :mod:`repro.transport.tcp` — the sliding-window TCP used to drive the
+  Figure 15 throughput measurements (dup-ACK fast retransmit + AIMD, so
+  reordering and loss have their real effects).
+* :mod:`repro.transport.credit` — Kung/Chapman credit-based flow control
+  (section 6.3).
+* :mod:`repro.transport.socket_striping` — striping across UDP sockets at
+  the transport layer (section 6.3's experimental harness).
+"""
+
+from repro.transport.udp import UDP_HEADER_BYTES, UdpDatagram, UdpLayer, UdpSocket
+from repro.transport.tcp import (
+    BulkReceiver,
+    BulkSender,
+    TCP_HEADER_BYTES,
+    TcpLayer,
+    TcpSegment,
+)
+from repro.transport.credit import CreditPacket, CreditReceiver, CreditSender
+from repro.transport.socket_striping import (
+    StripedSocketReceiver,
+    StripedSocketSender,
+)
+from repro.transport.session_striping import (
+    ChannelFailureDetector,
+    SessionSocketReceiver,
+    SessionSocketSender,
+)
+from repro.transport.duplex import DuplexStripedEndpoint, connect_duplex
+from repro.transport.tcp_striping import (
+    StripedTcpReceiver,
+    StripedTcpSender,
+    TcpChannelPort,
+)
+
+__all__ = [
+    "UdpDatagram",
+    "UdpLayer",
+    "UdpSocket",
+    "UDP_HEADER_BYTES",
+    "TcpLayer",
+    "TcpSegment",
+    "BulkSender",
+    "BulkReceiver",
+    "TCP_HEADER_BYTES",
+    "CreditPacket",
+    "CreditReceiver",
+    "CreditSender",
+    "StripedSocketSender",
+    "StripedSocketReceiver",
+    "SessionSocketSender",
+    "SessionSocketReceiver",
+    "ChannelFailureDetector",
+    "DuplexStripedEndpoint",
+    "connect_duplex",
+    "StripedTcpSender",
+    "StripedTcpReceiver",
+    "TcpChannelPort",
+]

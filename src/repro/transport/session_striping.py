@@ -1,0 +1,224 @@
+"""Session-managed striping over UDP: resets, reconfiguration, stabilization.
+
+Wraps :mod:`repro.core.session` around the UDP channel machinery of
+:mod:`repro.transport.socket_striping`: data, markers, and in-band RESETs
+travel per striped channel; ACKs and reset requests ride a dedicated
+reverse control flow.  Adds a receiver-side :class:`ChannelFailureDetector`
+that watches per-channel arrivals and asks the sender to reconfigure
+without a silent channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.packet import Packet
+from repro.core.session import (
+    LocalChecker,
+    StripeConfig,
+    StripeReceiverSession,
+    StripeSenderSession,
+)
+from repro.core.striper import MarkerPolicy
+from repro.net.addresses import IPAddress
+from repro.net.stack import Stack
+from repro.sim.engine import Simulator
+from repro.transport.socket_striping import _UdpChannelPort, _udp_layer_for
+
+
+class SessionSocketSender:
+    """A resettable striped-UDP sender.
+
+    Args:
+        sim / stack: host context.
+        destinations: per-channel ``(dst_ip, dst_port)`` (the full port
+            set; the config's ``active_channels`` picks the live subset).
+        config: initial striping configuration.
+        marker_policy: markers per epoch (needed by the LocalChecker).
+        control_port: local UDP port where ACKs / reset requests arrive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: Stack,
+        destinations: Sequence[Tuple[str, int]],
+        config: StripeConfig,
+        marker_policy: Optional[MarkerPolicy] = None,
+        control_port: int = 6900,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.udp = _udp_layer_for(stack)
+        self.ports: List[_UdpChannelPort] = []
+        for index, (dst_ip, dst_port) in enumerate(destinations):
+            socket = self.udp.bind()
+            self.ports.append(
+                _UdpChannelPort(
+                    socket, IPAddress.parse(dst_ip), dst_port,
+                    src_ip=None, channel_index=index, credit_sender=None,
+                )
+            )
+        self.session = StripeSenderSession(
+            sim, self.ports, config, marker_policy=marker_policy
+        )
+        for port in self.ports:
+            port.on_unblocked = self.pump
+        self.udp.bind(control_port, on_datagram=self._on_control)
+        self.messages_submitted = 0
+
+    def send_message(self, size: int, payload: Any = None) -> Packet:
+        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
+        self.messages_submitted += 1
+        self.session.submit(packet)
+        return packet
+
+    def submit_packet(self, packet: Packet) -> None:
+        self.messages_submitted += 1
+        self.session.submit(packet)
+
+    @property
+    def backlog(self) -> int:
+        return self.session.striper.backlog + len(
+            self.session._pending_during_reset
+        )
+
+    def pump(self) -> int:
+        return self.session.pump()
+
+    def _on_control(self, datagram: Any, src: IPAddress) -> None:
+        self.session.on_control(datagram.payload)
+
+
+class ChannelFailureDetector:
+    """Receiver-side dead-channel watchdog.
+
+    Every ``check_interval`` seconds it compares per-channel arrival
+    counters; a channel that saw nothing for ``silence_threshold`` seconds
+    while the others progressed is declared dead, and the receiver asks
+    the sender to reconfigure without it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        silence_threshold: float = 0.25,
+        check_interval: float = 0.05,
+    ) -> None:
+        self.sim = sim
+        self.silence_threshold = silence_threshold
+        self.check_interval = check_interval
+        self.receiver: Optional["SessionSocketReceiver"] = None
+        self.last_arrival: List[float] = []
+        self.failed: set = set()
+        self.failures_reported: List[int] = []
+        self._started = False
+
+    def attach(self, receiver: "SessionSocketReceiver") -> None:
+        self.receiver = receiver
+        self.last_arrival = [0.0] * receiver.n_ports
+
+    def note_arrival(self, port_index: int) -> None:
+        if port_index < len(self.last_arrival):
+            self.last_arrival[port_index] = self.sim.now
+        if not self._started:
+            self._started = True
+            self.sim.schedule(self.check_interval, self._check)
+
+    def _check(self) -> None:
+        assert self.receiver is not None
+        now = self.sim.now
+        active = self.receiver.session.config.active_channels
+        alive = [
+            i for i in active
+            if now - self.last_arrival[i] < self.silence_threshold
+        ]
+        if alive and len(alive) < len(active):
+            for index in active:
+                if index not in alive and index not in self.failed:
+                    self.failed.add(index)
+                    self.failures_reported.append(index)
+                    self.receiver.request_drop_channel(index)
+        self.sim.schedule(self.check_interval, self._check)
+
+
+class SessionSocketReceiver:
+    """The resettable striped-UDP receiver with optional fault tolerance.
+
+    Args:
+        sim / stack: host context.
+        n_ports: size of the full channel set (``base_port + i`` per port).
+        config: initial configuration (matching the sender).
+        control_to / control_port: where ACKs and requests are sent.
+        checker: optional :class:`~repro.core.session.LocalChecker`.
+        failure_detector: optional :class:`ChannelFailureDetector`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: Stack,
+        n_ports: int,
+        config: StripeConfig,
+        base_port: int,
+        control_to: str | IPAddress,
+        control_port: int = 6900,
+        on_message: Optional[Callable[[Packet], None]] = None,
+        checker: Optional[LocalChecker] = None,
+        failure_detector: Optional[ChannelFailureDetector] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.udp = _udp_layer_for(stack)
+        self.n_ports = n_ports
+        self.on_message = on_message
+        self.delivered: List[Packet] = []
+        self._control_to = IPAddress.parse(control_to)
+        self._control_port = control_port
+        self._control_socket = self.udp.bind()
+
+        self.session = StripeReceiverSession(
+            sim, n_ports, config,
+            send_control=self._send_control,
+            on_deliver=self._deliver,
+            checker=checker,
+        )
+        self.failure_detector = failure_detector
+        if failure_detector is not None:
+            failure_detector.attach(self)
+
+        for index in range(n_ports):
+            self.udp.bind(
+                base_port + index,
+                on_datagram=self._make_handler(index),
+            )
+
+    def _make_handler(self, index: int):
+        def handle(datagram: Any, src: IPAddress) -> None:
+            if self.failure_detector is not None:
+                self.failure_detector.note_arrival(index)
+            self.session.push(index, datagram.payload)
+
+        return handle
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered.append(packet)
+        if self.on_message is not None:
+            self.on_message(packet)
+
+    def _send_control(self, packet: Any) -> None:
+        self._control_socket.sendto(
+            packet, packet.size, self._control_to, self._control_port,
+            force=True,
+        )
+
+    def request_drop_channel(self, port_index: int) -> None:
+        """Ask the sender to reconfigure without a dead channel."""
+        from repro.core.session import ResetRequestPacket
+
+        self._send_control(
+            ResetRequestPacket(
+                reason=f"channel {port_index} silent",
+                exclude_channel=port_index,
+            )
+        )

@@ -1,0 +1,358 @@
+"""Transport-level striping across UDP sockets (section 6.3).
+
+"In addition to implementing the strIPe protocol in the NetBSD kernel, a
+striping protocol was also implemented at the transport layer by striping
+packets across multiple application sockets using the same SRR striping
+and resequencing algorithm."
+
+One striped *channel* here is a UDP flow (a socket pair on a dedicated
+port).  The sender runs the SRR striper with markers; the receiver runs the
+marker-synchronized resequencer.  Optional FCVC credit flow control bounds
+per-channel in-flight data; credit advertisements ride on dedicated reverse
+UDP datagrams and, when markers flow in the reverse direction, can
+piggyback on them.
+
+These classes are the workhorses of the marker-frequency, marker-position,
+loss-sweep, flow-control, and video experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.cfq import CausalFQ
+from repro.core.markers import SRRReceiver
+from repro.core.packet import MarkerPacket, Packet, is_marker
+from repro.core.resequencer import NullResequencer, Resequencer
+from repro.core.srr import SRR
+from repro.core.striper import MarkerPolicy, Striper
+from repro.core.transform import TransformedLoadSharer
+from repro.net.addresses import IPAddress
+from repro.net.stack import Stack
+from repro.sim.engine import Simulator
+from repro.transport.credit import CreditPacket, CreditReceiver, CreditSender
+from repro.transport.udp import UdpLayer, UdpSocket
+
+
+class _UdpChannelPort:
+    """Striper port sending over one UDP flow, with optional credits."""
+
+    def __init__(
+        self,
+        socket: UdpSocket,
+        dst: IPAddress,
+        dst_port: int,
+        src_ip: Optional[IPAddress],
+        channel_index: int,
+        credit_sender: Optional[CreditSender],
+    ) -> None:
+        self.socket = socket
+        self.dst = dst
+        self.dst_port = dst_port
+        self.src_ip = src_ip
+        self.channel_index = channel_index
+        self.credit_sender = credit_sender
+        self.sent_data = 0
+        self.sent_markers = 0
+        #: set by the owning sender; called when an ARP stall resolves
+        self.on_unblocked = None
+        self._arp_hooked = False
+
+    def send(self, packet: Any, force: bool = False) -> bool:
+        if not is_marker(packet) and self.credit_sender is not None:
+            self.credit_sender.on_send(self.channel_index)
+            self.sent_data += 1
+        elif is_marker(packet):
+            self.sent_markers += 1
+        else:
+            self.sent_data += 1
+        return self.socket.sendto(
+            packet, packet.size, self.dst, self.dst_port,
+            src=self.src_ip, force=force or is_marker(packet),
+        )
+
+    def can_accept(self) -> bool:
+        if self.credit_sender is not None and not self.credit_sender.can_send(
+            self.channel_index
+        ):
+            self.credit_sender.stalls += 1
+            return False
+        stack = self.socket.layer.stack
+        route = stack.routing.lookup(self.dst)
+        if route is None:
+            return False
+        iface = route.interface
+        # An unresolved Ethernet next hop behaves as backpressure: kick the
+        # ARP exchange and wait rather than queueing unboundedly behind it.
+        next_hop = route.next_hop if route.next_hop is not None else self.dst
+        resolved = getattr(iface, "resolved", None)
+        if resolved is not None and not resolved(next_hop):
+            iface.start_resolution(next_hop)
+            if not self._arp_hooked and self.on_unblocked is not None:
+                self._arp_hooked = True
+                iface.on_arp_resolved.append(lambda ip: self.on_unblocked())
+            return False
+        return iface.can_accept()
+
+    @property
+    def queue_length(self) -> int:
+        stack = self.socket.layer.stack
+        route = stack.routing.lookup(self.dst)
+        return route.interface.queue_length if route else 0
+
+
+class StripedSocketSender:
+    """Stripes application messages across N UDP flows with SRR + markers.
+
+    Args:
+        sim: event engine.
+        stack: the local host.
+        destinations: per-channel ``(dst_ip, dst_port)``; each pair is one
+            striped channel.
+        algorithm: SRR-family CFQ algorithm.
+        marker_policy: marker emission policy (None = no markers).
+        source_ips: optional per-channel source address (multihomed hosts).
+        credit: optional :class:`CreditSender` for FCVC flow control.
+        credit_port: local port on which credit advertisements arrive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: Stack,
+        destinations: Sequence[tuple],
+        algorithm: CausalFQ,
+        marker_policy: Optional[MarkerPolicy] = None,
+        source_ips: Optional[Sequence[IPAddress | str]] = None,
+        credit: Optional[CreditSender] = None,
+        credit_port: Optional[int] = None,
+        marker_decorator=None,
+        marker_keepalive_s: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.udp = _udp_layer_for(stack)
+        self.credit = credit
+        if credit is not None:
+            credit.on_unblocked = self._pump
+        self.ports: List[_UdpChannelPort] = []
+        for index, (dst_ip, dst_port) in enumerate(destinations):
+            src = None
+            if source_ips is not None:
+                src = IPAddress.parse(source_ips[index])
+            socket = self.udp.bind()
+            self.ports.append(
+                _UdpChannelPort(
+                    socket, IPAddress.parse(dst_ip), dst_port, src, index, credit
+                )
+            )
+        sharer = TransformedLoadSharer(algorithm)
+        self.striper = Striper(
+            sharer, self.ports, marker_policy,
+            marker_decorator=marker_decorator,
+        )
+        for port in self.ports:
+            port.on_unblocked = self._pump
+        if credit_port is not None:
+            self.udp.bind(credit_port, on_datagram=self._on_credit_datagram)
+        self.messages_submitted = 0
+        # Keepalive: markers are normally emitted by round progression; a
+        # stalled (flow-controlled or idle) sender must still refresh the
+        # receiver periodically — and, in duplex mode, keep carrying
+        # piggybacked credits — or both directions can deadlock.
+        self._keepalive_s = marker_keepalive_s
+        self._markers_at_last_tick = 0
+        if marker_keepalive_s is not None:
+            if marker_policy is None:
+                raise ValueError("keepalive markers need a marker policy")
+            sim.schedule(marker_keepalive_s, self._keepalive_tick)
+
+    def send_message(self, size: int, payload: Any = None) -> Packet:
+        """Submit one application message of ``size`` bytes for striping."""
+        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
+        self.messages_submitted += 1
+        self.striper.submit(packet)
+        return packet
+
+    def submit_packet(self, packet: Packet) -> None:
+        """Submit a caller-constructed packet (e.g. video trace packets)."""
+        self.messages_submitted += 1
+        self.striper.submit(packet)
+
+    @property
+    def backlog(self) -> int:
+        return self.striper.backlog
+
+    def pump(self) -> int:
+        return self.striper.pump()
+
+    def _pump(self) -> None:
+        self.striper.pump()
+
+    def _keepalive_tick(self) -> None:
+        if self.striper.markers_sent == self._markers_at_last_tick:
+            self.striper.force_marker_batch()
+        self._markers_at_last_tick = self.striper.markers_sent
+        self.sim.schedule(self._keepalive_s, self._keepalive_tick)
+
+    def _on_credit_datagram(self, datagram: Any, src: IPAddress) -> None:
+        payload = datagram.payload
+        if isinstance(payload, CreditPacket) and self.credit is not None:
+            self.credit.on_credit(payload.channel, payload.limit)
+        elif isinstance(payload, MarkerPacket) and payload.credit is not None:
+            # piggybacked credit on a reverse-direction marker
+            if self.credit is not None:
+                self.credit.on_credit(payload.channel, payload.credit)
+
+
+class StripedSocketReceiver:
+    """Receives N UDP flows and reassembles the FIFO stream.
+
+    Args:
+        sim: event engine.
+        stack: the local host.
+        n_channels: number of striped channels.
+        algorithm: the sender's algorithm (for simulation).
+        base_port: channel *i* is bound to ``base_port + i``.
+        mode: ``"marker"``, ``"plain"``, or ``"none"`` (ablations).
+        on_message: callback for in-order application messages.
+        buffer_packets: per-channel physical buffer cap; arrivals beyond it
+            are dropped (counted) — this is the loss that credit flow
+            control eliminates.
+        credit_to / credit_port: if set, send FCVC credit advertisements to
+            that (ip, port) as packets are consumed.
+        advertise_every: batch credit advertisements (1 = per packet).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: Stack,
+        n_channels: int,
+        algorithm: CausalFQ,
+        base_port: int,
+        mode: str = "marker",
+        on_message: Optional[Callable[[Packet], None]] = None,
+        buffer_packets: Optional[int] = None,
+        credit_to: Optional[IPAddress | str] = None,
+        credit_port: Optional[int] = None,
+        advertise_every: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.udp = _udp_layer_for(stack)
+        self.on_message = on_message
+        self.buffer_packets = buffer_packets
+        self.buffer_drops = 0
+        self.delivered: List[Packet] = []
+
+        if mode == "marker":
+            if not isinstance(algorithm, SRR):
+                raise ValueError("marker mode requires an SRR-family algorithm")
+            self.resequencer: Any = SRRReceiver(
+                algorithm, on_deliver=self._deliver, clock=lambda: sim.now
+            )
+        elif mode == "plain":
+            self.resequencer = Resequencer(algorithm, on_deliver=self._deliver)
+        elif mode == "none":
+            self.resequencer = NullResequencer(n_channels, on_deliver=self._deliver)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+
+        #: invoked as fn(channel, credit) when a piggybacked credit rides
+        #: an arriving marker (the reverse direction's flow-control state).
+        self.credit_sink = None
+        self.credit: Optional[CreditReceiver] = None
+        self._credit_socket: Optional[UdpSocket] = None
+        self._credit_to: Optional[IPAddress] = None
+        self._credit_port: Optional[int] = None
+        if credit_to is not None:
+            if buffer_packets is None:
+                raise ValueError("credit flow control needs buffer_packets")
+            self._credit_to = IPAddress.parse(credit_to)
+            self._credit_port = credit_port
+            self._credit_socket = self.udp.bind()
+            self.credit = CreditReceiver(
+                n_channels,
+                buffer_packets,
+                send_credit=self._send_credit,
+                advertise_every=advertise_every,
+            )
+
+        self._pushed_data: List[int] = [0] * n_channels
+        self._credited: List[int] = [0] * n_channels
+
+        self.sockets: List[UdpSocket] = []
+        for index in range(n_channels):
+            socket = self.udp.bind(
+                base_port + index,
+                on_datagram=self._make_channel_handler(index),
+            )
+            self.sockets.append(socket)
+
+    # ------------------------------------------------------------------ #
+
+    def _make_channel_handler(self, index: int):
+        def handle(datagram: Any, src: IPAddress) -> None:
+            payload = datagram.payload
+            if (
+                self.buffer_packets is not None
+                and not is_marker(payload)
+                and self._buffered_data(index) >= self.buffer_packets
+            ):
+                self.buffer_drops += 1
+                return
+            if not is_marker(payload):
+                self._pushed_data[index] += 1
+            elif payload.credit is not None and self.credit_sink is not None:
+                self.credit_sink(payload.channel, payload.credit)
+            self.resequencer.push(index, payload)
+            if self.credit is not None:
+                self._issue_credits()
+
+        return handle
+
+    def _buffered_data(self, index: int) -> int:
+        """Data packets currently buffered on a channel (markers excluded)."""
+        buffers = getattr(self.resequencer, "buffers", None)
+        if buffers is None:
+            return 0
+        return sum(1 for p in buffers[index] if not is_marker(p))
+
+    def _issue_credits(self) -> None:
+        """Report newly consumed packets on every channel to the credit layer.
+
+        Consumed = pushed into the channel buffer minus still buffered; a
+        single push can unblock deliveries on *other* channels, so all
+        channels are re-examined.
+        """
+        assert self.credit is not None
+        for index in range(len(self._pushed_data)):
+            consumed = self._pushed_data[index] - self._buffered_data(index)
+            while self._credited[index] < consumed:
+                self._credited[index] += 1
+                self.credit.on_consumed(index)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered.append(packet)
+        if self.on_message is not None:
+            self.on_message(packet)
+
+    def _send_credit(self, channel: int, limit: int) -> None:
+        if self._credit_socket is None or self._credit_to is None:
+            return
+        assert self._credit_port is not None
+        credit = CreditPacket(channel=channel, limit=limit)
+        self._credit_socket.sendto(
+            credit, credit.size, self._credit_to, self._credit_port
+        )
+
+
+def _udp_layer_for(stack: Stack) -> UdpLayer:
+    """Get or create the stack's UDP layer."""
+    existing = getattr(stack, "_udp_layer", None)
+    if existing is not None:
+        return existing
+    layer = UdpLayer(stack)
+    stack._udp_layer = layer  # type: ignore[attr-defined]
+    return layer

@@ -1,0 +1,153 @@
+"""Striping across TCP connections — the paper's §2 transport channels.
+
+"Since most transport protocols like TCP provide a stream service, it is
+possible to think of a channel as a transport connection.  A fast CPU may
+achieve higher throughput by striping data across multiple 'intelligent'
+adaptors, each of which implements a TCP connection."
+
+Each striped channel is one :class:`~repro.transport.tcp.BulkSender` /
+``BulkReceiver`` pair running in *message mode*.  Because TCP channels are
+reliable **and** FIFO, logical reception alone yields *guaranteed* FIFO
+delivery — no markers, no quasi-FIFO caveat: the loss-recovery machinery
+exists precisely because raw links lose packets, and these channels do not.
+(Table 1's "Fair Queuing algorithm, no header" row upgrades from
+"Quasi-FIFO" to "Guaranteed FIFO" when the channels are transport
+connections.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.cfq import CausalFQ
+from repro.core.packet import Packet
+from repro.core.resequencer import Resequencer
+from repro.core.striper import Striper
+from repro.core.transform import TransformedLoadSharer
+from repro.transport.tcp import BulkReceiver, BulkSender, TcpLayer
+
+
+class TcpChannelPort:
+    """Adapts one message-mode TCP connection to the striper port API.
+
+    Backpressure comes from the connection's own send state: the port
+    refuses new messages while more than ``max_backlog_bytes`` are queued
+    but unsent (cwnd-limited), so the causal striper waits exactly when
+    the channel is congestion-limited.
+    """
+
+    def __init__(self, sender: BulkSender, max_backlog_bytes: int = 64 * 1024):
+        self.sender = sender
+        self.max_backlog_bytes = max_backlog_bytes
+        self.messages_sent = 0
+
+    def send(self, packet: Any, force: bool = False) -> bool:
+        self.sender.write_message(packet, int(packet.size))
+        self.messages_sent += 1
+        return True
+
+    def can_accept(self) -> bool:
+        if self.sender.state != "ESTABLISHED":
+            return False
+        return self.sender.queued_message_bytes < self.max_backlog_bytes
+
+    @property
+    def queue_length(self) -> int:
+        return self.sender.queued_messages
+
+
+class StripedTcpSender:
+    """Stripes application messages across N TCP connections.
+
+    Args:
+        tcp_layer: local TCP layer.
+        dst: peer address (as reachable per channel — multihomed hosts pass
+            per-channel addresses via ``dst_ips``).
+        base_port: connection *i* runs ``(src 41000+i) -> (dst base_port+i)``.
+        algorithm: any CFQ algorithm (markers are unnecessary here).
+    """
+
+    def __init__(
+        self,
+        tcp_layer: TcpLayer,
+        dst: str,
+        n_channels: int,
+        algorithm: CausalFQ,
+        base_port: int = 8800,
+        dst_ips: Optional[Sequence[str]] = None,
+        mss: int = 1460,
+        max_backlog_bytes: int = 64 * 1024,
+    ) -> None:
+        if algorithm.n_channels != n_channels:
+            raise ValueError("algorithm/channel count mismatch")
+        self.connections: List[BulkSender] = []
+        self.ports: List[TcpChannelPort] = []
+        for index in range(n_channels):
+            target = dst_ips[index] if dst_ips is not None else dst
+            sender = BulkSender(
+                tcp_layer, target, base_port + index, 41000 + index, mss=mss
+            )
+            sender.on_writable = self._pump
+            self.connections.append(sender)
+            self.ports.append(TcpChannelPort(sender, max_backlog_bytes))
+        self.striper = Striper(TransformedLoadSharer(algorithm), self.ports)
+        self.messages_submitted = 0
+
+    def start(self) -> None:
+        for connection in self.connections:
+            connection.start()
+
+    def send_message(self, size: int, payload: Any = None) -> Packet:
+        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
+        self.messages_submitted += 1
+        self.striper.submit(packet)
+        return packet
+
+    def submit_packet(self, packet: Packet) -> None:
+        self.messages_submitted += 1
+        self.striper.submit(packet)
+
+    @property
+    def backlog(self) -> int:
+        return self.striper.backlog
+
+    def _pump(self) -> None:
+        self.striper.pump()
+
+
+class StripedTcpReceiver:
+    """Reassembles the striped FIFO stream from N TCP connections.
+
+    Guaranteed FIFO: the channels are reliable, so plain logical reception
+    (Theorem 4.1) suffices with no recovery machinery at all.
+    """
+
+    def __init__(
+        self,
+        tcp_layer: TcpLayer,
+        n_channels: int,
+        algorithm: CausalFQ,
+        base_port: int = 8800,
+        on_message: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.on_message = on_message
+        self.delivered: List[Packet] = []
+        self.resequencer = Resequencer(algorithm, on_deliver=self._deliver)
+        self.connections: List[BulkReceiver] = []
+        for index in range(n_channels):
+            receiver = BulkReceiver(
+                tcp_layer, base_port + index,
+                on_message=self._make_channel_handler(index),
+            )
+            self.connections.append(receiver)
+
+    def _make_channel_handler(self, index: int):
+        def handle(message: Packet) -> None:
+            self.resequencer.push(index, message)
+
+        return handle
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered.append(packet)
+        if self.on_message is not None:
+            self.on_message(packet)

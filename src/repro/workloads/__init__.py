@@ -1,0 +1,45 @@
+"""Workload generation: packet-size mixes, paced sources, NV-style video."""
+
+from repro.workloads.generators import (
+    AlternatingSizes,
+    ClosedLoopSource,
+    ConstantSizes,
+    PacedSource,
+    RandomMixSizes,
+    UniformSizes,
+    alternating_packets,
+    backlogged_packets,
+    cbr_intervals,
+    poisson_intervals,
+    random_mix_packets,
+)
+from repro.workloads.video import (
+    PlaybackModel,
+    PlaybackReport,
+    VideoChunk,
+    VideoFrame,
+    VideoTrace,
+    perceptibly_different,
+    synthesize_nv_trace,
+)
+
+__all__ = [
+    "RandomMixSizes",
+    "AlternatingSizes",
+    "UniformSizes",
+    "ConstantSizes",
+    "backlogged_packets",
+    "random_mix_packets",
+    "alternating_packets",
+    "PacedSource",
+    "ClosedLoopSource",
+    "poisson_intervals",
+    "cbr_intervals",
+    "VideoTrace",
+    "VideoFrame",
+    "VideoChunk",
+    "synthesize_nv_trace",
+    "PlaybackModel",
+    "PlaybackReport",
+    "perceptibly_different",
+]

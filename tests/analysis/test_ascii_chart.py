@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import Series, render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        text = render_chart(
+            [0, 1, 2],
+            [Series("a", "A", [0, 5, 10])],
+            height=8, width=20,
+            y_label="Mbps", x_label="x",
+        )
+        lines = text.splitlines()
+        assert "A=a" in lines[0]
+        assert any("+" in line for line in lines)  # x axis
+        assert "Mbps" in lines[0]
+
+    def test_rising_series_slopes_up(self):
+        text = render_chart(
+            [0, 10],
+            [Series("up", "#", [0, 100])],
+            height=10, width=30,
+        )
+        lines = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        first_col = min(i for i, line in enumerate(lines) if "#" in line)
+        last_col = max(i for i, line in enumerate(lines) if "#" in line)
+        # the marker spans from bottom rows to top rows
+        assert first_col < last_col
+
+    def test_later_series_overdraws(self):
+        text = render_chart(
+            [0, 1],
+            [
+                Series("under", "U", [5, 5]),
+                Series("over", "O", [5, 5]),
+            ],
+            height=6, width=10,
+        )
+        body = "\n".join(text.splitlines()[1:])
+        assert "O" in body
+        assert "U" not in body
+
+    def test_flat_series_single_row(self):
+        text = render_chart(
+            [0, 1, 2],
+            [Series("flat", "F", [5, 5, 5])],
+            height=9, width=20, y_max=10.0,
+        )
+        rows_with_marker = [
+            line for line in text.splitlines() if "F" in line and "|" in line
+        ]
+        assert len(rows_with_marker) == 1
+
+    def test_nonuniform_x_positions(self):
+        # x = 0, 1, 10: the middle point lands near the left edge
+        text = render_chart(
+            [0, 1, 10],
+            [Series("s", "#", [0, 10, 10])],
+            height=6, width=44,
+        )
+        assert "#" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart([], [])
+        with pytest.raises(ValueError):
+            render_chart([0, 1], [Series("bad", "B", [1])])
+
+    def test_y_range_clamping(self):
+        # values above y_max clamp to the top row without crashing
+        text = render_chart(
+            [0, 1],
+            [Series("s", "#", [0, 100])],
+            height=5, width=10, y_max=10.0,
+        )
+        assert "#" in text

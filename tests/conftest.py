@@ -1,0 +1,34 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    return Simulator()
+
+
+def make_packets(sizes: Sequence[int], labels: Optional[str] = None) -> List[Packet]:
+    """Packets with given sizes; optional one-char labels."""
+    out = []
+    for i, size in enumerate(sizes):
+        label = labels[i] if labels is not None else None
+        out.append(Packet(size=size, seq=i, label=label))
+    return out
+
+
+def random_sizes(n: int, seed: int, lo: int = 40, hi: int = 1500) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def assert_fifo(seqs: Sequence[int]) -> None:
+    assert list(seqs) == sorted(seqs), f"sequence not FIFO: {list(seqs)[:50]}"

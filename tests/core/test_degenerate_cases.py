@@ -1,0 +1,107 @@
+"""Degenerate and boundary configurations across the core stack."""
+
+import pytest
+
+from repro.core.markers import SRRReceiver
+from repro.core.packet import Packet
+from repro.core.resequencer import Resequencer
+from repro.core.srr import SRR, make_rr
+from repro.core.striper import ListPort, MarkerPolicy, Striper
+from repro.core.transform import (
+    TransformedLoadSharer,
+    stripe_sequence,
+    verify_reverse_correspondence,
+)
+from tests.conftest import make_packets, random_sizes
+
+
+class TestSingleChannel:
+    def test_striping_is_passthrough(self):
+        packets = make_packets(random_sizes(50, seed=51))
+        channels = stripe_sequence(
+            TransformedLoadSharer(SRR([1000.0])), packets
+        )
+        assert [p.uid for p in channels[0]] == [p.uid for p in packets]
+
+    def test_resequencer_is_passthrough(self):
+        receiver = Resequencer(SRR([1000.0]))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        for packet in make_packets(random_sizes(30, seed=52)):
+            receiver.push(0, packet)
+        assert delivered == list(range(30))
+
+    def test_marker_receiver_single_channel(self):
+        receiver = SRRReceiver(SRR([1000.0]))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        for i in range(20):
+            receiver.push(0, Packet(500, seq=i))
+        assert delivered == list(range(20))
+
+    def test_reverse_correspondence_trivial(self):
+        packets = make_packets(random_sizes(40, seed=53))
+        assert verify_reverse_correspondence(SRR([777.0]), packets)
+
+    def test_rr_of_one(self):
+        rr = make_rr(1)
+        state = rr.initial_state()
+        for _ in range(5):
+            assert rr.select(state) == 0
+            state = rr.update(state, 100)
+        assert state.round_number == 6  # every packet is a full round
+
+
+class TestExtremePacketSizes:
+    def test_one_byte_packets(self):
+        packets = make_packets([1] * 100)
+        assert verify_reverse_correspondence(SRR([1500.0, 1500.0]), packets)
+
+    def test_giant_packets_tiny_quanta(self):
+        """Packets 100x the quantum: deep overdraw everywhere, still
+        correct and still reversible."""
+        packets = make_packets([10_000] * 30)
+        assert verify_reverse_correspondence(SRR([100.0, 100.0]), packets)
+
+    def test_giant_packet_roundtrip_with_markers(self):
+        algorithm = SRR([100.0, 100.0])
+        ports = [ListPort(), ListPort()]
+        striper = Striper(
+            TransformedLoadSharer(algorithm), ports,
+            MarkerPolicy(interval_rounds=1, initial_markers=False),
+        )
+        packets = make_packets([10_000, 50, 10_000, 50])
+        for packet in packets:
+            striper.submit(packet)
+        receiver = SRRReceiver(SRR([100.0, 100.0]))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        for index, port in enumerate(ports):
+            for packet in port.sent:
+                receiver.push(index, packet)
+        assert delivered == [0, 1, 2, 3]
+        assert receiver.stats.deep_overdraw_skips > 0
+
+
+class TestManyChannels:
+    def test_sixty_four_channels_fifo(self):
+        n = 64
+        algorithm = SRR([1500.0] * n)
+        packets = make_packets(random_sizes(640, seed=54))
+        channels = stripe_sequence(TransformedLoadSharer(algorithm), packets)
+        receiver = Resequencer(SRR([1500.0] * n))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        # reverse channel-major: worst skew across 64 channels
+        for index in reversed(range(n)):
+            for packet in channels[index]:
+                receiver.push(index, packet)
+        assert delivered == [p.seq for p in packets]
+
+    def test_empty_stream(self):
+        striper = Striper(
+            TransformedLoadSharer(SRR([100.0, 100.0])),
+            [ListPort(), ListPort()],
+        )
+        assert striper.pump() == 0
+        assert striper.backlog == 0

@@ -1,0 +1,206 @@
+"""Unit tests for the marker-synchronized receiver (section 5)."""
+
+import pytest
+
+from repro.core.markers import SRRReceiver
+from repro.core.packet import MarkerPacket, Packet, is_marker
+from repro.core.srr import SRR, make_rr
+from repro.core.striper import ListPort, MarkerPolicy, Striper
+from repro.core.transform import TransformedLoadSharer
+from repro.sim.trace import Tracer
+from tests.conftest import make_packets, random_sizes
+
+
+def stripe_with_markers(algorithm, packets, interval=1, position=0):
+    sharer = TransformedLoadSharer(algorithm)
+    ports = [ListPort() for _ in range(algorithm.n_channels)]
+    striper = Striper(
+        sharer, ports,
+        MarkerPolicy(interval_rounds=interval, position=position,
+                     initial_markers=False),
+    )
+    for packet in packets:
+        striper.submit(packet)
+    return [list(port.sent) for port in ports]
+
+
+def feed(receiver, streams, order="alternate"):
+    delivered = []
+    receiver.on_deliver = lambda p: delivered.append(p.seq)
+    longest = max(len(s) for s in streams)
+    for i in range(longest):
+        for channel, stream in enumerate(streams):
+            if i < len(stream):
+                receiver.push(channel, stream[i])
+    return delivered
+
+
+class TestNoLossEquivalence:
+    def test_matches_plain_resequencer_without_loss(self):
+        """With no loss, the marker receiver delivers exactly FIFO, marker
+        packets notwithstanding."""
+        algorithm = SRR([500, 700])
+        packets = make_packets(random_sizes(150, seed=11))
+        streams = stripe_with_markers(algorithm, packets, interval=2)
+        receiver = SRRReceiver(SRR([500, 700]))
+        delivered = feed(receiver, streams)
+        assert delivered == [p.seq for p in packets]
+        assert receiver.stats.channel_skips == 0
+
+    def test_mirror_state_tracks_sender(self):
+        algorithm = SRR([500, 500])
+        receiver = SRRReceiver(algorithm)
+        receiver.push(0, Packet(600, seq=0))
+        state = receiver.mirror_state()
+        assert state["ptr"] == 1
+        assert state["dc"][0] == pytest.approx(-100.0)
+
+
+class TestLossRecovery:
+    def test_paper_walkthrough(self):
+        """Figures 8-13: packet 7 lost, marker G=7 resynchronizes."""
+        size = 100
+        algorithm = SRR([float(size)] * 2)
+        packets = [Packet(size, seq=n) for n in range(1, 19)]
+        streams = stripe_with_markers(algorithm, packets, interval=6)
+        streams[0] = [
+            p for p in streams[0] if is_marker(p) or p.seq != 7
+        ]
+        receiver = SRRReceiver(SRR([float(size)] * 2))
+        delivered = feed(receiver, streams)
+        assert delivered == [1, 2, 3, 4, 5, 6, 9, 8, 11, 10, 12,
+                             13, 14, 15, 16, 17, 18]
+        assert receiver.stats.channel_skips == 1
+
+    def test_recovery_restores_fifo_tail(self):
+        """Theorem 5.1: after the marker batch following the last loss,
+        everything is FIFO."""
+        algorithm = SRR([500.0, 500.0])
+        packets = make_packets([500] * 400)
+        streams = stripe_with_markers(algorithm, packets, interval=1)
+        # Lose a mid-stream data packet on channel 0.
+        victim = [p for p in streams[0] if not is_marker(p)][50]
+        streams[0] = [p for p in streams[0] if p is not victim]
+        receiver = SRRReceiver(SRR([500.0, 500.0]))
+        delivered = feed(receiver, streams)
+        assert victim.seq not in delivered
+        # find last out-of-order index
+        max_seen = -1
+        last_violation = -1
+        for index, seq in enumerate(delivered):
+            if seq < max_seen:
+                last_violation = index
+            max_seen = max(max_seen, seq)
+        # the disruption is confined to a small window after the loss
+        assert last_violation < 120
+
+    def test_multiple_losses_still_recover(self):
+        algorithm = SRR([400.0, 400.0, 400.0])
+        packets = make_packets([400] * 600)
+        streams = stripe_with_markers(algorithm, packets, interval=1)
+        for channel in range(3):
+            data = [p for p in streams[channel] if not is_marker(p)]
+            victims = {data[20].uid, data[60].uid, data[100].uid}
+            streams[channel] = [
+                p for p in streams[channel]
+                if is_marker(p) or p.uid not in victims
+            ]
+        receiver = SRRReceiver(SRR([400.0, 400.0, 400.0]))
+        delivered = feed(receiver, streams)
+        # FIFO at the tail (post-recovery)
+        tail = delivered[-100:]
+        assert tail == sorted(tail)
+
+    def test_marker_lost_too_next_one_recovers(self):
+        algorithm = SRR([500.0, 500.0])
+        packets = make_packets([500] * 300)
+        streams = stripe_with_markers(algorithm, packets, interval=1)
+        data0 = [p for p in streams[0] if not is_marker(p)]
+        markers0 = [p for p in streams[0] if is_marker(p)]
+        # lose data packet 40 AND the next marker after it
+        victim = data0[40]
+        idx = streams[0].index(victim)
+        following_marker = next(
+            p for p in streams[0][idx:] if is_marker(p)
+        )
+        gone = {victim.uid, following_marker.uid}
+        streams[0] = [p for p in streams[0] if p.uid not in gone]
+        receiver = SRRReceiver(SRR([500.0, 500.0]))
+        delivered = feed(receiver, streams)
+        tail = delivered[-60:]
+        assert tail == sorted(tail)
+
+
+class TestSkipLogic:
+    def test_future_marker_causes_skip(self):
+        algorithm = SRR([100.0, 100.0])
+        receiver = SRRReceiver(algorithm)
+        # Receiver is in round 1; a marker says channel 0's next packet is
+        # round 3 -> skip channel 0 until G reaches 3.
+        receiver.push(0, MarkerPacket(channel=0, round_number=3, deficit=100.0))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        # Round 1 and 2 data on channel 1 deliver despite channel 0 block.
+        receiver.push(1, Packet(100, seq=10))
+        receiver.push(1, Packet(100, seq=11))
+        assert delivered == [10, 11]
+        assert receiver.stats.channel_skips >= 2
+        # Now channel 0's round-3 packet is serviced.
+        receiver.push(0, Packet(100, seq=12))
+        assert delivered == [10, 11, 12]
+
+    def test_stale_marker_is_harmless(self):
+        """A marker whose round equals the receiver's expectation changes
+        nothing (pure confirmation)."""
+        algorithm = SRR([100.0, 100.0])
+        receiver = SRRReceiver(algorithm)
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        receiver.push(0, MarkerPacket(channel=0, round_number=1, deficit=100.0))
+        receiver.push(0, Packet(100, seq=0))
+        receiver.push(1, Packet(100, seq=1))
+        assert delivered == [0, 1]
+        assert receiver.stats.channel_skips == 0
+
+    def test_all_channels_future_fast_forwards(self):
+        algorithm = SRR([100.0, 100.0])
+        receiver = SRRReceiver(algorithm)
+        receiver.push(0, MarkerPacket(channel=0, round_number=50, deficit=100.0))
+        receiver.push(1, MarkerPacket(channel=1, round_number=50, deficit=100.0))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        receiver.push(0, Packet(100, seq=0))
+        receiver.push(1, Packet(100, seq=1))
+        assert delivered == [0, 1]
+        assert receiver.round_number >= 50
+
+    def test_trace_events_emitted(self):
+        tracer = Tracer()
+        algorithm = SRR([100.0, 100.0])
+        receiver = SRRReceiver(algorithm, tracer=tracer)
+        receiver.push(0, MarkerPacket(channel=0, round_number=3, deficit=100.0))
+        receiver.push(1, Packet(100, seq=0))
+        assert tracer.count(kind="marker") == 1
+        assert tracer.count(kind="skip") >= 1
+        assert tracer.count(kind="deliver") == 1
+
+
+class TestValidation:
+    def test_requires_srr_family(self):
+        from repro.core.schemes import SeededRandomFQ
+
+        with pytest.raises(TypeError):
+            SRRReceiver(SeededRandomFQ(2))
+
+    def test_invalid_channel(self):
+        receiver = SRRReceiver(SRR([100.0, 100.0]))
+        with pytest.raises(ValueError):
+            receiver.push(3, Packet(100))
+
+    def test_rr_family_supported(self):
+        receiver = SRRReceiver(make_rr(2))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        receiver.push(0, Packet(999, seq=0))
+        receiver.push(1, Packet(40, seq=1))
+        assert delivered == [0, 1]

@@ -1,0 +1,98 @@
+"""Unit tests for packet types and the randomized CFQ schemes."""
+
+import pytest
+
+from repro.core.packet import Codepoint, MarkerPacket, Packet, is_marker
+from repro.core.schemes import SeededRandomFQ, WeightedRandomFQ
+from repro.core.transform import (
+    TransformedLoadSharer,
+    bytes_per_channel,
+    stripe_sequence,
+)
+from tests.conftest import make_packets
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        a, b = Packet(100), Packet(100)
+        assert a.uid != b.uid
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Packet(0)
+        with pytest.raises(ValueError):
+            Packet(-5)
+
+    def test_default_codepoint_is_data(self):
+        assert Packet(100).codepoint == Codepoint.DATA
+        assert not is_marker(Packet(100))
+
+    def test_marker_codepoint(self):
+        marker = MarkerPacket(channel=0, round_number=1, deficit=100.0)
+        assert marker.codepoint == Codepoint.MARKER
+        assert is_marker(marker)
+
+    def test_is_marker_on_foreign_object(self):
+        class Foreign:
+            pass
+
+        assert not is_marker(Foreign())
+
+    def test_repr_contains_label(self):
+        assert "a" in repr(Packet(100, label="a"))
+        assert "G=3" in repr(MarkerPacket(channel=1, round_number=3, deficit=9))
+
+
+class TestSeededRandomFQ:
+    def test_select_does_not_advance_state(self):
+        fq = SeededRandomFQ(4, seed=1)
+        state = fq.initial_state()
+        assert fq.select(state) == fq.select(state)
+
+    def test_update_advances(self):
+        fq = SeededRandomFQ(4, seed=1)
+        state = fq.initial_state()
+        choices = []
+        for _ in range(20):
+            choices.append(fq.select(state))
+            state = fq.update(state, 100)
+        assert len(set(choices)) > 1  # actually random
+
+    def test_shared_seed_gives_identical_sequences(self):
+        a = SeededRandomFQ(3, seed=5)
+        b = SeededRandomFQ(3, seed=5)
+        sa, sb = a.initial_state(), b.initial_state()
+        for _ in range(50):
+            assert a.select(sa) == b.select(sb)
+            sa = a.update(sa, 77)
+            sb = b.update(sb, 77)
+
+    def test_expected_fairness(self):
+        """Randomized fairness: expected bytes per channel roughly equal."""
+        fq = SeededRandomFQ(2, seed=3)
+        packets = make_packets([100] * 4000)
+        channels = stripe_sequence(TransformedLoadSharer(fq), packets)
+        totals = bytes_per_channel(channels)
+        assert abs(totals[0] - totals[1]) / sum(totals) < 0.05
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            SeededRandomFQ(0)
+
+
+class TestWeightedRandomFQ:
+    def test_weight_proportional_selection(self):
+        fq = WeightedRandomFQ([3, 1], seed=2)
+        state = fq.initial_state()
+        counts = [0, 0]
+        for _ in range(4000):
+            counts[fq.select(state)] += 1
+            state = fq.update(state, 100)
+        ratio = counts[0] / counts[1]
+        assert 2.4 < ratio < 3.6
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            WeightedRandomFQ([])
+        with pytest.raises(ValueError):
+            WeightedRandomFQ([1, 0])

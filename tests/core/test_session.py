@@ -1,0 +1,301 @@
+"""Unit tests for session control: reset, reconfiguration, local checking."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.core.session import (
+    LocalChecker,
+    ResetAckPacket,
+    ResetPacket,
+    ResetRequestPacket,
+    StripeConfig,
+    StripeReceiverSession,
+    StripeSenderSession,
+)
+from repro.core.striper import ListPort, MarkerPolicy
+from repro.sim.engine import Simulator
+
+
+class Loopback:
+    """Synchronous sender↔receiver pair over ListPorts.
+
+    ``flush()`` ferries everything from the sender's ports to the receiver
+    and control packets back — optionally dropping selected packets.
+    """
+
+    def __init__(self, sim, n_ports=2, quanta=(100.0, 100.0),
+                 marker_policy=None, checker=None):
+        self.sim = sim
+        self.ports = [ListPort() for _ in range(n_ports)]
+        self.config = StripeConfig(quanta=tuple(quanta))
+        self.sender = StripeSenderSession(
+            sim, self.ports, self.config, marker_policy=marker_policy
+        )
+        self.delivered = []
+        self.control_log = []
+
+        def send_control(packet):
+            self.control_log.append(packet)
+            self.sender.on_control(packet)
+
+        self.receiver = StripeReceiverSession(
+            sim, n_ports, self.config, send_control,
+            on_deliver=lambda p: self.delivered.append(p.seq),
+            checker=checker,
+        )
+        self._cursor = [0] * n_ports
+
+    def flush(self, drop=None, interleave=True):
+        """Deliver new port contents to the receiver.
+
+        ``interleave=True`` (default) alternates channels packet by packet
+        (realistic bounded skew); ``False`` delivers channel-major
+        (maximal skew — whole channels early).
+        """
+        drop = drop or set()
+
+        def push_one(index):
+            port = self.ports[index]
+            if self._cursor[index] >= len(port.sent):
+                return False
+            packet = port.sent[self._cursor[index]]
+            self._cursor[index] += 1
+            if packet.uid not in drop:
+                self.receiver.push(index, packet)
+            return True
+
+        if interleave:
+            progressing = True
+            while progressing:
+                progressing = False
+                for index in range(len(self.ports)):
+                    if push_one(index):
+                        progressing = True
+        else:
+            for index in range(len(self.ports)):
+                while push_one(index):
+                    pass
+
+
+class TestResetProtocol:
+    def test_plain_reset_round_trip(self, sim):
+        loop = Loopback(sim)
+        for i in range(4):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        assert loop.delivered == [0, 1, 2, 3]
+
+        epoch = loop.sender.initiate_reset()
+        assert epoch == 1
+        assert loop.sender.state == StripeSenderSession.RESETTING
+        loop.flush()  # RESETs reach the receiver; ACK comes back inline
+        assert loop.sender.state == StripeSenderSession.RUNNING
+        assert loop.receiver.epoch == 1
+        assert loop.sender.resets_completed == 1
+
+        for i in range(4, 8):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        assert loop.delivered == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_data_submitted_during_reset_is_replayed(self, sim):
+        loop = Loopback(sim)
+        loop.sender.initiate_reset()
+        for i in range(3):
+            loop.sender.submit(Packet(100, seq=i))  # queued
+        assert loop.sender.striper.packets_sent == 0
+        loop.flush()
+        loop.flush()
+        assert loop.delivered == [0, 1, 2]
+
+    def test_in_flight_old_data_before_resets_still_delivers(self, sim):
+        loop = Loopback(sim)
+        for i in range(4):
+            loop.sender.submit(Packet(100, seq=i))
+        # Reset issued before the old data reaches the receiver: each
+        # channel's FIFO holds data *ahead of* the RESET, so with bounded
+        # skew it all delivers first, then the epoch switches.
+        loop.sender.initiate_reset()
+        loop.flush()
+        assert loop.delivered == [0, 1, 2, 3]
+        assert loop.receiver.epoch == 1
+
+    def test_in_flight_old_data_racing_a_reset_is_discarded(self, sim):
+        loop = Loopback(sim)
+        for i in range(4):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.sender.initiate_reset()
+        # Maximal skew: channel 0's whole stream (incl. its RESET) lands
+        # before channel 1's old-epoch data — which is then discarded, the
+        # defined reset semantics for stragglers.
+        loop.flush(interleave=False)
+        assert loop.receiver.epoch == 1
+        assert len(loop.delivered) + loop.receiver.reset_discards >= 4
+        assert loop.receiver.reset_discards > 0
+
+    def test_lost_reset_retried(self, sim):
+        loop = Loopback(sim)
+        loop.sender.initiate_reset()
+        # Drop the RESET on channel 0 the first time round.
+        first_reset = loop.ports[0].sent[-1]
+        assert isinstance(first_reset, ResetPacket)
+        loop.flush(drop={first_reset.uid})
+        assert loop.sender.state == StripeSenderSession.RESETTING
+        sim.run(until=1.0)  # retry timer fires, RESETs re-sent
+        loop.flush()
+        assert loop.sender.state == StripeSenderSession.RUNNING
+
+    def test_duplicate_resets_are_idempotent(self, sim):
+        loop = Loopback(sim)
+        loop.sender.initiate_reset()
+        loop.flush()
+        acks_before = loop.receiver.acks_sent
+        # Replay the same epoch's RESET (retry arriving late).
+        loop.receiver.push(0, ResetPacket(epoch=1, config=loop.config))
+        assert loop.receiver.epoch == 1
+        assert loop.receiver.acks_sent == acks_before + 1  # re-acked
+        assert loop.sender.resets_completed == 1  # no double completion
+
+    def test_receiver_reset_request_triggers_reset(self, sim):
+        loop = Loopback(sim)
+        loop.receiver.request_reset("rebooted")
+        assert loop.sender.epoch == 1
+        loop.flush()
+        assert loop.sender.state == StripeSenderSession.RUNNING
+
+    def test_retry_gives_up_eventually(self, sim):
+        ports = [ListPort(), ListPort()]
+        sender = StripeSenderSession(
+            sim, ports, StripeConfig(quanta=(100.0, 100.0)),
+            retry_timeout=0.01, max_retries=3,
+        )
+        sender.initiate_reset()  # nobody ever acks
+        with pytest.raises(RuntimeError):
+            sim.run(until=10.0)
+
+
+class TestReconfiguration:
+    def test_quanta_change_applies_at_epoch(self, sim):
+        loop = Loopback(sim, quanta=(100.0, 100.0))
+        loop.sender.initiate_reset(
+            StripeConfig(quanta=(300.0, 100.0))
+        )
+        loop.flush()
+        assert loop.receiver.config.quanta == (300.0, 100.0)
+        # New epoch stripes 3:1 by bytes.
+        for i in range(8):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        assert loop.delivered == list(range(8))
+        data0 = [p for p in loop.ports[0].sent if isinstance(p, Packet)]
+        data1 = [p for p in loop.ports[1].sent if isinstance(p, Packet)]
+        assert len(data0) == 6 and len(data1) == 2
+
+    def test_channel_failure_reconfiguration(self, sim):
+        """Drop a dead channel: reset to the surviving subset."""
+        loop = Loopback(sim, n_ports=3, quanta=(100.0, 100.0, 100.0))
+        for i in range(6):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        # Channel 1 dies; reconfigure to channels (0, 2).
+        loop.sender.initiate_reset(
+            StripeConfig(quanta=(100.0, 100.0), active_channels=(0, 2))
+        )
+        loop.flush()
+        assert loop.sender.state == StripeSenderSession.RUNNING
+        before = len(loop.ports[1].sent)
+        for i in range(6, 12):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        assert loop.delivered == list(range(12))
+        # the dead channel carried no new data
+        new_data = [
+            p for p in loop.ports[1].sent[before:] if isinstance(p, Packet)
+        ]
+        assert new_data == []
+
+    def test_stragglers_on_inactive_channel_discarded(self, sim):
+        loop = Loopback(sim, n_ports=2)
+        loop.sender.initiate_reset(
+            StripeConfig(quanta=(100.0,), active_channels=(0,))
+        )
+        loop.flush()
+        # A stale data packet arrives on the now-inactive channel 1.
+        loop.receiver.push(1, Packet(100, seq=99))
+        assert 99 not in loop.delivered
+        assert loop.receiver.reset_discards >= 1
+
+    def test_invalid_configs_rejected(self, sim):
+        ports = [ListPort(), ListPort()]
+        with pytest.raises(ValueError):
+            StripeSenderSession(
+                sim, ports,
+                StripeConfig(quanta=(1.0, 1.0), active_channels=(0,)),
+            )
+        sender = StripeSenderSession(
+            sim, ports, StripeConfig(quanta=(1.0, 1.0))
+        )
+        with pytest.raises(ValueError):
+            sender.initiate_reset(
+                StripeConfig(quanta=(1.0,), active_channels=(7,))
+            )
+
+
+class TestLocalChecker:
+    def test_healthy_stream_never_trips(self, sim):
+        checker = LocalChecker(window_rounds=10)
+        loop = Loopback(
+            sim, marker_policy=MarkerPolicy(interval_rounds=1),
+            checker=checker,
+        )
+        for i in range(60):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        assert checker.violations == 0
+        assert loop.delivered == list(range(60))
+
+    def test_corrupted_round_detected_and_corrected(self, sim):
+        checker = LocalChecker(window_rounds=10)
+        loop = Loopback(
+            sim, marker_policy=MarkerPolicy(interval_rounds=1),
+            checker=checker,
+        )
+        for i in range(10):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        # Fault injection: the receiver's global round jumps by 1000.
+        loop.receiver.receiver.round_number += 1000
+        for i in range(10, 30):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()   # checker sees divergent markers -> reset request
+        assert checker.violations > 0
+        assert checker.resets_requested == 1
+        assert loop.sender.epoch == 1
+        loop.flush()   # complete the reset handshake
+        # Post-reset traffic flows in order again.
+        base = len(loop.delivered)
+        for i in range(30, 40):
+            loop.sender.submit(Packet(100, seq=i))
+        loop.flush()
+        tail = loop.delivered[base:]
+        assert tail == sorted(tail)
+        assert tail[-1] == 39
+
+    def test_one_request_per_epoch(self, sim):
+        checker = LocalChecker(window_rounds=5)
+        loop = Loopback(
+            sim, marker_policy=MarkerPolicy(interval_rounds=1),
+            checker=checker,
+        )
+        loop.receiver.receiver.round_number += 500
+        for i in range(40):
+            loop.sender.submit(Packet(100, seq=i))
+        # Push only markers/data without flushing control both ways? The
+        # loopback acks inline, so multiple violations still yield one
+        # request for the corrupt epoch.
+        loop.flush()
+        assert checker.resets_requested <= 2  # corrupt epoch + none after
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalChecker(window_rounds=0)

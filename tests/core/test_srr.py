@@ -1,0 +1,229 @@
+"""Unit tests for SRR and its RR/GRR/DRR relatives."""
+
+import pytest
+
+from repro.core.cfq import fq_service_order, fq_service_order_noncausal
+from repro.core.packet import Packet
+from repro.core.srr import (
+    DRR,
+    SRR,
+    SRRState,
+    grr_weights_for_bandwidths,
+    make_grr,
+    make_rr,
+)
+from tests.conftest import make_packets
+
+
+class TestSRRStateMachine:
+    def test_initial_state_gives_first_channel_its_quantum(self):
+        srr = SRR([500, 700])
+        state = srr.initial_state()
+        assert state.ptr == 0
+        assert state.round_number == 1
+        assert state.dc == (500.0, 0.0)
+
+    def test_positive_dc_keeps_channel(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        state = srr.update(state, 200)  # dc 500 -> 300, still positive
+        assert state.ptr == 0
+        assert state.dc[0] == 300.0
+
+    def test_exhausted_dc_advances_and_credits_next(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        state = srr.update(state, 550)  # dc -> -50: advance
+        assert state.ptr == 1
+        assert state.dc == (-50.0, 500.0)
+
+    def test_wrap_increments_round(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        state = srr.update(state, 500)  # ch0 -> 0, advance to ch1
+        assert state.round_number == 1
+        state = srr.update(state, 500)  # ch1 -> 0, wrap to ch0, round 2
+        assert state.ptr == 0
+        assert state.round_number == 2
+        assert state.dc == (500.0, 0.0)
+
+    def test_surplus_penalized_next_round(self):
+        """A channel that overdraws by X gets quantum - X next round."""
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        state = srr.update(state, 800)  # overdraw 300
+        state = srr.update(state, 500)  # finish ch1, wrap
+        assert state.ptr == 0
+        assert state.dc[0] == pytest.approx(200.0)  # -300 + 500
+
+    def test_deep_overdraw_skips_round(self):
+        """Overdraw beyond one quantum skips the channel for whole rounds
+        (only possible when quantum < max packet)."""
+        srr = SRR([100, 100])
+        state = srr.initial_state()
+        state = srr.update(state, 350)  # ch0 dc = -250
+        # ch1 now serves; after it exhausts, ch0 needs 3 quanta to go
+        # positive: skipped in rounds 2 and 3, serves in round 4.
+        state = srr.update(state, 100)  # ch1 -> 0; wrap: ch0 -150, skip
+        assert state.ptr == 1  # ch0 skipped (dc -150)
+        assert state.round_number == 2
+        state = srr.update(state, 100)  # ch1 again; wrap: ch0 -50, skip
+        assert state.ptr == 1
+        assert state.round_number == 3
+        state = srr.update(state, 100)  # ch1 again; wrap: ch0 50 > 0
+        assert state.ptr == 0
+        assert state.round_number == 4
+        assert state.dc[0] == pytest.approx(50.0)
+
+    def test_select_is_pure(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        assert srr.select(state) == srr.select(state) == 0
+
+    def test_update_returns_new_state(self):
+        srr = SRR([500, 500])
+        s0 = srr.initial_state()
+        s1 = srr.update(s0, 100)
+        assert s0.dc == (500.0, 0.0)  # unchanged
+        assert s1 is not s0
+
+    def test_invalid_quanta(self):
+        with pytest.raises(ValueError):
+            SRR([])
+        with pytest.raises(ValueError):
+            SRR([500, 0])
+        with pytest.raises(ValueError):
+            SRR([500, -1])
+
+
+class TestImplicitNumbering:
+    def test_current_channel_number(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        assert srr.next_number_for_channel(state, 0) == (1, 500.0)
+
+    def test_later_channel_same_round(self):
+        srr = SRR([500, 500])
+        state = srr.initial_state()
+        # Channel 1 has dc 0; it will be visited later in round 1 with
+        # dc 0 + 500.
+        assert srr.next_number_for_channel(state, 1) == (1, 500.0)
+
+    def test_earlier_channel_next_round(self):
+        srr = SRR([500, 500])
+        state = srr.update(srr.initial_state(), 600)  # ptr -> 1, ch0 dc -100
+        r, d = srr.next_number_for_channel(state, 0)
+        assert (r, d) == (2, 400.0)
+
+    def test_deep_overdraw_rolls_rounds_forward(self):
+        srr = SRR([100, 100])
+        state = srr.update(srr.initial_state(), 350)  # ch0 dc -250, ptr 1
+        r, d = srr.next_number_for_channel(state, 0)
+        # -250 +100 +100 +100 = 50 in round 4
+        assert (r, d) == (4, pytest.approx(50.0))
+
+    def test_implicit_number_matches_actual_send(self):
+        """The predicted (r, d) for a channel equals the state observed
+        when that channel's next packet is actually sent."""
+        srr = SRR([300, 500, 400])
+        state = srr.initial_state()
+        sizes = [120, 333, 80, 211, 499, 55, 430, 120, 100, 64, 1400, 90]
+        for size in sizes:
+            predictions = {
+                c: srr.next_number_for_channel(state, c)
+                for c in range(3)
+            }
+            channel = srr.select(state)
+            assert predictions[channel] == (
+                state.round_number,
+                state.dc[channel],
+            )
+            state = srr.update(state, size)
+
+    def test_out_of_range_channel(self):
+        srr = SRR([500, 500])
+        with pytest.raises(ValueError):
+            srr.next_number_for_channel(srr.initial_state(), 2)
+
+
+class TestRRAndGRR:
+    def test_rr_alternates_regardless_of_size(self):
+        rr = make_rr(3)
+        state = rr.initial_state()
+        channels = []
+        for size in [1500, 40, 999, 40, 1500, 40]:
+            channels.append(rr.select(state))
+            state = rr.update(state, size)
+        assert channels == [0, 1, 2, 0, 1, 2]
+
+    def test_grr_respects_weights(self):
+        grr = make_grr([2, 1])
+        state = grr.initial_state()
+        channels = []
+        for _ in range(6):
+            channels.append(grr.select(state))
+            state = grr.update(state, 1000)
+        assert channels == [0, 0, 1, 0, 0, 1]
+
+    def test_grr_rejects_non_integer_weights(self):
+        with pytest.raises(ValueError):
+            make_grr([1.5, 1])
+        with pytest.raises(ValueError):
+            make_grr([0, 1])
+
+    def test_weights_for_equal_bandwidths(self):
+        assert grr_weights_for_bandwidths([10e6, 10e6]) == [1, 1]
+
+    def test_weights_for_double(self):
+        assert grr_weights_for_bandwidths([10e6, 5e6]) == [2, 1]
+
+    def test_weights_for_fractional_ratio(self):
+        weights = grr_weights_for_bandwidths([10e6, 13.8e6])
+        ratio = weights[1] / weights[0]
+        assert abs(ratio - 1.38) < 0.1
+
+    def test_weights_invalid(self):
+        with pytest.raises(ValueError):
+            grr_weights_for_bandwidths([])
+        with pytest.raises(ValueError):
+            grr_weights_for_bandwidths([1.0, -2.0])
+
+
+class TestDRR:
+    def test_drr_is_fair_on_backlogged_queues(self):
+        drr = DRR([500, 500])
+        q1 = make_packets([400] * 10)
+        q2 = make_packets([250] * 16)
+        order = fq_service_order_noncausal(drr, [q1, q2])
+        # take a prefix where both queues are still backlogged
+        prefix = order[:16]
+        bytes_q1 = sum(p.size for p in prefix if p.size == 400)
+        bytes_q2 = sum(p.size for p in prefix if p.size == 250)
+        assert abs(bytes_q1 - bytes_q2) <= 500 + 400
+
+    def test_drr_never_overdraws(self):
+        """Classic DRR only sends when the deficit covers the head — the
+        property that makes it non-causal."""
+        drr = DRR([500, 500])
+        q1 = make_packets([450, 450, 450])
+        q2 = make_packets([100, 100, 100])
+        order = fq_service_order_noncausal(drr, [q1, q2])
+        assert len(order) == 6
+
+    def test_drr_invalid_quanta(self):
+        with pytest.raises(ValueError):
+            DRR([])
+
+
+class TestSRRvsDRRCausality:
+    def test_srr_decision_ignores_head_size(self):
+        """SRR picks the channel before seeing the packet: same selection
+        sequence for different size streams (only DC evolution differs)."""
+        srr = SRR([500, 500])
+        s1 = srr.initial_state()
+        s2 = srr.initial_state()
+        assert srr.select(s1) == srr.select(s2)
+        # after identical updates states stay identical
+        s1 = srr.update(s1, 300)
+        s2 = srr.update(s2, 300)
+        assert s1 == s2

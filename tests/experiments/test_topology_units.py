@@ -1,0 +1,115 @@
+"""Unit tests for testbed helpers and the Figure 15 shape checker."""
+
+import pytest
+
+from repro.core.srr import SRR
+from repro.experiments.figure15 import (
+    Figure15Result,
+    Figure15Row,
+    check_figure15_shape,
+)
+from repro.experiments.topology import (
+    SCHEME_GRR,
+    SCHEME_RR,
+    SCHEME_SRR,
+    make_scheme,
+    marker_interval_for,
+)
+
+
+class TestMakeScheme:
+    def test_srr_quanta_proportional(self):
+        scheme = make_scheme(SCHEME_SRR, 10e6, 20e6)
+        assert scheme.quanta[1] / scheme.quanta[0] == pytest.approx(2.0)
+        assert min(scheme.quanta) == 1500.0  # >= Max (Theorem 5.1)
+        assert not scheme.count_packets
+
+    def test_grr_from_bandwidths(self):
+        scheme = make_scheme(SCHEME_GRR, 10e6, 20e6)
+        assert scheme.count_packets
+        assert tuple(scheme.quanta) == (1.0, 2.0)
+
+    def test_grr_explicit_weights(self):
+        scheme = make_scheme(SCHEME_GRR, 10e6, 20e6, grr_weights=(1, 1))
+        assert tuple(scheme.quanta) == (1.0, 1.0)
+
+    def test_rr(self):
+        scheme = make_scheme(SCHEME_RR, 10e6, 20e6)
+        assert tuple(scheme.quanta) == (1.0, 1.0)
+        assert scheme.count_packets
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheme("bogus", 1.0, 1.0)
+
+
+class TestMarkerInterval:
+    def test_byte_counting(self):
+        # quanta total 3570 bytes/round, ~900 B packets -> ~4 pkts/round
+        srr = SRR([1500.0, 2070.0])
+        interval = marker_interval_for(srr, target_packets=50)
+        assert interval == pytest.approx(50 / (3570 / 900), abs=1)
+
+    def test_packet_counting(self):
+        grr = SRR([5.0, 7.0], count_packets=True)  # 12 packets per round
+        assert marker_interval_for(grr, target_packets=48) == 4
+
+    def test_never_below_one(self):
+        srr = SRR([1e6, 1e6])
+        assert marker_interval_for(srr, target_packets=1) == 1
+
+
+def rows_from(table):
+    rows = []
+    for atm, upper, variants in table:
+        row = Figure15Row(atm_mbps=atm, upper_bound=upper,
+                          eth_alone=0.0, atm_alone=0.0)
+        row.variants = dict(zip(
+            ("srr_lr", "srr_nolr", "grr_lr", "grr_nolr", "rr_lr", "rr_nolr"),
+            variants,
+        ))
+        rows.append(row)
+    return Figure15Result(rows)
+
+
+class TestShapeChecker:
+    GOOD = [
+        (3.8, 12.0, (11.4, 6.5, 11.6, 6.9, 6.2, 4.8)),
+        (13.8, 19.9, (19.8, 9.9, 19.7, 9.2, 18.5, 10.7)),
+        (23.8, 27.3, (19.4, 10.4, 19.6, 9.8, 18.5, 11.1)),
+    ]
+
+    def test_paper_shape_passes(self):
+        assert check_figure15_shape(rows_from(self.GOOD)) == []
+
+    def test_detects_nolr_beating_lr(self):
+        bad = [
+            (3.8, 12.0, (11.4, 12.5, 11.6, 6.9, 6.2, 4.8)),
+            (13.8, 19.9, (19.8, 21.0, 19.7, 9.2, 18.5, 10.7)),
+            (23.8, 27.3, (19.4, 22.0, 19.6, 9.8, 18.5, 11.1)),
+        ]
+        problems = check_figure15_shape(rows_from(bad))
+        assert any("no-LR" in p or "srr_nolr" in p for p in problems)
+
+    def test_detects_rr_scaling(self):
+        bad = [
+            (3.8, 12.0, (11.4, 6.5, 11.6, 6.9, 6.2, 4.8)),
+            (13.8, 19.9, (19.8, 9.9, 19.7, 9.2, 12.0, 10.7)),
+            (23.8, 27.3, (19.4, 10.4, 19.6, 9.8, 19.0, 11.1)),
+        ]
+        problems = check_figure15_shape(rows_from(bad))
+        assert any("RR kept scaling" in p for p in problems)
+
+    def test_detects_stripe_far_below_upper(self):
+        bad = [
+            (3.8, 12.0, (5.0, 3.5, 5.1, 3.9, 4.2, 2.8)),
+            (13.8, 19.9, (8.8, 5.9, 8.7, 5.2, 8.5, 5.7)),
+            (23.8, 27.3, (9.4, 6.4, 9.6, 5.8, 8.5, 6.1)),
+        ]
+        problems = check_figure15_shape(rows_from(bad))
+        assert any("below upper bound" in p for p in problems)
+
+    def test_render_contains_chart(self):
+        text = rows_from(self.GOOD).render()
+        assert "ATM PVC capacity" in text
+        assert "upper bound" in text

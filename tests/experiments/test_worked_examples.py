@@ -1,0 +1,55 @@
+"""Tests that the worked-example reproductions match the paper exactly."""
+
+from repro.experiments.worked_examples import (
+    PAPER_FIG8_13_DELIVERY,
+    PAPER_FQ_ORDER,
+    run_fig2_3,
+    run_fig5_6,
+    run_fig8_13,
+)
+
+
+class TestFig2_3:
+    def test_duality_holds(self):
+        result = run_fig2_3()
+        assert result.duality_holds
+
+    def test_fq_order_matches_paper(self):
+        result = run_fig2_3()
+        assert result.fq_order == PAPER_FQ_ORDER
+
+    def test_channels_recreate_queues(self):
+        result = run_fig2_3()
+        assert result.ls_channel_contents == [["a", "b", "c"], ["d", "e", "f"]]
+
+    def test_render(self):
+        assert "duality" in run_fig2_3().render()
+
+
+class TestFig5_6:
+    def test_dc_trace_matches_paper(self):
+        result = run_fig5_6()
+        assert result.matches_paper
+        # Spot-check the figure's DC values.
+        trace = {label: dc for label, _, dc in result.dc_trace}
+        assert trace["a"] == -50.0
+        assert trace["e"] == -100.0
+        assert trace["c"] == 0.0
+
+    def test_render(self):
+        assert "matches paper: True" in run_fig5_6().render()
+
+
+class TestFig8_13:
+    def test_delivery_sequence_matches_paper(self):
+        result = run_fig8_13()
+        assert result.matches_paper
+        assert result.delivered == PAPER_FIG8_13_DELIVERY
+
+    def test_exactly_one_skip(self):
+        assert run_fig8_13().skips == 1
+
+    def test_marker_on_both_channels(self):
+        result = run_fig8_13()
+        assert "M" in result.channel_streams[0]
+        assert "M" in result.channel_streams[1]

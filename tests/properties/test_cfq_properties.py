@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core theorems.
+
+These drive the actual implementations over randomly generated algorithm
+configurations, packet-size sequences, and arrival interleavings, checking
+the paper's formal claims as executable invariants:
+
+* Theorem 3.1 — the reverse-correspondence construction holds for every
+  CFQ algorithm and input.
+* Theorem 3.2 / Lemma 3.3 — the SRR byte-fairness bound.
+* Theorem 4.1 — logical reception restores FIFO under any loss-free
+  arrival interleaving.
+* Arrival-order invariance — the logical delivery order depends only on
+  the per-channel streams, never on cross-channel arrival timing.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.markers import SRRReceiver
+from repro.core.packet import Packet
+from repro.core.resequencer import Resequencer
+from repro.core.schemes import SeededRandomFQ
+from repro.core.srr import SRR, make_grr, make_rr
+from repro.core.transform import (
+    TransformedLoadSharer,
+    bytes_per_channel,
+    stripe_sequence,
+    verify_reverse_correspondence,
+)
+
+sizes_strategy = st.lists(
+    st.integers(min_value=1, max_value=2000), min_size=1, max_size=200
+)
+quanta_strategy = st.lists(
+    st.integers(min_value=1, max_value=3000), min_size=2, max_size=5
+)
+
+
+def packets_from(sizes):
+    return [Packet(size=s, seq=i) for i, s in enumerate(sizes)]
+
+
+class TestTheorem31:
+    @given(sizes=sizes_strategy, quanta=quanta_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_srr_reverse_correspondence(self, sizes, quanta):
+        assert verify_reverse_correspondence(SRR(quanta), packets_from(sizes))
+
+    @given(sizes=sizes_strategy, n=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_rr_reverse_correspondence(self, sizes, n):
+        assert verify_reverse_correspondence(make_rr(n), packets_from(sizes))
+
+    @given(
+        sizes=sizes_strategy,
+        weights=st.lists(st.integers(min_value=1, max_value=5),
+                         min_size=2, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grr_reverse_correspondence(self, sizes, weights):
+        assert verify_reverse_correspondence(
+            make_grr(weights), packets_from(sizes)
+        )
+
+    @given(
+        sizes=sizes_strategy,
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_randomized_cfq_reverse_correspondence(self, sizes, seed, n):
+        assert verify_reverse_correspondence(
+            SeededRandomFQ(n, seed=seed), packets_from(sizes)
+        )
+
+
+class TestTheorem32Fairness:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=1500),
+                       min_size=20, max_size=400),
+        quanta=st.lists(st.integers(min_value=1500, max_value=4000),
+                        min_size=2, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_byte_deviation_bounded(self, sizes, quanta):
+        """After K rounds, |sent_i - K*quantum_i| <= Max + 2*Quantum."""
+        from repro.core.fairness import srr_fairness_report
+
+        report = srr_fairness_report(SRR(quanta), packets_from(sizes))
+        assert report.within_bound
+
+
+class TestTheorem41LogicalReception:
+    @given(
+        sizes=sizes_strategy,
+        quanta=quanta_strategy,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_under_random_interleaving(self, sizes, quanta, seed):
+        packets = packets_from(sizes)
+        algorithm = SRR(quanta)
+        channels = stripe_sequence(TransformedLoadSharer(algorithm), packets)
+        receiver = Resequencer(SRR(quanta))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+
+        rng = random.Random(seed)
+        positions = [0] * len(channels)
+        remaining = sum(len(c) for c in channels)
+        while remaining:
+            candidates = [
+                i for i in range(len(channels))
+                if positions[i] < len(channels[i])
+            ]
+            channel = rng.choice(candidates)
+            receiver.push(channel, channels[channel][positions[channel]])
+            positions[channel] += 1
+            remaining -= 1
+        assert delivered == [p.seq for p in packets]
+
+    @given(sizes=sizes_strategy, quanta=quanta_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_nothing_left_buffered(self, sizes, quanta):
+        packets = packets_from(sizes)
+        algorithm = SRR(quanta)
+        channels = stripe_sequence(TransformedLoadSharer(algorithm), packets)
+        receiver = Resequencer(SRR(quanta))
+        for index, stream in enumerate(channels):
+            for packet in stream:
+                receiver.push(index, packet)
+        assert receiver.buffered == 0
+        assert receiver.delivered == len(packets)
+
+
+class TestArrivalOrderInvariance:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=1000),
+                       min_size=5, max_size=120),
+        quanta=st.lists(st.integers(min_value=500, max_value=1500),
+                        min_size=2, max_size=3),
+        seeds=st.tuples(st.integers(0, 999), st.integers(0, 999)),
+        drop_index=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_marker_receiver_delivery_independent_of_interleaving(
+        self, sizes, quanta, seeds, drop_index
+    ):
+        """Even WITH a loss, the SRRReceiver's delivered sequence is a
+        function of the per-channel streams only — physical arrival
+        interleavings cannot change it."""
+        from repro.core.packet import is_marker
+        from repro.core.striper import ListPort, MarkerPolicy, Striper
+
+        algorithm = SRR(quanta)
+        ports = [ListPort() for _ in quanta]
+        striper = Striper(
+            TransformedLoadSharer(algorithm), ports,
+            MarkerPolicy(interval_rounds=1, initial_markers=False),
+        )
+        for packet in packets_from(sizes):
+            striper.submit(packet)
+        streams = [list(p.sent) for p in ports]
+        # drop one data packet from channel 0 (if it has that many)
+        data0 = [p for p in streams[0] if not is_marker(p)]
+        if data0 and drop_index < len(data0):
+            victim = data0[drop_index]
+            streams[0] = [p for p in streams[0] if p is not victim]
+
+        def run(seed):
+            receiver = SRRReceiver(SRR(quanta))
+            delivered = []
+            receiver.on_deliver = lambda p: delivered.append(p.seq)
+            rng = random.Random(seed)
+            positions = [0] * len(streams)
+            remaining = sum(len(s) for s in streams)
+            while remaining:
+                candidates = [
+                    i for i in range(len(streams))
+                    if positions[i] < len(streams[i])
+                ]
+                channel = rng.choice(candidates)
+                receiver.push(channel, streams[channel][positions[channel]])
+                positions[channel] += 1
+                remaining -= 1
+            return delivered
+
+        assert run(seeds[0]) == run(seeds[1])

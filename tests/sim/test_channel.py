@@ -1,0 +1,226 @@
+"""Unit tests for the FIFO channel model."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.sim.channel import Channel
+from repro.sim.loss import BernoulliLoss, DeterministicLoss, CorruptionModel
+import random
+
+
+def collect(channel):
+    out = []
+    channel.on_deliver = out.append
+    return out
+
+
+class TestTiming:
+    def test_transmission_time_from_bandwidth(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.0)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append(sim.now)
+        channel.send(Packet(1000))  # 8000 bits at 8000 bps = 1 s
+        sim.run()
+        assert arrivals == [pytest.approx(1.0)]
+
+    def test_propagation_delay_added(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.5)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append(sim.now)
+        channel.send(Packet(1000))
+        sim.run()
+        assert arrivals == [pytest.approx(1.5)]
+
+    def test_back_to_back_packets_serialize(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.0)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append((p.seq, sim.now))
+        channel.send(Packet(1000, seq=0))
+        channel.send(Packet(1000, seq=1))
+        sim.run()
+        assert arrivals == [(0, pytest.approx(1.0)), (1, pytest.approx(2.0))]
+
+    def test_bandwidth_change_applies_to_next_packet(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.0)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append(sim.now)
+        channel.send(Packet(1000))
+        sim.run()
+        channel.bandwidth_bps = 16000.0
+        channel.send(Packet(1000))
+        sim.run()
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.5)
+
+
+class TestFifo:
+    def test_delivery_order_matches_send_order(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.001)
+        out = collect(channel)
+        packets = [Packet(100 + i, seq=i) for i in range(50)]
+        for p in packets:
+            channel.send(p)
+        sim.run()
+        assert [p.seq for p in out] == list(range(50))
+
+    def test_skew_preserves_fifo(self, sim):
+        rng = random.Random(1)
+        channel = Channel(
+            sim, bandwidth_bps=1e6, prop_delay=0.001,
+            skew=lambda: rng.uniform(0, 0.01),
+        )
+        times = []
+        channel.on_deliver = lambda p: times.append((p.seq, sim.now))
+        for i in range(100):
+            channel.send(Packet(500, seq=i))
+        sim.run()
+        seqs = [s for s, _ in times]
+        stamps = [t for _, t in times]
+        assert seqs == list(range(100))
+        assert stamps == sorted(stamps)
+
+    def test_negative_skew_clamped(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e6, prop_delay=0.001, skew=lambda: -5.0
+        )
+        out = collect(channel)
+        channel.send(Packet(500, seq=0))
+        sim.run()
+        assert len(out) == 1
+        assert sim.now >= 0.001
+
+
+class TestQueueing:
+    def test_queue_limit_drops_excess(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0, queue_limit=2)
+        drops = []
+        channel.on_drop = lambda p, reason: drops.append(reason)
+        # First send starts transmitting immediately (not queued), then two
+        # queue, then overflow.
+        assert channel.send(Packet(1000, seq=0)) is True
+        assert channel.send(Packet(1000, seq=1)) is True
+        assert channel.send(Packet(1000, seq=2)) is True
+        assert channel.send(Packet(1000, seq=3)) is False
+        assert drops == ["queue_full"]
+        assert channel.stats.queue_drops == 1
+
+    def test_force_bypasses_queue_limit(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0, queue_limit=1)
+        channel.send(Packet(1000))
+        channel.send(Packet(1000))
+        assert channel.can_accept() is False
+        assert channel.send(Packet(100), force=True) is True
+        out = collect(channel)
+        sim.run()
+        assert len(out) == 3
+
+    def test_on_space_fires_as_queue_drains(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0, queue_limit=1)
+        spaces = []
+        channel.on_space = lambda: spaces.append(sim.now)
+        channel.send(Packet(1000))
+        channel.send(Packet(1000))
+        sim.run()
+        assert len(spaces) >= 1
+
+    def test_queued_bytes(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0)
+        channel.send(Packet(1000))  # transmitting
+        channel.send(Packet(200))
+        channel.send(Packet(300))
+        assert channel.queue_length == 2
+        assert channel.queued_bytes == 500
+
+
+class TestLossAndCorruption:
+    def test_deterministic_loss_drops_exact_index(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e6, prop_delay=0.0,
+            loss_model=DeterministicLoss([1, 3]),
+        )
+        out = collect(channel)
+        for i in range(5):
+            channel.send(Packet(100, seq=i))
+        sim.run()
+        assert [p.seq for p in out] == [0, 2, 4]
+        assert channel.stats.lost_packets == 2
+
+    def test_bernoulli_loss_rate_approximate(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e9, prop_delay=0.0,
+            loss_model=BernoulliLoss(0.3, rng=random.Random(42)),
+        )
+        out = collect(channel)
+        n = 2000
+        for i in range(n):
+            channel.send(Packet(100, seq=i))
+        sim.run()
+        rate = 1 - len(out) / n
+        assert 0.25 < rate < 0.35
+
+    def test_corruption_drops_and_counts(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e9, prop_delay=0.0,
+            corruption=CorruptionModel(1e-3, rng=random.Random(7)),
+        )
+        out = collect(channel)
+        for i in range(200):
+            channel.send(Packet(1000, seq=i))
+        sim.run()
+        assert channel.stats.corrupted_packets > 0
+        assert len(out) + channel.stats.corrupted_packets == 200
+
+    def test_losses_occupy_bandwidth(self, sim):
+        """A lost packet still consumed transmission time (it was sent)."""
+        channel = Channel(
+            sim, bandwidth_bps=8000.0, prop_delay=0.0,
+            loss_model=DeterministicLoss([0]),
+        )
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append(sim.now)
+        channel.send(Packet(1000, seq=0))  # lost, but takes 1 s on the wire
+        channel.send(Packet(1000, seq=1))
+        sim.run()
+        assert arrivals == [pytest.approx(2.0)]
+
+
+class TestStatsAndValidation:
+    def test_stats_accumulate(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0)
+        out = collect(channel)
+        for i in range(10):
+            channel.send(Packet(100, seq=i))
+        sim.run()
+        assert channel.stats.offered_packets == 10
+        assert channel.stats.delivered_packets == 10
+        assert channel.stats.delivered_bytes == 1000
+        assert channel.stats.busy_time == pytest.approx(10 * 100 * 8 / 1e6)
+
+    def test_utilization(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.0)
+        channel.send(Packet(1000))
+        sim.run()
+        assert channel.stats.utilization(2.0) == pytest.approx(0.5)
+
+    def test_invalid_bandwidth_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Channel(sim, bandwidth_bps=0, prop_delay=0.0)
+
+    def test_invalid_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Channel(sim, bandwidth_bps=1e6, prop_delay=-0.1)
+
+    def test_packet_without_size_rejected(self, sim):
+        channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0)
+        with pytest.raises(TypeError):
+            channel.send(object())
+
+    def test_custom_size_of(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=8000.0, prop_delay=0.0,
+            size_of=lambda p: p.size + 100,  # framing overhead
+        )
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append(sim.now)
+        channel.send(Packet(900))
+        sim.run()
+        assert arrivals == [pytest.approx(1.0)]

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(1.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    def test_zero_delay_event_runs_after_current(self, sim):
+        order = []
+
+        def first():
+            sim.schedule(0.0, lambda: order.append("second"))
+            order.append("first")
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(5.0, seen.append, 5)
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0  # clock advanced to the horizon
+        assert sim.pending == 1
+
+    def test_run_resumes_after_until(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(5.0, seen.append, 5)
+        sim.run(until=2.0)
+        sim.run()
+        assert seen == [1, 5]
+
+    def test_max_events_limits_processing(self, sim):
+        seen = []
+        for i in range(10):
+            sim.schedule(float(i + 1), seen.append, i)
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert seen == [0, 1, 2]
+
+    def test_run_returns_count(self, sim):
+        for i in range(4):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 4
+        assert sim.events_processed == 4
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step_processes_single_event(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, sim):
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_one_of_many(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        target = sim.schedule(2.0, seen.append, "b")
+        sim.schedule(3.0, seen.append, "c")
+        target.cancel()
+        sim.run()
+        assert seen == ["a", "c"]
+
+    def test_peek_time_skips_cancelled(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self, sim):
+        assert sim.peek_time() is None
+
+    def test_cancel_during_run(self, sim):
+        seen = []
+        later = sim.schedule(2.0, seen.append, "late")
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert seen == []
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def tick(n):
+                trace.append((sim.now, n))
+                if n < 20:
+                    sim.schedule(0.1 * (n % 3 + 1), tick, n + 1)
+
+            sim.schedule(0.0, tick, 0)
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,114 @@
+"""Unit tests for the host CPU / interrupt model."""
+
+import pytest
+
+from repro.core.packet import Packet
+from repro.sim.host import HostCPU
+
+
+def make_cpu(sim, **kwargs):
+    processed = []
+    cpu = HostCPU(
+        sim,
+        on_packet=lambda p, nic: processed.append((nic, p.seq)),
+        **kwargs,
+    )
+    return cpu, processed
+
+
+class TestBasicProcessing:
+    def test_packet_flows_through(self, sim):
+        cpu, processed = make_cpu(sim, per_packet_cost=0.001)
+        nic = cpu.new_nic("eth0")
+        nic.enqueue(Packet(100, seq=0))
+        sim.run()
+        assert processed == [("eth0", 0)]
+        assert cpu.total_interrupts == 1
+
+    def test_processing_takes_time(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.001, per_interrupt_cost=0.002
+        )
+        nic = cpu.new_nic("eth0")
+        done = []
+        cpu.on_packet = lambda p, n: done.append(sim.now)
+        nic.enqueue(Packet(100, seq=0))
+        sim.run()
+        assert done == [pytest.approx(0.003)]
+
+    def test_order_preserved_within_nic(self, sim):
+        cpu, processed = make_cpu(sim, per_packet_cost=0.001)
+        nic = cpu.new_nic("eth0")
+        for i in range(10):
+            nic.enqueue(Packet(100, seq=i))
+        sim.run()
+        assert [seq for _, seq in processed] == list(range(10))
+
+
+class TestCoalescing:
+    def test_burst_coalesces_into_one_interrupt(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.001, per_interrupt_cost=0.01
+        )
+        nic = cpu.new_nic("eth0")
+        # 1 packet triggers the interrupt; 5 more arrive before service
+        # completes and are drained in the next batch.
+        nic.enqueue(Packet(100, seq=0))
+        for i in range(1, 6):
+            sim.schedule(0.001 * i, nic.enqueue, Packet(100, seq=i))
+        sim.run()
+        assert len(processed) == 6
+        assert cpu.total_interrupts <= 3  # far fewer than 6
+
+    def test_two_nics_interrupt_separately(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.001, per_interrupt_cost=0.01
+        )
+        a = cpu.new_nic("a")
+        b = cpu.new_nic("b")
+        a.enqueue(Packet(100, seq=0))
+        b.enqueue(Packet(100, seq=1))
+        sim.run()
+        assert cpu.total_interrupts == 2
+
+    def test_max_batch_limits_drain(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.001, per_interrupt_cost=0.01, max_batch=2
+        )
+        nic = cpu.new_nic("eth0")
+        for i in range(5):
+            nic.enqueue(Packet(100, seq=i))
+        sim.run()
+        assert len(processed) == 5
+        assert cpu.total_interrupts >= 3  # ceil(5/2)
+
+    def test_invalid_max_batch(self, sim):
+        with pytest.raises(ValueError):
+            HostCPU(sim, max_batch=0)
+
+
+class TestRingLimits:
+    def test_ring_overflow_drops(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=1.0  # very slow CPU
+        )
+        nic = cpu.new_nic("eth0", queue_limit=3)
+        accepted = [nic.enqueue(Packet(100, seq=i)) for i in range(10)]
+        # First enqueue posts the interrupt and is drained immediately at
+        # service start; subsequent ones queue up to the limit.
+        assert nic.drops > 0
+        assert accepted.count(False) == nic.drops
+
+    def test_utilization(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.25, per_interrupt_cost=0.25
+        )
+        nic = cpu.new_nic("eth0")
+        nic.enqueue(Packet(100, seq=0))
+        sim.run()
+        assert cpu.utilization(1.0) == pytest.approx(0.5)
+        assert cpu.utilization(0.0) == 0.0
+
+    def test_negative_costs_rejected(self, sim):
+        with pytest.raises(ValueError):
+            HostCPU(sim, per_packet_cost=-1)

@@ -1,0 +1,141 @@
+"""Unit tests for loss and corruption models."""
+
+import random
+
+import pytest
+
+from repro.sim.loss import (
+    BernoulliLoss,
+    CorruptionModel,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    SizeGatedLoss,
+)
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.should_drop(i, 100) for i in range(1000))
+
+
+class TestBernoulli:
+    def test_rate_zero_never_drops(self):
+        model = BernoulliLoss(0.0)
+        assert not any(model.should_drop(i, 100) for i in range(100))
+
+    def test_rate_one_always_drops(self):
+        model = BernoulliLoss(1.0)
+        assert all(model.should_drop(i, 100) for i in range(100))
+
+    def test_empirical_rate(self):
+        model = BernoulliLoss(0.25, rng=random.Random(3))
+        drops = sum(model.should_drop(i, 100) for i in range(10000))
+        assert 0.22 < drops / 10000 < 0.28
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+
+    def test_rate_mutable_mid_run(self):
+        """Experiments flip p to 0 to model 'losses stop'."""
+        model = BernoulliLoss(1.0)
+        assert model.should_drop(0, 100)
+        model.p = 0.0
+        assert not model.should_drop(1, 100)
+
+
+class TestGilbertElliott:
+    def test_burstiness(self):
+        model = GilbertElliottLoss(
+            p_g2b=0.01, p_b2g=0.2, rng=random.Random(5)
+        )
+        outcomes = [model.should_drop(i, 100) for i in range(20000)]
+        # Count runs of consecutive drops; bursts should exceed length 1
+        # far more often than an i.i.d. model at the same rate would.
+        runs = []
+        current = 0
+        for dropped in outcomes:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected some loss bursts"
+        assert max(runs) >= 3
+
+    def test_steady_state_rate(self):
+        model = GilbertElliottLoss(
+            p_g2b=0.02, p_b2g=0.18, rng=random.Random(9)
+        )
+        expected = model.steady_state_loss_rate()
+        drops = sum(model.should_drop(i, 100) for i in range(50000))
+        assert abs(drops / 50000 - expected) < 0.02
+
+    def test_reset_returns_to_good(self):
+        model = GilbertElliottLoss(p_g2b=1.0, p_b2g=0.0)
+        model.should_drop(0, 100)
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_g2b=2.0, p_b2g=0.5)
+
+
+class TestDeterministic:
+    def test_exact_indices(self):
+        model = DeterministicLoss([0, 5, 7])
+        dropped = [i for i in range(10) if model.should_drop(i, 100)]
+        assert dropped == [0, 5, 7]
+
+
+class TestSizeGated:
+    def test_small_packets_immune(self):
+        model = SizeGatedLoss(BernoulliLoss(1.0), min_size=500)
+        assert not model.should_drop(0, 100)
+        assert model.should_drop(1, 1000)
+
+    def test_gated_index_counts_only_large(self):
+        """The inner model sees a contiguous index for gated packets, so
+        interleaving small packets does not perturb the loss pattern."""
+        inner_a = DeterministicLoss([1])
+        gated_a = SizeGatedLoss(inner_a, min_size=500)
+        pattern_a = [gated_a.should_drop(i, size)
+                     for i, size in enumerate([1000, 1000, 1000])]
+
+        inner_b = DeterministicLoss([1])
+        gated_b = SizeGatedLoss(inner_b, min_size=500)
+        pattern_b = [gated_b.should_drop(i, size)
+                     for i, size in enumerate([1000, 64, 64, 1000, 64, 1000])]
+        assert [p for p in pattern_a] == [False, True, False]
+        large_only = [pattern_b[0], pattern_b[3], pattern_b[5]]
+        assert large_only == [False, True, False]
+
+    def test_reset_propagates(self):
+        inner = GilbertElliottLoss(p_g2b=1.0, p_b2g=0.0)
+        gated = SizeGatedLoss(inner, min_size=10)
+        gated.should_drop(0, 100)
+        gated.reset()
+        assert not inner.in_bad_state
+
+
+class TestCorruption:
+    def test_zero_ber_never_corrupts(self):
+        model = CorruptionModel(0.0)
+        assert not any(model.is_corrupted(1500) for _ in range(100))
+
+    def test_bigger_packets_corrupt_more(self):
+        rng_small = CorruptionModel(1e-4, rng=random.Random(1))
+        rng_big = CorruptionModel(1e-4, rng=random.Random(1))
+        small = sum(rng_small.is_corrupted(64) for _ in range(5000))
+        big = sum(rng_big.is_corrupted(1500) for _ in range(5000))
+        assert big > small * 2
+
+    def test_invalid_ber(self):
+        with pytest.raises(ValueError):
+            CorruptionModel(2.0)

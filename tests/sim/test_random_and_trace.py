@@ -1,0 +1,75 @@
+"""Unit tests for seeded random streams and the tracer."""
+
+from repro.sim.random import RandomStreams
+from repro.sim.trace import Tracer, NULL_TRACER
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("loss")
+        b = RandomStreams(7).stream("loss")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("loss")
+        b = streams.stream("skew")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x")
+        b = RandomStreams(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_same_name_returns_same_object(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_fork_independent(self):
+        parent = RandomStreams(3)
+        child = parent.fork("worker")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RandomStreams(3).fork("w").stream("x").random()
+        b = RandomStreams(3).fork("w").stream("x").random()
+        assert a == b
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "rx", "deliver", channel=0)
+        tracer.emit(2.0, "rx", "skip", channel=1)
+        tracer.emit(3.0, "tx", "deliver", channel=0)
+        assert tracer.count(kind="deliver") == 2
+        assert tracer.count(source="rx") == 2
+        assert tracer.count(kind="deliver", source="rx") == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "x", "y")
+        assert tracer.events == []
+
+    def test_null_tracer_is_disabled(self):
+        NULL_TRACER.emit(0.0, "a", "b")
+        assert NULL_TRACER.events == []
+
+    def test_max_events_cap(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.emit(float(i), "s", "k")
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "s", "k")
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped == 0
+
+    def test_str_rendering(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "receiver", "skip", channel=2, G=4)
+        text = str(tracer.events[0])
+        assert "receiver" in text and "skip" in text and "channel=2" in text

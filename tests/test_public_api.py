@@ -1,0 +1,74 @@
+"""The public API surface documented in API.md imports and is stable."""
+
+import importlib
+
+import pytest
+
+SURFACE = {
+    "repro.core": [
+        "Packet", "MarkerPacket", "is_marker", "Codepoint",
+        "CausalFQ", "NonCausalFQ", "SRR", "SRRState", "DRR", "DKS",
+        "make_rr", "make_grr", "grr_weights_for_bandwidths",
+        "SeededRandomFQ", "WeightedRandomFQ",
+        "LoadSharer", "TransformedLoadSharer", "stripe_sequence",
+        "bytes_per_channel", "verify_reverse_correspondence",
+        "Striper", "MarkerPolicy", "ListPort",
+        "Resequencer", "NullResequencer", "SRRReceiver",
+        "fq_service_order", "fq_service_order_noncausal",
+        "srr_fairness_report", "jain_fairness_index",
+        "StripeConfig", "StripeSenderSession", "StripeReceiverSession",
+        "LocalChecker", "ResetPacket", "ResetAckPacket",
+        "ResetRequestPacket",
+    ],
+    "repro.sim": [
+        "Simulator", "Event", "Channel", "ChannelStats",
+        "NoLoss", "BernoulliLoss", "GilbertElliottLoss",
+        "DeterministicLoss", "CorruptionModel",
+        "HostCPU", "NicQueue", "RandomStreams", "Tracer",
+    ],
+    "repro.net": [
+        "IPAddress", "MACAddress", "IPPacket", "RoutingTable",
+        "EthernetInterface", "AtmInterface", "StripeInterface",
+        "Stack", "Link", "FrameType",
+        "RESEQ_MARKER", "RESEQ_PLAIN", "RESEQ_NONE",
+        "Fragment", "FragmentingStriper", "Reassembler",
+        "aal5_wire_size", "ethernet_wire_size",
+    ],
+    "repro.transport": [
+        "UdpLayer", "UdpSocket", "TcpLayer", "BulkSender", "BulkReceiver",
+        "CreditSender", "CreditReceiver", "CreditPacket",
+        "StripedSocketSender", "StripedSocketReceiver",
+        "SessionSocketSender", "SessionSocketReceiver",
+        "ChannelFailureDetector", "connect_duplex",
+        "StripedTcpSender", "StripedTcpReceiver",
+    ],
+    "repro.baselines": [
+        "ShortestQueueFirst", "RandomSelection", "AddressHashing",
+        "MpppSender", "MpppReceiver", "BondingMux", "BondingDemux",
+    ],
+    "repro.workloads": [
+        "RandomMixSizes", "AlternatingSizes", "ConstantSizes",
+        "PacedSource", "ClosedLoopSource",
+        "synthesize_nv_trace", "PlaybackModel",
+    ],
+    "repro.analysis": [
+        "mbps", "ThroughputWindow", "analyze_order", "ReorderReport",
+        "paper_table1_rows", "extended_rows", "render_table",
+    ],
+    "repro.experiments": ["EXPERIMENTS", "run_experiment"],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SURFACE))
+def test_module_exports(module_name):
+    module = importlib.import_module(module_name)
+    missing = [
+        name for name in SURFACE[module_name] if not hasattr(module, name)
+    ]
+    assert missing == [], f"{module_name} missing: {missing}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__

@@ -1,0 +1,123 @@
+"""Unit tests for FCVC credit flow control."""
+
+import pytest
+
+from repro.transport.credit import CreditPacket, CreditReceiver, CreditSender
+
+
+class TestCreditSender:
+    def test_initial_credit_spendable(self):
+        sender = CreditSender(2, initial_credit=3)
+        for _ in range(3):
+            assert sender.can_send(0)
+            sender.on_send(0)
+        assert not sender.can_send(0)
+        assert sender.can_send(1)
+
+    def test_send_without_credit_rejected(self):
+        sender = CreditSender(1, initial_credit=0)
+        with pytest.raises(RuntimeError):
+            sender.on_send(0)
+
+    def test_credit_advertisement_extends_limit(self):
+        sender = CreditSender(1, initial_credit=1)
+        sender.on_send(0)
+        assert not sender.can_send(0)
+        sender.on_credit(0, limit=5)
+        assert sender.available(0) == 4
+
+    def test_stale_advertisement_ignored(self):
+        sender = CreditSender(1, initial_credit=10)
+        sender.on_credit(0, limit=3)  # lower than current: keep max
+        assert sender.limits[0] == 10
+
+    def test_unblock_callback(self):
+        fired = []
+        sender = CreditSender(1, initial_credit=1,
+                              on_unblocked=lambda: fired.append(1))
+        sender.on_send(0)
+        sender.on_credit(0, limit=2)
+        assert fired == [1]
+
+    def test_no_callback_when_not_blocked(self):
+        fired = []
+        sender = CreditSender(1, initial_credit=5,
+                              on_unblocked=lambda: fired.append(1))
+        sender.on_credit(0, limit=9)
+        assert fired == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CreditSender(0, 1)
+        with pytest.raises(ValueError):
+            CreditSender(1, -1)
+
+
+class TestCreditReceiver:
+    def test_advertises_consumed_plus_buffer(self):
+        sent = []
+        receiver = CreditReceiver(
+            2, buffer_packets=8, send_credit=lambda c, l: sent.append((c, l))
+        )
+        receiver.on_consumed(0)
+        assert sent == [(0, 9)]
+
+    def test_batched_advertisements(self):
+        sent = []
+        receiver = CreditReceiver(
+            1, buffer_packets=4,
+            send_credit=lambda c, l: sent.append(l),
+            advertise_every=3,
+        )
+        for _ in range(7):
+            receiver.on_consumed(0)
+        assert sent == [7, 10]  # after 3rd and 6th consumption
+
+    def test_piggyback_limit(self):
+        receiver = CreditReceiver(1, buffer_packets=16)
+        for _ in range(5):
+            receiver.consumed[0] += 1
+        assert receiver.piggyback_limit(0) == 21
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CreditReceiver(1, buffer_packets=0)
+        with pytest.raises(ValueError):
+            CreditReceiver(1, buffer_packets=4, advertise_every=0)
+
+
+class TestInvariant:
+    def test_sender_never_exceeds_receiver_buffer(self):
+        """The FCVC safety property: in-flight <= buffer size always."""
+        buffer_size = 4
+        sender = CreditSender(1, initial_credit=buffer_size)
+        receiver = CreditReceiver(
+            1, buffer_packets=buffer_size,
+            send_credit=lambda c, l: sender.on_credit(c, l),
+        )
+        in_buffer = 0
+        max_in_buffer = 0
+        consumed_total = 0
+        sent_total = 0
+        import random
+
+        rng = random.Random(1)
+        for _ in range(2000):
+            if sender.can_send(0) and rng.random() < 0.7:
+                sender.on_send(0)
+                sent_total += 1
+                in_buffer += 1
+            elif in_buffer and rng.random() < 0.5:
+                in_buffer -= 1
+                consumed_total += 1
+                receiver.on_consumed(0)
+            max_in_buffer = max(max_in_buffer, in_buffer)
+        assert max_in_buffer <= buffer_size
+        assert sent_total - consumed_total <= buffer_size
+
+
+class TestCreditPacket:
+    def test_fields(self):
+        packet = CreditPacket(channel=1, limit=42)
+        assert packet.codepoint == "credit"
+        assert "42" in repr(packet)

@@ -1,0 +1,138 @@
+"""Unit tests for traffic generators."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.generators import (
+    AlternatingSizes,
+    ClosedLoopSource,
+    ConstantSizes,
+    PacedSource,
+    RandomMixSizes,
+    UniformSizes,
+    alternating_packets,
+    backlogged_packets,
+    cbr_intervals,
+    poisson_intervals,
+    random_mix_packets,
+)
+
+
+class TestSizeGenerators:
+    def test_alternating(self):
+        gen = AlternatingSizes(1000, 200)
+        assert [gen() for _ in range(4)] == [1000, 200, 1000, 200]
+
+    def test_random_mix_draws_from_set(self):
+        gen = RandomMixSizes((200, 1000), rng=random.Random(1))
+        values = {gen() for _ in range(100)}
+        assert values == {200, 1000}
+
+    def test_random_mix_weights(self):
+        gen = RandomMixSizes((200, 1000), weights=(9, 1), rng=random.Random(2))
+        values = [gen() for _ in range(2000)]
+        assert values.count(200) > values.count(1000) * 4
+
+    def test_uniform_bounds(self):
+        gen = UniformSizes(100, 200, rng=random.Random(3))
+        assert all(100 <= gen() <= 200 for _ in range(200))
+
+    def test_constant(self):
+        gen = ConstantSizes(512)
+        assert gen() == 512 == gen()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlternatingSizes(0, 100)
+        with pytest.raises(ValueError):
+            UniformSizes(10, 5)
+        with pytest.raises(ValueError):
+            ConstantSizes(0)
+        with pytest.raises(ValueError):
+            RandomMixSizes(())
+
+
+class TestPacketFactories:
+    def test_backlogged_packets_sequenced(self):
+        packets = backlogged_packets(10, ConstantSizes(100))
+        assert [p.seq for p in packets] == list(range(10))
+
+    def test_random_mix_packets_reproducible(self):
+        a = random_mix_packets(50, seed=7)
+        b = random_mix_packets(50, seed=7)
+        assert [p.size for p in a] == [p.size for p in b]
+
+    def test_alternating_packets(self):
+        packets = alternating_packets(4)
+        assert [p.size for p in packets] == [1000, 200, 1000, 200]
+
+
+class TestPacedSource:
+    def test_cbr_pacing(self):
+        sim = Simulator()
+        got = []
+        source = PacedSource(
+            sim, got.append, ConstantSizes(100), cbr_intervals(100.0), count=10
+        )
+        source.start()
+        sim.run(until=1.0)
+        assert len(got) == 10
+        assert [p.seq for p in got] == list(range(10))
+
+    def test_poisson_intervals_mean(self):
+        rng = random.Random(5)
+        gen = poisson_intervals(200.0, rng)
+        mean = sum(gen() for _ in range(5000)) / 5000
+        assert mean == pytest.approx(1 / 200.0, rel=0.1)
+
+    def test_stop(self):
+        sim = Simulator()
+        got = []
+        source = PacedSource(
+            sim, got.append, ConstantSizes(100), cbr_intervals(1000.0)
+        )
+        source.start()
+        sim.schedule(0.01, source.stop)
+        sim.run(until=1.0)
+        assert 5 <= len(got) <= 15
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            cbr_intervals(0)
+        with pytest.raises(ValueError):
+            poisson_intervals(-1, random.Random())
+
+
+class TestClosedLoopSource:
+    def test_maintains_backlog_target(self):
+        sim = Simulator()
+        backlog = [0]
+        submitted = []
+
+        def submit(packet):
+            submitted.append(packet)
+            backlog[0] += 1
+
+        source = ClosedLoopSource(
+            sim, submit, lambda: backlog[0], ConstantSizes(100), target=5
+        )
+        source.start()
+        sim.run(until=0.01)
+        assert backlog[0] == 5
+        # drain two, poke, refills to target
+        backlog[0] -= 2
+        source.poke()
+        assert backlog[0] == 5
+
+    def test_count_limit(self):
+        sim = Simulator()
+        submitted = []
+        source = ClosedLoopSource(
+            sim, submitted.append, lambda: 0, ConstantSizes(100),
+            target=100, count=7,
+        )
+        source.start()
+        sim.run(until=0.1)
+        assert len(submitted) == 7
