@@ -11,7 +11,7 @@
 from repro.analysis.reorder import analyze_order
 from repro.baselines.mppp import MpppReceiver, MpppSender
 from repro.core.markers import SRRReceiver
-from repro.core.packet import Packet, is_marker
+from repro.core.packet import is_marker
 from repro.core.resequencer import Resequencer
 from repro.core.srr import SRR, make_rr
 from repro.core.striper import ListPort, MarkerPolicy, Striper

@@ -1,0 +1,140 @@
+"""Scheduler-kernel throughput tracking: frozen state vs kernel vs batched.
+
+The acceptance bar for the kernel refactor: the batched
+``stripe_sequence`` hot path must stripe at least 3x the packets/sec of
+the legacy frozen-dataclass path (per-packet ``select``/``update`` with a
+new :class:`~repro.core.srr.SRRState` allocated each step), with
+byte-identical channel assignments.
+
+Results are written to ``BENCH_kernel.json`` at the repo root so the
+numbers are tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import List
+
+from repro.core.kernel import SRRKernel
+from repro.core.packet import Packet
+from repro.core.srr import SRR
+from repro.core.transform import TransformedLoadSharer, stripe_sequence
+from repro.experiments.kernel_bench import run_kernel_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+N_PACKETS = 100_000
+QUANTA = [1500.0, 2070.0, 900.0]
+REPEATS = 3
+
+
+def make_packets(n=N_PACKETS, seed=1):
+    rng = random.Random(seed)
+    return [Packet(rng.randint(40, 1500), seq=i) for i in range(n)]
+
+
+def stripe_frozen(algorithm: SRR, packets) -> List[List[Packet]]:
+    """The pre-kernel reference: frozen-dataclass stepping per packet."""
+    channels: List[List[Packet]] = [[] for _ in range(algorithm.n_channels)]
+    state = algorithm.initial_state()
+    for packet in packets:
+        channel = algorithm.select(state)
+        channels[channel].append(packet)
+        state = algorithm.update(state, packet.size)
+    return channels
+
+
+def best_rate(fn, n_packets: int, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return n_packets / best
+
+
+def test_bench_stripe_sequence_speedup():
+    """Batched stripe_sequence >= 3x the frozen-dataclass path; emit JSON."""
+    packets = make_packets()
+    algorithm = SRR(QUANTA)
+
+    frozen_channels = stripe_frozen(algorithm, packets)
+    kernel_channels = stripe_sequence(TransformedLoadSharer(algorithm), packets)
+    assert [
+        [p.uid for p in ch] for ch in frozen_channels
+    ] == [[p.uid for p in ch] for ch in kernel_channels]
+
+    frozen_rate = best_rate(
+        lambda: stripe_frozen(algorithm, packets), len(packets)
+    )
+    batched_rate = best_rate(
+        lambda: stripe_sequence(TransformedLoadSharer(algorithm), packets),
+        len(packets),
+    )
+    speedup = batched_rate / frozen_rate
+
+    stepping = run_kernel_bench(n_packets=N_PACKETS, quanta=QUANTA)
+    assert stepping.assignments_identical
+
+    report = {
+        "workload": {
+            "n_packets": N_PACKETS,
+            "quanta": QUANTA,
+            "size_range": [40, 1500],
+        },
+        "stripe_sequence": {
+            "frozen_pkts_per_sec": round(frozen_rate),
+            "batched_pkts_per_sec": round(batched_rate),
+            "speedup": round(speedup, 2),
+        },
+        "stepping": {
+            name: {
+                "pkts_per_sec": round(rate),
+                "speedup_vs_frozen": round(
+                    stepping.speedup_vs_frozen[name], 2
+                ),
+            }
+            for name, rate in stepping.packets_per_sec.items()
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nstripe_sequence: frozen {frozen_rate:,.0f} pkt/s, "
+          f"batched {batched_rate:,.0f} pkt/s ({speedup:.2f}x)")
+    print(stepping.render())
+    print(f"results written to {BENCH_JSON}")
+
+    assert speedup >= 3.0, (
+        f"batched stripe_sequence is only {speedup:.2f}x the frozen path"
+    )
+
+
+def test_bench_kernel_step(benchmark):
+    """Per-packet mutable kernel stepping (pytest-benchmark timing)."""
+    sizes = [p.size for p in make_packets(20_000)]
+    algorithm = SRR(QUANTA)
+
+    def run():
+        kernel = SRRKernel(algorithm)
+        step = kernel.step
+        for size in sizes:
+            step(size)
+        return kernel.round_number
+
+    benchmark(run)
+
+
+def test_bench_kernel_assign_many(benchmark):
+    """Batched kernel assignment (pytest-benchmark timing)."""
+    sizes = [p.size for p in make_packets(20_000)]
+    algorithm = SRR(QUANTA)
+
+    def run():
+        return SRRKernel(algorithm).assign_many(sizes)
+
+    result = benchmark(run)
+    assert len(result) == len(sizes)

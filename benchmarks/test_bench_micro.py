@@ -61,7 +61,6 @@ def test_bench_striper_throughput(benchmark):
 
 def test_bench_logical_reception(benchmark):
     """Receiver simulation per packet (pre-striped stream)."""
-    algorithm = SRR([1500.0, 2070.0])
     packets = make_packets()
     channels = []
     sharer = TransformedLoadSharer(SRR([1500.0, 2070.0]))
@@ -84,7 +83,6 @@ def test_bench_logical_reception(benchmark):
 
 def test_bench_marker_receiver(benchmark):
     """Marker-synchronized receiver per packet (markers every round)."""
-    algorithm = SRR([1500.0, 2070.0])
     ports = [ListPort(), ListPort()]
     striper = Striper(
         TransformedLoadSharer(SRR([1500.0, 2070.0])), ports,

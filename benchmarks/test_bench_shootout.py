@@ -9,13 +9,11 @@ reception where the scheme supports it, arrival order where it does not).
 import random
 
 from repro.analysis.reorder import analyze_order
-from repro.analysis.metrics import mbps
 from repro.baselines.address_hash import AddressHashing
 from repro.baselines.random_selection import RandomSelection
 from repro.baselines.sqf import ShortestQueueFirst
 from repro.core.fairness import jain_fairness_index
-from repro.core.packet import Packet
-from repro.core.resequencer import NullResequencer, Resequencer
+from repro.core.resequencer import Resequencer
 from repro.core.schemes import SeededRandomFQ
 from repro.core.srr import SRR, make_grr, make_rr
 from repro.core.transform import (

@@ -8,7 +8,6 @@ delivering a skewed striped stream.
 
 from repro.analysis.reorder import analyze_order
 from repro.analysis.tables import extended_rows, paper_table1_rows, render_table
-from repro.core.packet import Packet
 from repro.core.resequencer import Resequencer
 from repro.core.srr import SRR, make_rr
 from repro.core.transform import (

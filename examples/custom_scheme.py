@@ -17,7 +17,6 @@ Run with::
 """
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.core import (
     CausalFQ,
@@ -79,7 +78,6 @@ def main() -> None:
     rng = random.Random(4)
     packets = [Packet(rng.randint(100, 1500), seq=i) for i in range(200)]
 
-    scheme = TwoVisitScheme(n=3, cap=2500)
     print("custom scheme: TwoVisitScheme(n=3, cap=2500)")
 
     ok = verify_reverse_correspondence(TwoVisitScheme(3, 2500), packets)

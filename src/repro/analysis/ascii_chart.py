@@ -8,7 +8,7 @@ shows the *shape*, not just the table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 @dataclass

@@ -20,9 +20,8 @@ exactly what general channels disallow.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.cfq import Capabilities
 from repro.core.packet import Packet

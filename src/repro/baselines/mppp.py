@@ -83,6 +83,10 @@ class MpppSender:
         self.ports = ports
         self.channel_mtu = channel_mtu
         self.header_bytes = header_bytes
+        # Causal policies expose their scheduler kernel; stepping it
+        # directly skips the per-packet queue-depth materialization that
+        # only depth-sensitive baselines need.
+        self._kernel = getattr(sharer, "kernel", None)
         self.next_sequence = 0
         self.sent = 0
         self.header_overhead_bytes = 0
@@ -94,8 +98,11 @@ class MpppSender:
         if self.channel_mtu is not None and wrapped.size > self.channel_mtu:
             self.oversize_rejects += 1
             return False
-        depths = [getattr(p, "queue_length", 0) for p in self.ports]
-        channel = self.sharer.choose(wrapped, depths)
+        if self._kernel is not None:
+            channel = self._kernel.peek()
+        else:
+            depths = [getattr(p, "queue_length", 0) for p in self.ports]
+            channel = self.sharer.choose(wrapped, depths)
         self.ports[channel].send(wrapped)
         self.sharer.notify_sent(channel, wrapped)
         self.next_sequence += 1

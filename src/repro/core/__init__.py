@@ -32,6 +32,15 @@ from repro.core.srr import (
     make_rr,
 )
 from repro.core.dks import DKS, DKSState
+from repro.core.kernel import (
+    CFQKernelAdapter,
+    DRRKernel,
+    SchedulerKernel,
+    SRRKernel,
+    kernel_for,
+    make_grr_kernel,
+    make_rr_kernel,
+)
 from repro.core.schemes import SeededRandomFQ, WeightedRandomFQ
 from repro.core.transform import (
     LoadSharer,
@@ -42,7 +51,7 @@ from repro.core.transform import (
 )
 from repro.core.striper import ChannelPort, ListPort, MarkerPolicy, Striper
 from repro.core.resequencer import NullResequencer, Resequencer
-from repro.core.markers import SRRReceiver, SRRReceiverStats
+from repro.core.markers import ReceiverSnapshot, SRRReceiver, SRRReceiverStats
 from repro.core.fairness import (
     FairnessReport,
     jain_fairness_index,
@@ -73,6 +82,13 @@ __all__ = [
     "bits_per_queue",
     "SRR",
     "SRRState",
+    "SchedulerKernel",
+    "SRRKernel",
+    "CFQKernelAdapter",
+    "DRRKernel",
+    "kernel_for",
+    "make_rr_kernel",
+    "make_grr_kernel",
     "DRR",
     "DKS",
     "DKSState",
@@ -94,6 +110,7 @@ __all__ = [
     "NullResequencer",
     "SRRReceiver",
     "SRRReceiverStats",
+    "ReceiverSnapshot",
     "FairnessReport",
     "srr_fairness_report",
     "max_pairwise_imbalance",

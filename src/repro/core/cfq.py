@@ -137,25 +137,28 @@ def fq_service_order(
     Returns:
         Packets in the order the algorithm services them.
     """
+    # Imported lazily: kernel.py depends on this module's interfaces.
+    from repro.core.kernel import kernel_for
+
     if len(queues) != algorithm.n_channels:
         raise ValueError(
             f"algorithm expects {algorithm.n_channels} queues, got {len(queues)}"
         )
+    kernel = kernel_for(algorithm)
     positions = [0] * len(queues)
     total = sum(len(q) for q in queues)
     output: List[Packet] = []
-    state = algorithm.initial_state()
     while len(output) < total:
         if max_packets is not None and len(output) >= max_packets:
             break
-        queue_index = algorithm.select(state)
+        queue_index = kernel.peek()
         position = positions[queue_index]
         if position >= len(queues[queue_index]):
             break  # selected queue empty: backlogged prefix exhausted
         packet = queues[queue_index][position]
         positions[queue_index] = position + 1
         output.append(packet)
-        state = algorithm.update(state, packet.size)
+        kernel.step(packet.size)
     return output
 
 

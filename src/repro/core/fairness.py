@@ -53,15 +53,13 @@ def srr_fairness_report(
     n = algorithm.n_channels
     sent = [0] * n
     max_packet = 0
-    rounds_completed = 0
-    for packet in packets:
-        channel = sharer.choose(packet)
+    for packet, channel in zip(packets, sharer.assign_many(packets)):
         sent[channel] += packet.size
-        max_packet = max(max_packet, packet.size)
-        sharer.notify_sent(channel, packet)
-        state = sharer.state
-        assert isinstance(state, SRRState)
-        rounds_completed = state.round_number - 1
+        if packet.size > max_packet:
+            max_packet = packet.size
+    final = sharer.state
+    assert isinstance(final, SRRState)
+    rounds_completed = final.round_number - 1
     quantum_max = max(algorithm.quanta)
     bound = max_packet + 2 * quantum_max
     ideal = [rounds_completed * q for q in algorithm.quanta]

@@ -1,0 +1,364 @@
+"""The scheduler kernel: one mutable, batch-capable stepping engine.
+
+The paper's central observation is that *one* causal FQ algorithm drives
+both ends of the stripe (Theorems 3.1 / 4.1): the sender steps it to pick
+output channels, the receiver steps the very same algorithm to predict
+arrival channels.  Historically this repo stepped that algorithm through
+several divergent per-packet paths — ``CausalFQ.select``/``update`` with
+frozen :class:`~repro.core.srr.SRRState` dataclasses, the two-phase
+``LoadSharer.choose``/``notify_sent`` protocol, and ad-hoc loops in the FQ
+drivers.  Allocating a frozen dataclass (plus a list copy and a tuple) per
+packet dominated the hot path.
+
+A :class:`SchedulerKernel` is the consolidation: a *mutable* stepping
+engine with
+
+* in-place :meth:`~SchedulerKernel.step` — account one packet, return the
+  channel it goes to,
+* batched :meth:`~SchedulerKernel.assign_many` — assign a whole burst of
+  packet sizes in one tight loop,
+* explicit :meth:`~SchedulerKernel.snapshot` / :meth:`~SchedulerKernel.restore`
+  — immutable state capture replacing the per-packet frozen states, while
+  preserving the ``(R, D)`` implicit-numbering and marker-adoption
+  semantics of sections 4–5 (an :class:`SRRKernel` snapshot *is* an
+  :class:`~repro.core.srr.SRRState`).
+
+:func:`kernel_for` builds the fastest kernel available for any
+:class:`~repro.core.cfq.CausalFQ`: a native :class:`SRRKernel` for the SRR
+family (SRR / RR / GRR share one engine via the unified cost function) and
+a :class:`CFQKernelAdapter` wrapping ``select``/``update`` for everything
+else (e.g. the seeded randomized schemes), so every layer can hold a
+kernel without caring which algorithm is underneath.
+
+:class:`DRRKernel` is the mutable engine for classic (non-causal) DRR; it
+exists for the fair-queuing direction only and deliberately does *not*
+implement :class:`SchedulerKernel` — its selection needs head-of-line
+sizes, which is exactly why DRR cannot be striped with logical reception.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cfq import CausalFQ
+from repro.core.srr import SRR, SRRState
+
+
+class SchedulerKernel(abc.ABC):
+    """A mutable stepping engine for a causal scheduling algorithm.
+
+    Unlike :class:`~repro.core.cfq.CausalFQ` (pure ``select``/``update``
+    over immutable states), a kernel owns its state and mutates it in
+    place.  The immutable semantics are recovered exactly through
+    :meth:`snapshot` / :meth:`restore`, which is what the marker machinery
+    and session reset use.
+    """
+
+    @property
+    @abc.abstractmethod
+    def n_channels(self) -> int:
+        """Number of channels the kernel schedules over."""
+
+    @abc.abstractmethod
+    def peek(self) -> int:
+        """Channel the next packet will be assigned to (no state change)."""
+
+    @abc.abstractmethod
+    def step(self, size: int) -> int:
+        """Account one packet of ``size`` bytes; returns its channel.
+
+        Mutates the kernel in place.  The returned channel always equals
+        what :meth:`peek` returned immediately before the call (causality:
+        the choice is committed before the packet is seen).
+        """
+
+    def assign_many(self, sizes: Sequence[int]) -> List[int]:
+        """Assign a burst of packet sizes; returns one channel per size.
+
+        Equivalent to calling :meth:`step` per size, but implemented as a
+        single tight loop by native kernels.  This is the batch API the
+        offline drivers and benchmarks use.
+        """
+        return [self.step(size) for size in sizes]
+
+    @abc.abstractmethod
+    def snapshot(self) -> Any:
+        """An immutable capture of the current state."""
+
+    @abc.abstractmethod
+    def restore(self, snapshot: Any) -> None:
+        """Install a state previously captured with :meth:`snapshot`."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return to the algorithm's initial state ``s0``."""
+
+
+class SRRKernel(SchedulerKernel):
+    """Native mutable kernel for the SRR family (SRR / RR / GRR).
+
+    Exposes the live ``ptr`` / ``round_number`` / ``dc`` fields directly —
+    the striper reads ``(ptr, round_number)`` before and after each step to
+    detect marker-position crossings without materializing a snapshot.
+
+    Snapshots are :class:`~repro.core.srr.SRRState` instances, so they are
+    interchangeable with the immutable path: a receiver can adopt a kernel
+    snapshot (marker adoption, section 5) and a kernel can restore a state
+    produced by ``CausalFQ.update``.
+    """
+
+    __slots__ = ("algorithm", "quanta", "count_packets", "ptr",
+                 "round_number", "dc")
+
+    def __init__(self, algorithm: SRR) -> None:
+        if not isinstance(algorithm, SRR):
+            raise TypeError("SRRKernel requires an SRR-family algorithm")
+        self.algorithm = algorithm
+        self.quanta: Tuple[float, ...] = algorithm.quanta
+        self.count_packets = algorithm.count_packets
+        self.reset()
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.quanta)
+
+    def reset(self) -> None:
+        self.ptr = 0
+        self.round_number = 1
+        self.dc = [0.0] * len(self.quanta)
+        self.dc[0] = self.quanta[0]
+
+    def peek(self) -> int:
+        return self.ptr
+
+    def step(self, size: int) -> int:
+        channel = self.ptr
+        dc = self.dc
+        d = dc[channel] - (1.0 if self.count_packets else size)
+        dc[channel] = d
+        if d <= 0:
+            ptr = channel
+            rnd = self.round_number
+            quanta = self.quanta
+            n = len(quanta)
+            while True:
+                ptr += 1
+                if ptr == n:
+                    ptr = 0
+                    rnd += 1
+                d = dc[ptr] + quanta[ptr]
+                dc[ptr] = d
+                if d > 0:
+                    break
+            self.ptr = ptr
+            self.round_number = rnd
+        return channel
+
+    def assign_many(self, sizes: Sequence[int]) -> List[int]:
+        out: List[int] = []
+        append = out.append
+        ptr = self.ptr
+        rnd = self.round_number
+        dc = self.dc
+        quanta = self.quanta
+        n = len(quanta)
+        count_packets = self.count_packets
+        for size in sizes:
+            append(ptr)
+            d = dc[ptr] - (1.0 if count_packets else size)
+            dc[ptr] = d
+            if d <= 0:
+                while True:
+                    ptr += 1
+                    if ptr == n:
+                        ptr = 0
+                        rnd += 1
+                    d = dc[ptr] + quanta[ptr]
+                    dc[ptr] = d
+                    if d > 0:
+                        break
+        self.ptr = ptr
+        self.round_number = rnd
+        return out
+
+    def snapshot(self) -> SRRState:
+        return SRRState(self.ptr, self.round_number, tuple(self.dc))
+
+    def restore(self, snapshot: SRRState) -> None:
+        if len(snapshot.dc) != len(self.quanta):
+            raise ValueError(
+                f"snapshot has {len(snapshot.dc)} channels, "
+                f"kernel has {len(self.quanta)}"
+            )
+        self.ptr = snapshot.ptr
+        self.round_number = snapshot.round_number
+        self.dc = list(snapshot.dc)
+
+    # ------------------------------------------------------------------ #
+    # marker support (section 5): same semantics as SRR, off the live state
+
+    def implicit_number(self) -> Tuple[int, float]:
+        """The ``(R, D)`` implicit number of the next packet to be sent."""
+        return (self.round_number, self.dc[self.ptr])
+
+    def next_number_for_channel(self, channel: int) -> Tuple[int, float]:
+        """The implicit number ``(r, d)`` of the next packet on ``channel``.
+
+        This is what a marker for ``channel`` carries; see
+        :meth:`repro.core.srr.SRR.next_number_for_channel`.
+        """
+        if not 0 <= channel < len(self.quanta):
+            raise ValueError(f"channel {channel} out of range")
+        if channel == self.ptr:
+            return (self.round_number, self.dc[channel])
+        d = self.dc[channel]
+        if channel > self.ptr:
+            rnd = self.round_number  # visited later this round
+        else:
+            rnd = self.round_number + 1  # next round
+        d += self.quanta[channel]
+        while d <= 0:
+            rnd += 1
+            d += self.quanta[channel]
+        return (rnd, d)
+
+
+class CFQKernelAdapter(SchedulerKernel):
+    """Kernel over any immutable :class:`~repro.core.cfq.CausalFQ`.
+
+    Holds the algorithm's current state and advances it through
+    ``select``/``update``.  Slower than a native kernel (every step still
+    allocates a new state object) but gives arbitrary CFQ algorithms —
+    seeded randomized schemes, user-defined ones — the same stepping,
+    batching, and snapshot surface.
+    """
+
+    __slots__ = ("algorithm", "state")
+
+    def __init__(self, algorithm: CausalFQ, state: Any = None) -> None:
+        self.algorithm = algorithm
+        self.state = state if state is not None else algorithm.initial_state()
+
+    @property
+    def n_channels(self) -> int:
+        return self.algorithm.n_channels
+
+    def peek(self) -> int:
+        return self.algorithm.select(self.state)
+
+    def step(self, size: int) -> int:
+        channel = self.algorithm.select(self.state)
+        self.state = self.algorithm.update(self.state, size)
+        return channel
+
+    def assign_many(self, sizes: Sequence[int]) -> List[int]:
+        algorithm = self.algorithm
+        select = algorithm.select
+        update = algorithm.update
+        state = self.state
+        out: List[int] = []
+        append = out.append
+        for size in sizes:
+            append(select(state))
+            state = update(state, size)
+        self.state = state
+        return out
+
+    def snapshot(self) -> Any:
+        return self.state
+
+    def restore(self, snapshot: Any) -> None:
+        self.state = snapshot
+
+    def reset(self) -> None:
+        self.state = self.algorithm.initial_state()
+
+
+def kernel_for(algorithm: CausalFQ) -> SchedulerKernel:
+    """The fastest kernel available for ``algorithm``.
+
+    SRR-family algorithms (SRR, and RR / GRR via :func:`~repro.core.srr.make_rr`
+    / :func:`~repro.core.srr.make_grr`) get the native :class:`SRRKernel`;
+    everything else is wrapped in a :class:`CFQKernelAdapter`.
+    """
+    if isinstance(algorithm, SRR):
+        return SRRKernel(algorithm)
+    return CFQKernelAdapter(algorithm)
+
+
+def make_rr_kernel(n: int) -> SRRKernel:
+    """Native kernel for ordinary round robin over ``n`` channels."""
+    from repro.core.srr import make_rr
+
+    return SRRKernel(make_rr(n))
+
+
+def make_grr_kernel(weights: Sequence[int]) -> SRRKernel:
+    """Native kernel for GRR with integer per-channel weights."""
+    from repro.core.srr import make_grr
+
+    return SRRKernel(make_grr(weights))
+
+
+class DRRKernel:
+    """Mutable engine for classic (non-causal) Deficit Round Robin.
+
+    The fair-queuing direction only: selection must see head-of-line sizes
+    (:meth:`next`), which is why DRR is not a :class:`SchedulerKernel` and
+    cannot be striped with logical reception.  Snapshot/restore mirror the
+    causal kernels so FQ drivers can treat all engines uniformly.
+    """
+
+    __slots__ = ("quanta", "ptr", "dc")
+
+    def __init__(self, quanta: Sequence[float]) -> None:
+        if not quanta or any(q <= 0 for q in quanta):
+            raise ValueError("quanta must be positive")
+        self.quanta = tuple(float(q) for q in quanta)
+        self.reset()
+
+    @property
+    def n_queues(self) -> int:
+        return len(self.quanta)
+
+    def reset(self) -> None:
+        self.ptr = 0
+        self.dc = [0.0] * len(self.quanta)
+        self.dc[0] = self.quanta[0]
+
+    def next(self, head_sizes: Sequence[Optional[int]]) -> int:
+        """Pick the queue to serve given head-of-line sizes (mutates state).
+
+        Walks the round-robin ring banking quanta until the current queue's
+        head fits its deficit, exactly as
+        :meth:`repro.core.srr.DRR.next` does over immutable states.
+        """
+        ptr = self.ptr
+        dc = self.dc
+        quanta = self.quanta
+        n = len(quanta)
+        max_head = max((h for h in head_sizes if h is not None), default=0)
+        visits = n * (2 + int(max_head / min(quanta))) + n
+        for _ in range(visits):
+            head = head_sizes[ptr]
+            if head is not None and head <= dc[ptr]:
+                self.ptr = ptr
+                return ptr
+            if head is None:
+                dc[ptr] = 0.0  # empty queue forfeits its deficit
+            ptr = (ptr + 1) % n
+            dc[ptr] += quanta[ptr]
+        raise RuntimeError("DRR walk failed to find a serviceable queue")
+
+    def consume(self, queue: int, size: int) -> None:
+        """Account for the packet just sent from ``queue``."""
+        self.dc[queue] -= size
+
+    def snapshot(self) -> Tuple[int, Tuple[float, ...]]:
+        return (self.ptr, tuple(self.dc))
+
+    def restore(self, snapshot: Tuple[int, Tuple[float, ...]]) -> None:
+        ptr, dc = snapshot
+        self.ptr = ptr
+        self.dc = list(dc)

@@ -29,11 +29,30 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
+from repro.core.kernel import SRRKernel
 from repro.core.packet import MarkerPacket, is_marker
-from repro.core.srr import SRR
+from repro.core.srr import SRR, SRRState
 from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class ReceiverSnapshot:
+    """Immutable capture of an :class:`SRRReceiver`'s mirror state.
+
+    The ``(ptr, round_number, dc)`` triple is the simulated sender state
+    (an :class:`~repro.core.srr.SRRState` worth of information); ``pending``
+    and ``sync_round`` are the receiver-only annotations: which channels
+    still owe themselves a quantum on their next visit, and which channels
+    hold an un-reached marker round (condition C1).
+    """
+
+    ptr: int
+    round_number: int
+    dc: Tuple[float, ...]
+    pending: Tuple[bool, ...]
+    sync_round: Tuple[Optional[int], ...]
 
 
 @dataclass
@@ -76,6 +95,8 @@ class SRRReceiver:
         tracer: Tracer = NULL_TRACER,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
+        if isinstance(algorithm, SRRKernel):
+            algorithm = algorithm.algorithm
         if not isinstance(algorithm, SRR):
             raise TypeError("marker recovery requires an SRR-family algorithm")
         self.algorithm = algorithm
@@ -136,10 +157,11 @@ class SRRReceiver:
             if sync is not None and sync > self.round_number:
                 # C1: arrived too early at this channel; skip it this scan.
                 self.stats.channel_skips += 1
-                self.tracer.emit(
-                    self.clock(), "receiver", "skip",
-                    channel=c, G=self.round_number, r_c=sync,
-                )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.clock(), "receiver", "skip",
+                        channel=c, G=self.round_number, r_c=sync,
+                    )
                 self._advance()
                 if self._all_future_synced_and_idle():
                     # Every channel is waiting for a future round and no
@@ -170,10 +192,11 @@ class SRRReceiver:
             self.stats.delivered += 1
             if self.on_deliver is not None:
                 self.on_deliver(packet)
-            self.tracer.emit(
-                self.clock(), "receiver", "deliver",
-                channel=c, G=self.round_number, dc=self.dc[c],
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.clock(), "receiver", "deliver",
+                    channel=c, G=self.round_number, dc=self.dc[c],
+                )
             self.dc[c] -= self.algorithm.cost(packet.size)
             if self.dc[c] <= 0:
                 self.pending[c] = True
@@ -186,11 +209,12 @@ class SRRReceiver:
         self.dc[channel] = marker.deficit
         self.sync_round[channel] = marker.round_number
         self.pending[channel] = False
-        self.tracer.emit(
-            self.clock(), "receiver", "marker",
-            channel=channel, r=marker.round_number, d=marker.deficit,
-            G=self.round_number,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.clock(), "receiver", "marker",
+                channel=channel, r=marker.round_number, d=marker.deficit,
+                G=self.round_number,
+            )
 
     def _all_future_synced_and_idle(self) -> bool:
         return (
@@ -211,6 +235,65 @@ class SRRReceiver:
         target = min(r for r in self.sync_round if r is not None)
         if target > self.round_number and self.ptr == 0:
             self.round_number = target
+
+    # ------------------------------------------------------------------ #
+    # kernel snapshot surface (sections 4-5; used by session reset)
+
+    def snapshot(self) -> ReceiverSnapshot:
+        """Immutable capture of the full receiver mirror state."""
+        return ReceiverSnapshot(
+            ptr=self.ptr,
+            round_number=self.round_number,
+            dc=tuple(self.dc),
+            pending=tuple(self.pending),
+            sync_round=tuple(self.sync_round),
+        )
+
+    def restore(self, snapshot: ReceiverSnapshot) -> None:
+        """Install a state previously captured with :meth:`snapshot`.
+
+        Buffered packets and stats are left alone: restore only rewinds the
+        simulated sender state, which is what self-stabilization needs.
+        """
+        if len(snapshot.dc) != self.n_channels:
+            raise ValueError(
+                f"snapshot has {len(snapshot.dc)} channels, "
+                f"receiver has {self.n_channels}"
+            )
+        self.ptr = snapshot.ptr
+        self.round_number = snapshot.round_number
+        self.dc = list(snapshot.dc)
+        self.pending = list(snapshot.pending)
+        self.sync_round = list(snapshot.sync_round)
+
+    def adopt_snapshot(self, state: SRRState) -> List[Any]:
+        """Adopt a *sender* kernel snapshot wholesale (all channels at once).
+
+        Equivalent to receiving a fresh marker on every channel
+        simultaneously, but exact: the receiver's mirror becomes the
+        sender's state as of the snapshot.  Used when both ends share an
+        out-of-band state channel (session reset installing a fresh epoch,
+        or a warm standby receiver joining mid-stream); per-channel marker
+        adoption (:meth:`push` with markers) remains the in-band path.
+
+        In the sender invariant ``dc[ptr]`` already includes the current
+        visit's quantum, so ``pending`` is False only for ``ptr``; markers
+        pending against the old state are void.  Returns packets that
+        became deliverable under the adopted state.
+        """
+        if len(state.dc) != self.n_channels:
+            raise ValueError(
+                f"snapshot has {len(state.dc)} channels, "
+                f"receiver has {self.n_channels}"
+            )
+        self.stats.adoptions += 1
+        self.ptr = state.ptr
+        self.round_number = state.round_number
+        self.dc = list(state.dc)
+        self.pending = [True] * self.n_channels
+        self.pending[state.ptr] = False
+        self.sync_round = [None] * self.n_channels
+        return self.drain()
 
     # ------------------------------------------------------------------ #
     # introspection for tests

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional
 
 from repro.core.cfq import CausalFQ
+from repro.core.kernel import SchedulerKernel, kernel_for
 from repro.core.packet import is_marker
 
 
@@ -38,6 +39,11 @@ class Resequencer:
     buffer is empty the engine *blocks* — it simply returns and waits for a
     later push.  Marker packets, if any arrive, are discarded (this engine
     does not do recovery; see :class:`repro.core.markers.SRRReceiver`).
+
+    The sender simulation steps a mutable
+    :class:`~repro.core.kernel.SchedulerKernel`; the legacy ``state``
+    attribute remains as a snapshot view, and :meth:`snapshot` /
+    :meth:`restore` expose the kernel surface directly.
     """
 
     def __init__(
@@ -47,12 +53,29 @@ class Resequencer:
     ) -> None:
         self.algorithm = algorithm
         self.on_deliver = on_deliver
-        self.state = algorithm.initial_state()
+        self.kernel: SchedulerKernel = kernel_for(algorithm)
         self.buffers: List[Deque[Any]] = [
             deque() for _ in range(algorithm.n_channels)
         ]
         self.delivered = 0
         self.max_buffered = 0
+
+    @property
+    def state(self) -> Any:
+        """Snapshot of the simulated sender state (compatibility view)."""
+        return self.kernel.snapshot()
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self.kernel.restore(value)
+
+    def snapshot(self) -> Any:
+        """Immutable capture of the simulated sender state."""
+        return self.kernel.snapshot()
+
+    def restore(self, snapshot: Any) -> None:
+        """Install a previously captured sender state."""
+        self.kernel.restore(snapshot)
 
     @property
     def n_channels(self) -> int:
@@ -65,7 +88,7 @@ class Resequencer:
 
     def expected_channel(self) -> int:
         """The channel the next in-order packet will arrive on."""
-        return self.algorithm.select(self.state)
+        return self.kernel.peek()
 
     def push(self, channel: int, packet: Any) -> List[Any]:
         """Physical arrival of ``packet`` on ``channel``.
@@ -83,9 +106,11 @@ class Resequencer:
     def drain(self) -> List[Any]:
         """Deliver everything currently deliverable in logical order."""
         out: List[Any] = []
+        kernel = self.kernel
+        buffers = self.buffers
         while True:
-            channel = self.algorithm.select(self.state)
-            buffer = self.buffers[channel]
+            channel = kernel.peek()
+            buffer = buffers[channel]
             if not buffer:
                 break  # block on the expected channel
             packet = buffer.popleft()
@@ -93,7 +118,7 @@ class Resequencer:
                 continue  # recovery not handled here
             out.append(packet)
             self.delivered += 1
-            self.state = self.algorithm.update(self.state, packet.size)
+            kernel.step(packet.size)
             if self.on_deliver is not None:
                 self.on_deliver(packet)
         return out

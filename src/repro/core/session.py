@@ -42,9 +42,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.core.kernel import SRRKernel
 from repro.core.markers import SRRReceiver
 from repro.core.packet import Codepoint, MarkerPacket
-from repro.core.srr import SRR
+from repro.core.srr import SRR, SRRState
 from repro.core.striper import ChannelPort, MarkerPolicy, Striper
 from repro.core.transform import TransformedLoadSharer
 from repro.sim.engine import Event, Simulator
@@ -67,6 +68,14 @@ class StripeConfig:
 
     def algorithm(self) -> SRR:
         return SRR(list(self.quanta), count_packets=self.count_packets)
+
+    def kernel(self) -> SRRKernel:
+        """A fresh scheduler kernel at this configuration's initial state."""
+        return SRRKernel(self.algorithm())
+
+    def initial_snapshot(self) -> SRRState:
+        """The epoch-initial kernel state both ends install at a reset."""
+        return self.algorithm().initial_state()
 
     @property
     def n_channels(self) -> int:
@@ -308,8 +317,8 @@ class StripeSenderSession:
     def checkpoint_round(self) -> int:
         """The sender's current global round (stamped onto markers by the
         session wiring; see LocalChecker)."""
-        state = self.striper._srr_state()
-        return state.round_number if state is not None else 0
+        kernel = self.striper._kernel
+        return kernel.round_number if kernel is not None else 0
 
 
 class StripeReceiverSession:
@@ -361,6 +370,9 @@ class StripeReceiverSession:
             on_deliver=self._deliver,
             clock=lambda: self.sim.now,
         )
+        # Epoch boundary: both ends agree on the fresh kernel state, so the
+        # receiver adopts the sender's epoch-initial snapshot wholesale.
+        receiver.adopt_snapshot(config.initial_snapshot())
         return receiver
 
     def _deliver(self, packet: Any) -> None:

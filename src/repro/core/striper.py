@@ -27,8 +27,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Protocol, Sequence
 
+from repro.core.kernel import SRRKernel
 from repro.core.packet import MarkerPacket, Packet
-from repro.core.srr import SRR, SRRState
+from repro.core.srr import SRRState
 from repro.core.transform import LoadSharer, TransformedLoadSharer
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -117,11 +118,16 @@ class Striper:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.markers_sent = 0
+        #: the policy's scheduler kernel, when it has one (causal policies)
+        self._kernel: Optional[SRRKernel] = None
+        if isinstance(sharer, TransformedLoadSharer) and isinstance(
+            sharer.kernel, SRRKernel
+        ):
+            self._kernel = sharer.kernel
         self._markers_enabled = (
             marker_policy is not None
             and marker_policy.interval_rounds > 0
-            and isinstance(sharer, TransformedLoadSharer)
-            and isinstance(sharer.algorithm, SRR)
+            and self._kernel is not None
         )
         if marker_policy is not None and not self._markers_enabled:
             if marker_policy.interval_rounds > 0:
@@ -151,9 +157,12 @@ class Striper:
         """True if the next packet's designated channel has queue space."""
         if not self.input_queue:
             return False
-        channel = self.sharer.choose(
-            self.input_queue[0], [p.queue_length for p in self.ports]
-        )
+        if self._kernel is not None:
+            channel = self._kernel.ptr
+        else:
+            channel = self.sharer.choose(
+                self.input_queue[0], [p.queue_length for p in self.ports]
+            )
         return self.ports[channel].can_accept()
 
     def pump(self) -> int:
@@ -166,64 +175,71 @@ class Striper:
             self._initial_markers_pending = False
             self._emit_markers()
         sent = 0
+        kernel = self._kernel
+        markers = self._markers_enabled
+        trace = self.tracer.enabled
         while self.input_queue:
             packet = self.input_queue[0]
-            depths = [p.queue_length for p in self.ports]
-            channel = self.sharer.choose(packet, depths)
+            if kernel is not None:
+                # Causal policy: the kernel's pointer *is* the choice; no
+                # need to materialize queue depths it cannot look at.
+                channel = kernel.ptr
+            else:
+                depths = [p.queue_length for p in self.ports]
+                channel = self.sharer.choose(packet, depths)
             port = self.ports[channel]
             if not port.can_accept():
                 break  # must wait: causality forbids sending elsewhere
             self.input_queue.popleft()
-            old_state = self._srr_state()
+            if markers:
+                old_ptr, old_round = kernel.ptr, kernel.round_number
             port.send(packet)
             self.sharer.notify_sent(channel, packet)
             self.packets_sent += 1
             self.bytes_sent += getattr(packet, "size", 0)
             sent += 1
-            self.tracer.emit(
-                self.clock(), "striper", "send",
-                channel=channel, size=getattr(packet, "size", 0),
-            )
-            if self._markers_enabled:
-                self._check_marker_crossing(old_state, self._srr_state())
+            if trace:
+                self.tracer.emit(
+                    self.clock(), "striper", "send",
+                    channel=channel, size=getattr(packet, "size", 0),
+                )
+            if markers:
+                self._check_marker_crossing(old_ptr, old_round)
         return sent
 
     # ------------------------------------------------------------------ #
     # marker machinery
 
     def _srr_state(self) -> Optional[SRRState]:
-        if not self._markers_enabled:
+        if self._kernel is None:
             return None
-        assert isinstance(self.sharer, TransformedLoadSharer)
-        return self.sharer.state  # type: ignore[return-value]
+        return self._kernel.snapshot()
 
-    def _check_marker_crossing(
-        self, old: Optional[SRRState], new: Optional[SRRState]
-    ) -> None:
+    def _check_marker_crossing(self, old_ptr: int, old_round: int) -> None:
         """Emit markers if the pointer advanced into the policy position.
 
-        A single update can hop several channels (deep overdraw skipping),
-        so we walk the pointer path from ``old`` to ``new`` and count every
-        entry into ``position``.
+        A single step can hop several channels (deep overdraw skipping), so
+        we walk the pointer path from ``(old_ptr, old_round)`` to the
+        kernel's live position and count every entry into ``position``.
         """
-        assert old is not None and new is not None
+        kernel = self._kernel
         policy = self.marker_policy
-        assert policy is not None
-        if old.ptr == new.ptr and old.round_number == new.round_number:
+        assert kernel is not None and policy is not None
+        new_ptr, new_round = kernel.ptr, kernel.round_number
+        if old_ptr == new_ptr and old_round == new_round:
             return
-        algorithm = self.sharer.algorithm  # type: ignore[union-attr]
-        n = algorithm.n_channels
+        n = kernel.n_channels
         position = policy.position % n
         crossings = 0
-        ptr, rnd = old.ptr, old.round_number
-        while (ptr, rnd) != (new.ptr, new.round_number):
+        ptr, rnd = old_ptr, old_round
+        while (ptr, rnd) != (new_ptr, new_round):
             ptr += 1
             if ptr == n:
                 ptr = 0
                 rnd += 1
             if ptr == position:
                 crossings += 1
-            if rnd > new.round_number:  # safety: should never happen
+            if rnd > new_round:  # safety: should never happen
                 break
         for _ in range(crossings):
             self._crossings_seen += 1
@@ -232,16 +248,12 @@ class Striper:
 
     def _emit_markers(self) -> None:
         """Send one marker per channel with its next implicit number."""
-        assert isinstance(self.sharer, TransformedLoadSharer)
-        algorithm = self.sharer.algorithm
-        assert isinstance(algorithm, SRR)
-        state = self.sharer.state
+        kernel = self._kernel
         policy = self.marker_policy
-        assert policy is not None
-        for channel in range(algorithm.n_channels):
-            round_number, deficit = algorithm.next_number_for_channel(
-                state, channel
-            )
+        assert kernel is not None and policy is not None
+        trace = self.tracer.enabled
+        for channel in range(kernel.n_channels):
+            round_number, deficit = kernel.next_number_for_channel(channel)
             marker = MarkerPacket(
                 channel=channel,
                 round_number=round_number,
@@ -252,10 +264,11 @@ class Striper:
                 self.marker_decorator(channel, marker)
             self.ports[channel].send(marker, force=True)
             self.markers_sent += 1
-            self.tracer.emit(
-                self.clock(), "striper", "marker",
-                channel=channel, r=round_number, d=deficit,
-            )
+            if trace:
+                self.tracer.emit(
+                    self.clock(), "striper", "marker",
+                    channel=channel, r=round_number, d=deficit,
+                )
             if self.on_marker is not None:
                 self.on_marker(channel, marker)
 

@@ -11,9 +11,12 @@ This module provides:
   (including non-causal baselines like shortest-queue-first, which is why
   ``choose`` also receives the packet and current queue depths).
 * :class:`TransformedLoadSharer` — wraps any :class:`~repro.core.cfq.CausalFQ`
-  into a load sharer, per the paper's transformation.
+  into a load sharer, per the paper's transformation.  Internally it steps
+  a :class:`~repro.core.kernel.SchedulerKernel`, so the per-packet path is
+  mutation, not frozen-state churn.
 * :func:`stripe_sequence` — offline driver: split an input sequence across
-  channels (the paper's Figure 3 / Figure 6 direction).
+  channels (the paper's Figure 3 / Figure 6 direction), batched through
+  ``assign_many``.
 * :func:`verify_reverse_correspondence` — an executable rendering of the
   Theorem 3.1 proof: feed the load sharer's per-channel outputs back into
   the original CFQ algorithm as queues and check the FQ service order
@@ -27,6 +30,7 @@ import abc
 from typing import Any, List, Optional, Sequence
 
 from repro.core.cfq import Capabilities, CausalFQ, fq_service_order
+from repro.core.kernel import SchedulerKernel, kernel_for
 from repro.core.packet import Packet
 
 
@@ -67,6 +71,32 @@ class LoadSharer(abc.ABC):
     def notify_sent(self, channel: int, packet: Any) -> None:
         """Commit: the packet was handed to ``channel``'s transmit queue."""
 
+    def assign_many(
+        self,
+        packets: Sequence[Any],
+        queue_depths: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Assign a burst of packets; returns one channel index per packet.
+
+        The default runs the two-phase protocol per packet, tracking the
+        queue-depth growth a depth-sensitive policy (e.g. shortest queue
+        first) would observe if the burst were submitted one at a time to
+        infinite queues.  Kernel-backed policies override this with a
+        single batched loop.
+        """
+        depths = (
+            list(queue_depths)
+            if queue_depths is not None
+            else [0] * self.n_channels
+        )
+        out: List[int] = []
+        for packet in packets:
+            channel = self.choose(packet, depths)
+            self.notify_sent(channel, packet)
+            depths[channel] += 1
+            out.append(channel)
+        return out
+
     def reset(self) -> None:
         """Restore initial state (default implemented by subclasses)."""
         raise NotImplementedError
@@ -79,6 +109,11 @@ class TransformedLoadSharer(LoadSharer):
     the state on each send.  Because the choice never depends on the packet
     (until it is sent), the policy is causal and a receiver running the
     same CFQ algorithm can simulate it — the basis of logical reception.
+
+    Stepping is delegated to the :class:`~repro.core.kernel.SchedulerKernel`
+    built by :func:`~repro.core.kernel.kernel_for`; the legacy ``state``
+    attribute remains available as a snapshot view for code (and tests)
+    written against the immutable path.
     """
 
     simulatable = True
@@ -86,30 +121,46 @@ class TransformedLoadSharer(LoadSharer):
     def __init__(self, algorithm: CausalFQ) -> None:
         self.algorithm = algorithm
         self.capabilities = algorithm.capabilities
-        self.state = algorithm.initial_state()
+        self.kernel: SchedulerKernel = kernel_for(algorithm)
 
     @property
     def n_channels(self) -> int:
         return self.algorithm.n_channels
+
+    @property
+    def state(self) -> Any:
+        """Snapshot of the kernel state (immutable-path compatibility)."""
+        return self.kernel.snapshot()
+
+    @state.setter
+    def state(self, value: Any) -> None:
+        self.kernel.restore(value)
 
     def choose(
         self,
         packet: Any,
         queue_depths: Optional[Sequence[int]] = None,
     ) -> int:
-        return self.algorithm.select(self.state)
+        return self.kernel.peek()
 
     def notify_sent(self, channel: int, packet: Any) -> None:
-        expected = self.algorithm.select(self.state)
+        expected = self.kernel.peek()
         if channel != expected:
             raise ValueError(
                 f"causal policy must send to channel {expected}, "
                 f"but {channel} was reported"
             )
-        self.state = self.algorithm.update(self.state, packet.size)
+        self.kernel.step(packet.size)
+
+    def assign_many(
+        self,
+        packets: Sequence[Any],
+        queue_depths: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        return self.kernel.assign_many([p.size for p in packets])
 
     def reset(self) -> None:
-        self.state = self.algorithm.initial_state()
+        self.kernel.reset()
 
 
 def stripe_sequence(
@@ -119,15 +170,13 @@ def stripe_sequence(
 
     This is the offline (infinite queue, zero time) view used for fairness
     analysis and the Theorem 3.1 check; the event-driven sender lives in
-    :mod:`repro.core.striper`.
+    :mod:`repro.core.striper`.  Assignment goes through the policy's
+    batched :meth:`~LoadSharer.assign_many`, so kernel-backed policies run
+    the whole sequence in one tight loop.
     """
     channels: List[List[Packet]] = [[] for _ in range(sharer.n_channels)]
-    depths = [0] * sharer.n_channels
-    for packet in packets:
-        channel = sharer.choose(packet, depths)
+    for packet, channel in zip(packets, sharer.assign_many(packets)):
         channels[channel].append(packet)
-        depths[channel] += 1
-        sharer.notify_sent(channel, packet)
     return channels
 
 

@@ -29,7 +29,7 @@ Reported: goodput (complete packets only), cell loss, and the fraction of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.packet import Packet

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.experiments.topology import (
     R_ETH_IP,

@@ -1,0 +1,115 @@
+"""Scheduler-kernel stepping throughput: frozen states vs mutable kernel.
+
+The paper's Conclusion claims SRR "requires only a few extra instructions"
+per packet; this experiment measures what our three stepping paths make of
+that budget:
+
+* ``frozen`` — the immutable ``(s0, f, g)`` path: ``select`` + ``update``
+  allocating a frozen :class:`~repro.core.srr.SRRState` per packet (the
+  reference semantics, still used by property tests and any non-native
+  algorithm through :class:`~repro.core.kernel.CFQKernelAdapter`),
+* ``kernel`` — per-packet :meth:`~repro.core.kernel.SchedulerKernel.step`
+  on the mutable native kernel,
+* ``batched`` — one :meth:`~repro.core.kernel.SchedulerKernel.assign_many`
+  call over the whole burst.
+
+All three produce byte-identical channel assignments (asserted here and in
+``tests/properties/test_kernel_equivalence.py``); only the stepping
+machinery differs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class KernelBenchResult:
+    """Packets/second for each stepping path over the same workload."""
+
+    n_packets: int
+    n_channels: int
+    quanta: List[float]
+    packets_per_sec: Dict[str, float] = field(default_factory=dict)
+    speedup_vs_frozen: Dict[str, float] = field(default_factory=dict)
+    assignments_identical: bool = True
+
+    def render(self) -> str:
+        lines = [
+            f"workload: {self.n_packets} packets over {self.n_channels} "
+            f"channels, quanta {self.quanta}",
+            f"{'path':>10}  {'pkts/sec':>12}  {'vs frozen':>9}",
+        ]
+        for name, rate in self.packets_per_sec.items():
+            speedup = self.speedup_vs_frozen[name]
+            lines.append(f"{name:>10}  {rate:>12,.0f}  {speedup:>8.2f}x")
+        lines.append(
+            "assignments identical across paths: "
+            f"{self.assignments_identical}"
+        )
+        return "\n".join(lines)
+
+
+def run_kernel_bench(
+    n_packets: int = 200_000,
+    quanta: Sequence[float] = (1500.0, 2070.0, 900.0),
+    seed: int = 1,
+    repeats: int = 3,
+) -> KernelBenchResult:
+    """Time the three stepping paths over one random workload.
+
+    Each path runs ``repeats`` times and the best run is reported (standard
+    micro-benchmark practice: the minimum is the least-noise estimate).
+    """
+    from repro.core.kernel import SRRKernel
+    from repro.core.srr import SRR
+
+    rng = random.Random(seed)
+    sizes = [rng.randint(40, 1500) for _ in range(n_packets)]
+    algorithm = SRR(list(quanta))
+
+    def run_frozen() -> List[int]:
+        state = algorithm.initial_state()
+        select = algorithm.select
+        update = algorithm.update
+        out: List[int] = []
+        append = out.append
+        for size in sizes:
+            append(select(state))
+            state = update(state, size)
+        return out
+
+    def run_kernel() -> List[int]:
+        kernel = SRRKernel(algorithm)
+        step = kernel.step
+        return [step(size) for size in sizes]
+
+    def run_batched() -> List[int]:
+        return SRRKernel(algorithm).assign_many(sizes)
+
+    paths = {"frozen": run_frozen, "kernel": run_kernel, "batched": run_batched}
+    rates: Dict[str, float] = {}
+    outputs: Dict[str, List[int]] = {}
+    for name, fn in paths.items():
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outputs[name] = fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+        rates[name] = n_packets / best
+
+    identical = outputs["frozen"] == outputs["kernel"] == outputs["batched"]
+    frozen_rate = rates["frozen"]
+    return KernelBenchResult(
+        n_packets=n_packets,
+        n_channels=len(quanta),
+        quanta=[float(q) for q in quanta],
+        packets_per_sec=rates,
+        speedup_vs_frozen={k: v / frozen_rate for k, v in rates.items()},
+        assignments_identical=identical,
+    )

@@ -176,6 +176,14 @@ def _run_cell_striping(quick: bool = False):
     return run_cell_striping()
 
 
+def _run_kernel_bench(quick: bool = False):
+    from repro.experiments.kernel_bench import run_kernel_bench
+
+    if quick:
+        return run_kernel_bench(n_packets=50_000, repeats=1)
+    return run_kernel_bench()
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     e.name: e
     for e in [
@@ -252,6 +260,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "cell_striping", "Conclusion (extension)",
             "Cell vs packet striping over ATM: the early-discard argument",
             _run_cell_striping,
+        ),
+        Experiment(
+            "kernel_bench", "Conclusion (perf)",
+            "Scheduler-kernel stepping: frozen vs mutable vs batched",
+            _run_kernel_bench,
         ),
     ]
 }

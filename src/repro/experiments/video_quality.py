@@ -21,7 +21,7 @@ Protocol of the reproduction (see DESIGN.md for the NV substitution):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.experiments.socket_harness import (
     SocketTestbedConfig,

@@ -19,9 +19,10 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.cfq import fq_service_order
+from repro.core.kernel import SRRKernel
 from repro.core.markers import SRRReceiver
 from repro.core.packet import Packet, is_marker
-from repro.core.srr import SRR, SRRState
+from repro.core.srr import SRR
 from repro.core.striper import ListPort, MarkerPolicy, Striper
 from repro.core.transform import TransformedLoadSharer, stripe_sequence
 
@@ -104,12 +105,10 @@ def run_fig5_6() -> Fig5_6Result:
     order = fq_service_order(algorithm, [queue1, queue2])
 
     trace: List[Tuple[str, int, float]] = []
-    state: SRRState = algorithm.initial_state()
+    kernel = SRRKernel(algorithm)
     for packet in order:
-        channel = algorithm.select(state)
-        new_state = algorithm.update(state, packet.size)
-        trace.append((packet.label or "?", channel, new_state.dc[channel]))
-        state = new_state
+        channel = kernel.step(packet.size)
+        trace.append((packet.label or "?", channel, kernel.dc[channel]))
 
     # Paper DC values after each send: a: -50, d: 300, e: -100, b: 300,
     # c: 0, f: 0 (Figure 5).

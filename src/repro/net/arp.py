@@ -11,7 +11,7 @@ outstanding; the reply fills the cache and flushes the queue.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.net.addresses import IPAddress, MACAddress

@@ -29,7 +29,7 @@ receiver handles fewer, bigger packets (the paper's 8 KB-MTU observation).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.striper import ChannelPort, MarkerPolicy, Striper
@@ -121,6 +121,8 @@ class FragmentingStriper(Striper):
             self._initial_markers_pending = False
             self._emit_markers()
         sent = 0
+        kernel = self._kernel
+        markers = self._markers_enabled
         while True:
             if self._current is None:
                 if not self.input_queue:
@@ -130,8 +132,11 @@ class FragmentingStriper(Striper):
                     packet, int(packet.size), next(_fragment_packet_ids), [],
                 ]
             packet, remaining, packet_id, fragments = self._current
-            depths = [p.queue_length for p in self.ports]
-            channel = self.sharer.choose(packet, depths)
+            if kernel is not None:
+                channel = kernel.ptr
+            else:
+                depths = [p.queue_length for p in self.ports]
+                channel = self.sharer.choose(packet, depths)
             port = self.ports[channel]
             if not port.can_accept():
                 return sent  # causal blocking, mid-packet included
@@ -146,7 +151,8 @@ class FragmentingStriper(Striper):
             fragments.append(fragment)
             remaining -= chunk
             self._current[1] = remaining
-            old_state = self._srr_state()
+            if markers:
+                old_ptr, old_round = kernel.ptr, kernel.round_number
             port.send(fragment)
             self.sharer.notify_sent(channel, fragment)
             self.fragments_sent += 1
@@ -158,8 +164,8 @@ class FragmentingStriper(Striper):
                 self.packets_sent += 1
                 self.bytes_sent += packet.size
                 self._current = None
-            if self._markers_enabled:
-                self._check_marker_crossing(old_state, self._srr_state())
+            if markers:
+                self._check_marker_crossing(old_ptr, old_round)
         return sent
 
 

@@ -13,7 +13,7 @@ requires for any striping scheme that does not fragment internally.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cfq import CausalFQ
 from repro.core.markers import SRRReceiver

@@ -17,7 +17,7 @@ order.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Optional
 
 from repro.sim.engine import Simulator
@@ -193,14 +193,12 @@ class Channel:
             self._last_arrival = arrival
             self.sim.schedule_at(arrival, self._deliver, packet, size)
 
-        had_backlog = len(self._queue) > 0
         self._start_next()
         # The queue just shrank by one; tell the sender space is available.
         if self.on_space is not None and (
             self.queue_limit is None or len(self._queue) < self.queue_limit
         ):
             self.on_space()
-        del had_backlog
 
     def _deliver(self, packet: Any, size: int) -> None:
         self.stats.delivered_packets += 1

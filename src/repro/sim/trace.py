@@ -63,5 +63,34 @@ class Tracer:
         self.dropped = 0
 
 
+class NullTracer(Tracer):
+    """A tracer that can never record anything.
+
+    Hot paths default to :data:`NULL_TRACER` and additionally guard emit
+    calls with ``if tracer.enabled:`` so the per-event kwargs dict is never
+    even built when tracing is off; this class backstops any unguarded
+    call site with a constant-time no-op and refuses to be enabled (a
+    shared module-level instance must stay inert).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        pass
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return False
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        if value:
+            raise ValueError(
+                "NULL_TRACER is shared and cannot be enabled; "
+                "create a Tracer() instead"
+            )
+
+
 #: A shared disabled tracer components can default to.
-NULL_TRACER = Tracer(enabled=False)
+NULL_TRACER = NullTracer()

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.cfq import CausalFQ
 from repro.core.packet import MarkerPacket, Packet
 from repro.core.striper import MarkerPolicy
 from repro.net.stack import Stack

@@ -17,7 +17,7 @@ connections.)
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.cfq import CausalFQ
 from repro.core.packet import Packet

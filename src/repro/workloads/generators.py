@@ -14,7 +14,7 @@ The paper's workloads:
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.packet import Packet
 from repro.sim.engine import Simulator

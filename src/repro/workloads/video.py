@@ -20,8 +20,8 @@ of these scores.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.core.packet import Packet
 

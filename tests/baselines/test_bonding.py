@@ -75,7 +75,6 @@ class TestDemux:
         demux = BondingDemux(2, max_skew_frames=3)
         frames = mux.submit(Packet(2000))  # 20 frames
         ch0 = [f for f in frames if f.channel == 0]
-        ch1 = [f for f in frames if f.channel == 1]
         for frame in ch0:  # 10 frames of one channel arrive way early
             demux.push(frame)
         assert demux.sync_losses >= 1

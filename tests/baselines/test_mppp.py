@@ -1,6 +1,5 @@
 """Unit tests for the MPPP-style sequence-numbered striping baseline."""
 
-import pytest
 
 from repro.baselines.mppp import (
     MPPP_HEADER_BYTES,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.cfq import bits_per_queue, fq_service_order
-from repro.core.packet import Packet
 from repro.core.srr import SRR, make_rr
 from tests.conftest import make_packets
 

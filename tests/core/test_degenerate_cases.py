@@ -1,6 +1,5 @@
 """Degenerate and boundary configurations across the core stack."""
 
-import pytest
 
 from repro.core.markers import SRRReceiver
 from repro.core.packet import Packet

@@ -1,0 +1,357 @@
+"""Unit tests for the scheduler kernel: stepping, snapshot/restore, and
+snapshot adoption across marker recovery and session reset."""
+
+import random
+
+import pytest
+
+from repro.core.cfq import fq_service_order_noncausal
+from repro.core.kernel import (
+    CFQKernelAdapter,
+    DRRKernel,
+    SRRKernel,
+    kernel_for,
+    make_grr_kernel,
+    make_rr_kernel,
+)
+from repro.core.markers import SRRReceiver
+from repro.core.packet import Packet
+from repro.core.schemes import SeededRandomFQ
+from repro.core.session import StripeConfig, StripeReceiverSession, StripeSenderSession
+from repro.core.srr import DRR, SRR, SRRState
+from repro.core.striper import ListPort, MarkerPolicy, Striper
+from repro.core.transform import TransformedLoadSharer, stripe_sequence
+from repro.sim.engine import Simulator
+
+
+def make_packets(n, seed=7, lo=40, hi=1500):
+    rng = random.Random(seed)
+    return [Packet(rng.randint(lo, hi), seq=i) for i in range(n)]
+
+
+class TestKernelBasics:
+    def test_kernel_for_dispatch(self):
+        assert isinstance(kernel_for(SRR([100.0, 200.0])), SRRKernel)
+        assert isinstance(kernel_for(SeededRandomFQ(2)), CFQKernelAdapter)
+
+    def test_srr_kernel_rejects_non_srr(self):
+        with pytest.raises(TypeError):
+            SRRKernel(SeededRandomFQ(2))
+
+    def test_step_returns_peeked_channel(self):
+        kernel = SRRKernel(SRR([100.0, 100.0]))
+        for size in (60, 60, 60, 60, 60):
+            expected = kernel.peek()
+            assert kernel.step(size) == expected
+
+    def test_factories(self):
+        rr = make_rr_kernel(3)
+        assert rr.assign_many([999, 1, 77]) == [0, 1, 2]
+        grr = make_grr_kernel([2, 1])
+        assert grr.assign_many([10] * 6) == [0, 0, 1, 0, 0, 1]
+
+    def test_reset_returns_to_initial_state(self):
+        kernel = SRRKernel(SRR([100.0, 300.0]))
+        initial = kernel.snapshot()
+        kernel.assign_many([90, 250, 17, 400])
+        assert kernel.snapshot() != initial
+        kernel.reset()
+        assert kernel.snapshot() == initial
+
+    def test_assign_many_empty(self):
+        kernel = SRRKernel(SRR([100.0, 100.0]))
+        before = kernel.snapshot()
+        assert kernel.assign_many([]) == []
+        assert kernel.snapshot() == before
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_srr_state_and_detached(self):
+        kernel = SRRKernel(SRR([100.0, 200.0]))
+        kernel.step(60)
+        snap = kernel.snapshot()
+        assert isinstance(snap, SRRState)
+        kernel.step(500)  # further mutation must not leak into the snapshot
+        assert snap != kernel.snapshot()
+
+    def test_restore_resumes_identically(self):
+        sizes = [113, 908, 77, 1500, 1, 640] * 5
+        kernel = SRRKernel(SRR([500.0, 300.0, 800.0]))
+        kernel.assign_many(sizes[:10])
+        snap = kernel.snapshot()
+        tail_a = kernel.assign_many(sizes[10:])
+        kernel.restore(snap)
+        tail_b = kernel.assign_many(sizes[10:])
+        assert tail_a == tail_b
+
+    def test_restore_interops_with_immutable_states(self):
+        """A state produced by CausalFQ.update is a valid kernel snapshot."""
+        algorithm = SRR([500.0, 300.0])
+        state = algorithm.initial_state()
+        for size in (400, 200, 77):
+            state = algorithm.update(state, size)
+        kernel = SRRKernel(algorithm)
+        kernel.restore(state)
+        assert kernel.snapshot() == state
+        assert kernel.peek() == algorithm.select(state)
+
+    def test_restore_rejects_wrong_channel_count(self):
+        kernel = SRRKernel(SRR([100.0, 100.0]))
+        with pytest.raises(ValueError):
+            kernel.restore(SRRState(ptr=0, round_number=1, dc=(1.0,)))
+
+    def test_adapter_snapshot_restore(self):
+        kernel = CFQKernelAdapter(SeededRandomFQ(3, seed=5))
+        kernel.assign_many([10, 20])
+        snap = kernel.snapshot()
+        tail_a = kernel.assign_many([30, 40, 50])
+        kernel.restore(snap)
+        assert kernel.assign_many([30, 40, 50]) == tail_a
+
+
+class TestDRRKernel:
+    def test_matches_immutable_drr(self):
+        quanta = [500.0, 300.0]
+        packets = make_packets(60, seed=3, lo=1, hi=450)
+        queues = [packets[0::2], packets[1::2]]
+        reference = fq_service_order_noncausal(DRR(quanta), queues)
+
+        kernel = DRRKernel(quanta)
+        positions = [0, 0]
+        order = []
+        while True:
+            heads = [
+                queues[i][positions[i]].size
+                if positions[i] < len(queues[i]) else None
+                for i in range(2)
+            ]
+            if all(h is None for h in heads):
+                break
+            queue = kernel.next(heads)
+            packet = queues[queue][positions[queue]]
+            positions[queue] += 1
+            order.append(packet)
+            kernel.consume(queue, packet.size)
+        assert [p.uid for p in order] == [p.uid for p in reference]
+
+    def test_snapshot_restore(self):
+        kernel = DRRKernel([100.0, 100.0])
+        kernel.next([60, 60])
+        kernel.consume(0, 60)
+        snap = kernel.snapshot()
+        kernel.next([60, 60])
+        kernel.consume(0, 60)
+        assert kernel.snapshot() != snap
+        kernel.restore(snap)
+        assert kernel.snapshot() == snap
+
+
+class TestReceiverSnapshotAdoption:
+    """Theorem 5.1 flavor: a receiver that adopts a sender kernel snapshot
+    mid-stream converges to FIFO delivery of the remaining stream."""
+
+    def _striped_with_states(self, algorithm, packets):
+        """Stripe packets, recording the sender snapshot before each."""
+        kernel = SRRKernel(algorithm)
+        snapshots = []
+        channels = [[] for _ in range(algorithm.n_channels)]
+        placements = []
+        for packet in packets:
+            snapshots.append(kernel.snapshot())
+            channel = kernel.step(packet.size)
+            channels[channel].append(packet)
+            placements.append(channel)
+        return channels, placements, snapshots
+
+    def test_mid_stream_adoption_converges(self):
+        algorithm = SRR([1500.0, 2070.0, 900.0])
+        packets = make_packets(400, seed=11)
+        channels, placements, snapshots = self._striped_with_states(
+            algorithm, packets
+        )
+        cut = 217  # receiver boots mid-stream: packets before this are gone
+
+        receiver = SRRReceiver(SRR([1500.0, 2070.0, 900.0]))
+        delivered = []
+        receiver.on_deliver = delivered.append
+        # Adopt the sender's exact state as of the cut...
+        receiver.adopt_snapshot(snapshots[cut])
+        # ...then receive only the post-cut suffix of each channel stream.
+        suffix = [[] for _ in channels]
+        for index in range(cut, len(packets)):
+            suffix[placements[index]].append(packets[index])
+        progressing = True
+        cursors = [0] * len(suffix)
+        while progressing:  # interleave channels packet by packet
+            progressing = False
+            for c, stream in enumerate(suffix):
+                if cursors[c] < len(stream):
+                    receiver.push(c, stream[cursors[c]])
+                    cursors[c] += 1
+                    progressing = True
+        assert [p.seq for p in delivered] == [
+            p.seq for p in packets[cut:]
+        ]  # exact FIFO from the adoption point on
+
+    def test_adoption_equivalent_to_full_replay(self):
+        """Adopting snapshot[k] then feeding the suffix leaves the same
+        mirror state as replaying the whole stream."""
+        algorithm = SRR([700.0, 400.0])
+        packets = make_packets(120, seed=2, lo=1, hi=600)
+        channels, placements, snapshots = self._striped_with_states(
+            algorithm, packets
+        )
+
+        full = SRRReceiver(SRR([700.0, 400.0]))
+        for index, packet in enumerate(packets):
+            full.push(placements[index], packet)
+
+        cut = 60
+        partial = SRRReceiver(SRR([700.0, 400.0]))
+        partial.adopt_snapshot(snapshots[cut])
+        for index in range(cut, len(packets)):
+            partial.push(placements[index], packets[index])
+        assert partial.mirror_state() == full.mirror_state()
+
+    def test_snapshot_restore_across_marker_adoption(self):
+        """restore() rewinds marker adoptions: replaying the same arrivals
+        from a snapshot reproduces the same mirror state and deliveries."""
+        ports = [ListPort(), ListPort()]
+        striper = Striper(
+            TransformedLoadSharer(SRR([1500.0, 2070.0])), ports,
+            MarkerPolicy(interval_rounds=1, initial_markers=False),
+        )
+        for packet in make_packets(300, seed=9):
+            striper.submit(packet)
+        streams = [list(p.sent) for p in ports]
+
+        receiver = SRRReceiver(SRR([1500.0, 2070.0]))
+        delivered = []
+        receiver.on_deliver = lambda p: delivered.append(p.seq)
+        snap = receiver.snapshot()  # pre-adoption mirror, buffers empty
+
+        def feed_all():
+            progressing = True
+            cursors = [0, 0]
+            while progressing:
+                progressing = False
+                for c in range(2):
+                    if cursors[c] < len(streams[c]):
+                        receiver.push(c, streams[c][cursors[c]])
+                        cursors[c] += 1
+                        progressing = True
+
+        feed_all()
+        first_run = list(delivered)
+        assert first_run  # markers were adopted and packets delivered
+        assert receiver.stats.adoptions > 0
+        assert receiver.buffered == 0  # fully drained: safe to replay
+
+        # Rewind the mirror past every adoption and replay the arrivals.
+        receiver.restore(snap)
+        delivered.clear()
+        feed_all()
+        assert delivered == first_run
+
+    def test_restore_rejects_wrong_width(self):
+        receiver = SRRReceiver(SRR([100.0, 100.0]))
+        other = SRRReceiver(SRR([100.0, 100.0, 100.0]))
+        with pytest.raises(ValueError):
+            receiver.restore(other.snapshot())
+        with pytest.raises(ValueError):
+            receiver.adopt_snapshot(
+                SRRState(ptr=0, round_number=1, dc=(1.0, 1.0, 1.0))
+            )
+
+
+class TestSessionResetInstallsFreshKernel:
+    def _loopback(self, sim, n_ports=2, quanta=(100.0, 100.0)):
+        ports = [ListPort() for _ in range(n_ports)]
+        config = StripeConfig(quanta=tuple(quanta))
+        sender = StripeSenderSession(sim, ports, config)
+        delivered = []
+
+        def send_control(packet):
+            sender.on_control(packet)
+
+        receiver = StripeReceiverSession(
+            sim, n_ports, config, send_control,
+            on_deliver=lambda p: delivered.append(p.seq),
+        )
+        return ports, sender, receiver, delivered
+
+    def _flush(self, ports, receiver, cursors):
+        progressing = True
+        while progressing:
+            progressing = False
+            for index, port in enumerate(ports):
+                if cursors[index] < len(port.sent):
+                    receiver.push(index, port.sent[cursors[index]])
+                    cursors[index] += 1
+                    progressing = True
+
+    def test_reset_installs_epoch_initial_snapshot_both_ends(self):
+        sim = Simulator()
+        ports, sender, receiver, delivered = self._loopback(sim)
+        cursors = [0, 0]
+        for packet in make_packets(40, seed=4, lo=10, hi=90):
+            sender.submit(packet)
+        self._flush(ports, receiver, cursors)
+        assert delivered == list(range(40))
+
+        new_config = StripeConfig(quanta=(250.0, 125.0))
+        sender.initiate_reset(new_config)
+        self._flush(ports, receiver, cursors)  # RESETs reach the receiver
+        sim.run()
+        assert sender.state == sender.RUNNING
+
+        # Both ends now sit at the new config's epoch-initial kernel state.
+        assert sender.striper._kernel.snapshot() == new_config.initial_snapshot()
+        mirror = receiver.receiver.mirror_state()
+        assert mirror["ptr"] == 0
+        assert mirror["G"] == 1
+        assert mirror["dc"] == (250.0, 0.0)
+        assert mirror["sync_round"] == (None, None)
+
+        # And the new epoch delivers FIFO with the new quanta.
+        delivered.clear()
+        for packet in make_packets(60, seed=5, lo=10, hi=240):
+            sender.submit(packet)
+        self._flush(ports, receiver, cursors)
+        assert delivered == list(range(60))
+
+    def test_reconfig_changes_kernel_width(self):
+        sim = Simulator()
+        ports, sender, receiver, delivered = self._loopback(
+            sim, n_ports=3, quanta=(100.0, 100.0, 100.0)
+        )
+        cursors = [0, 0, 0]
+        drop_config = sender.config_without(1)
+        sender.initiate_reset(drop_config)
+        self._flush(ports, receiver, cursors)
+        sim.run()
+        assert sender.striper._kernel.n_channels == 2
+        assert receiver.receiver.n_channels == 2
+        for packet in make_packets(30, seed=6, lo=10, hi=90):
+            sender.submit(packet)
+        self._flush(ports, receiver, cursors)
+        assert delivered == list(range(30))
+
+
+class TestStripeSequenceBatched:
+    def test_matches_two_phase_protocol(self):
+        """The batched stripe_sequence equals the explicit per-packet
+        choose/notify_sent protocol for a causal policy."""
+        packets = make_packets(500, seed=8)
+        batched = stripe_sequence(
+            TransformedLoadSharer(SRR([1500.0, 900.0])), packets
+        )
+        sharer = TransformedLoadSharer(SRR([1500.0, 900.0]))
+        reference = [[] for _ in range(2)]
+        for packet in packets:
+            channel = sharer.choose(packet)
+            reference[channel].append(packet)
+            sharer.notify_sent(channel, packet)
+        assert [[p.uid for p in ch] for ch in batched] == [
+            [p.uid for p in ch] for ch in reference
+        ]

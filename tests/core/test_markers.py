@@ -116,7 +116,6 @@ class TestLossRecovery:
         packets = make_packets([500] * 300)
         streams = stripe_with_markers(algorithm, packets, interval=1)
         data0 = [p for p in streams[0] if not is_marker(p)]
-        markers0 = [p for p in streams[0] if is_marker(p)]
         # lose data packet 40 AND the next marker after it
         victim = data0[40]
         idx = streams[0].index(victim)

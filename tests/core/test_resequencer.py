@@ -9,7 +9,7 @@ from repro.core.resequencer import NullResequencer, Resequencer
 from repro.core.schemes import SeededRandomFQ
 from repro.core.srr import SRR, make_rr
 from repro.core.transform import TransformedLoadSharer, stripe_sequence
-from tests.conftest import assert_fifo, make_packets, random_sizes
+from tests.conftest import make_packets, random_sizes
 
 
 def roundtrip(algorithm, packets, interleave_seed=None):

@@ -13,7 +13,6 @@ from repro.core.session import (
     StripeSenderSession,
 )
 from repro.core.striper import ListPort, MarkerPolicy
-from repro.sim.engine import Simulator
 
 
 class Loopback:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.cfq import fq_service_order, fq_service_order_noncausal
-from repro.core.packet import Packet
 from repro.core.srr import (
     DRR,
     SRR,

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.core.packet import MarkerPacket, Packet, is_marker
+from repro.core.packet import Packet, is_marker
 from repro.core.srr import SRR, make_rr
 from repro.core.striper import ListPort, MarkerPolicy, Striper
 from repro.core.transform import TransformedLoadSharer
 from repro.baselines.sqf import ShortestQueueFirst
-from tests.conftest import make_packets
 
 
 def make_striper(algorithm, port_limits=None, policy=None):

@@ -36,7 +36,7 @@ class TestBurstLossRecovery:
         testbed = build_socket_testbed(
             sim, SocketTestbedConfig(marker_interval_rounds=1)
         )
-        models = install_burst_loss(testbed)
+        install_burst_loss(testbed)
         sim.run(until=2.0)
         report = analyze_order(testbed.delivered_seqs(), testbed.messages_sent)
         assert report.missing > 20           # bursts really bit

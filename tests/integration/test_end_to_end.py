@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.experiments.topology import (
     R_ATM_IP,

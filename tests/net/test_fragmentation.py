@@ -119,7 +119,6 @@ class TestReassembler:
         packets = make_packets([4000, 4000, 4000])
         for packet in packets:
             striper.submit(packet)
-        fragments = [f for port in ports for f in port.sent]
         # logical order reconstruction via a resequencer:
         rebuilt = []
         reassembler = Reassembler(on_packet=rebuilt.append)

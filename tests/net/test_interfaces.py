@@ -14,10 +14,8 @@ from repro.net.ethernet import (
     EthernetInterface,
     ethernet_wire_size,
 )
-from repro.net.interface import FrameType
 from repro.net.ip import IPPacket
 from repro.net.stack import Link, Stack
-from repro.transport.udp import UdpLayer
 
 
 class TestFramingMath:

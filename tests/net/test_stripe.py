@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.srr import SRR, make_rr
+from repro.core.srr import SRR
 from repro.core.striper import MarkerPolicy
 from repro.net.ethernet import EthernetInterface
 from repro.net.ip import IPPacket
@@ -30,7 +30,9 @@ def striped_pair(sim, reseq=RESEQ_MARKER, queue_limit=50):
         interfaces[f"s{index}"] = a
         interfaces[f"r{index}"] = b
 
-    algo = lambda: SRR([1500.0, 1500.0])
+    def algo():
+        return SRR([1500.0, 1500.0])
+
     policy = MarkerPolicy(interval_rounds=1)
     stripe_s = StripeInterface(
         sim, "stripe0", "10.0.1.1",

@@ -15,7 +15,7 @@ small sizes, which is as close to model checking as pure pytest gets:
 import itertools
 
 from repro.core.markers import SRRReceiver
-from repro.core.packet import Packet, is_marker
+from repro.core.packet import Packet
 from repro.core.resequencer import Resequencer
 from repro.core.srr import SRR
 from repro.core.striper import ListPort, MarkerPolicy, Striper
@@ -115,7 +115,6 @@ class TestTheorem41Exhaustive:
     def test_all_interleavings_of_small_channels(self):
         """Every merge order of two 4-packet channel streams delivers the
         identical FIFO sequence."""
-        algorithm = SRR([100.0, 100.0])
         packets = [Packet(100, seq=i) for i in range(8)]
         channels = stripe_sequence(
             TransformedLoadSharer(SRR([100.0, 100.0])), packets

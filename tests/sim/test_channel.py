@@ -186,7 +186,7 @@ class TestLossAndCorruption:
 class TestStatsAndValidation:
     def test_stats_accumulate(self, sim):
         channel = Channel(sim, bandwidth_bps=1e6, prop_delay=0.0)
-        out = collect(channel)
+        collect(channel)
         for i in range(10):
             channel.send(Packet(100, seq=i))
         sim.run()

@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.srr import SRR
-from repro.experiments.socket_harness import SocketTestbedConfig
 from repro.net.ethernet import EthernetInterface
 from repro.net.stack import Link, Stack
-from repro.sim.engine import Simulator
 from repro.transport.duplex import connect_duplex
 from repro.workloads.generators import ClosedLoopSource, ConstantSizes
 

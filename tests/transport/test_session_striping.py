@@ -1,9 +1,6 @@
 """Integration tests for session-managed striping over simulated UDP."""
 
-import pytest
 
-from repro.analysis.reorder import analyze_order
-from repro.core.session import LocalChecker
 from repro.experiments.fault_tolerance import (
     build_session_testbed,
     run_capacity_adaptation,
@@ -28,7 +25,6 @@ class TestSessionDataPath:
         testbed = build_session_testbed(sim, n_channels=2)
         sim.schedule_at(0.25, testbed.sender.session.initiate_reset)
         sim.run(until=0.6)
-        seqs = [seq for _, seq in testbed.deliveries]
         # Data keeps flowing across the reset; what is delivered in the new
         # epoch stays in order (a bounded set may be lost in flight).
         assert testbed.sender.session.resets_completed == 1

@@ -34,7 +34,7 @@ class TestHandshake:
 
     def test_lost_syn_retried(self, sim):
         ts, tr, _ = tcp_pair(sim, loss_ab=DeterministicLoss([0]))
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000, total_bytes=0)
         tx.start()
         sim.run(until=5.0)
@@ -88,7 +88,7 @@ class TestTransfer:
 
     def test_cwnd_grows_in_slow_start(self, sim):
         ts, tr, _ = tcp_pair(sim, queue_limit=2000)
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000)
         initial_cwnd = tx.cwnd
         tx.start()
@@ -128,7 +128,7 @@ class TestLossRecovery:
 
     def test_loss_halves_cwnd(self, sim):
         ts, tr, _ = tcp_pair(sim)
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000)
         tx.start()
         sim.run(until=3.0)
@@ -157,7 +157,7 @@ class TestSegment:
 
     def test_rtt_estimator_updates(self, sim):
         ts, tr, _ = tcp_pair(sim)
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000, total_bytes=50_000)
         tx.start()
         sim.run(until=2.0)

@@ -29,7 +29,7 @@ class TestRtoBehaviour:
     def test_rto_backs_off_exponentially(self, sim):
         """With the forward path dead, successive timeouts double the RTO."""
         ts, tr = tcp_pair(sim)
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000)  # unbounded transfer
         tx.start()
         sim.run(until=0.05)  # establish + get some data out
@@ -100,7 +100,7 @@ class TestGoBackN:
 
     def test_cwnd_collapses_to_one_mss_on_timeout(self, sim):
         ts, tr = tcp_pair(sim)
-        rx = BulkReceiver(tr, 80)
+        BulkReceiver(tr, 80)
         tx = BulkSender(ts, "10.0.1.2", 80, 1000)
         tx.start()
         sim.run(until=0.3)
