@@ -1,0 +1,84 @@
+"""End-to-end simulator throughput tracking: reference path vs fast path.
+
+The acceptance bar for the event-engine fast path: the burst-batched
+simulation (slot-free scheduling, channel transmit bursts, batched striper
+pump) must deliver at least 3x the packets/sec of the reference per-packet
+UDP/IP path on the scalability testbed, with the identical ``(time, seq)``
+delivery record list (checked inside the benchmark itself).
+
+Results are written to ``BENCH_sim.json`` at the repo root so the numbers
+are tracked across PRs.
+
+Environment knobs (for the CI smoke job and local quick runs):
+
+* ``SIM_BENCH_DURATION`` — simulated seconds per run (default 1.0).
+* ``SIM_BENCH_MIN_SPEEDUP`` — required min speedup (default 3.0; the CI
+  smoke job relaxes this because shared runners are noisy).
+* ``SIM_BENCH_CHANNELS`` — comma-separated channel counts
+  (default ``2,4,8,16``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.sim_bench import run_sim_bench
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+DURATION_S = float(os.environ.get("SIM_BENCH_DURATION", "1.0"))
+MIN_SPEEDUP = float(os.environ.get("SIM_BENCH_MIN_SPEEDUP", "3.0"))
+CHANNEL_COUNTS = tuple(
+    int(n) for n in os.environ.get("SIM_BENCH_CHANNELS", "2,4,8,16").split(",")
+)
+REPEATS = 3
+
+
+def test_bench_sim_fast_path_speedup():
+    """Fast path >= MIN_SPEEDUP x reference packets/sec; emit JSON."""
+    result = run_sim_bench(
+        channel_counts=CHANNEL_COUNTS,
+        duration_s=DURATION_S,
+        repeats=REPEATS,
+    )
+
+    assert result.all_equal(), (
+        "fast path delivery records diverged from the reference path:\n"
+        + result.render()
+    )
+
+    report = {
+        "workload": {
+            "testbed": "scalability clean run (SRR, per-round markers, "
+                       "closed-loop source)",
+            "channel_counts": list(CHANNEL_COUNTS),
+            "sim_duration_s": DURATION_S,
+            "link_mbps": 10.0,
+            "message_bytes": 1000,
+            "repeats": REPEATS,
+        },
+        "rows": [
+            {
+                "n_channels": row.n_channels,
+                "packets_delivered": row.packets,
+                "reference_pkts_per_sec": round(row.reference_pps),
+                "fast_pkts_per_sec": round(row.fast_pps),
+                "reference_events_per_sec": round(row.reference_eps),
+                "fast_events_per_sec": round(row.fast_eps),
+                "speedup": round(row.speedup, 2),
+                "deliveries_identical": row.deliveries_equal,
+            }
+            for row in result.rows
+        ],
+        "min_speedup": round(result.min_speedup(), 2),
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + result.render())
+    print(f"results written to {BENCH_JSON}")
+
+    assert result.min_speedup() >= MIN_SPEEDUP, (
+        f"fast path is only {result.min_speedup():.2f}x the reference path "
+        f"(need {MIN_SPEEDUP:.1f}x):\n" + result.render()
+    )

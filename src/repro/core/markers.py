@@ -105,6 +105,7 @@ class SRRReceiver:
         self.clock = clock if clock is not None else (lambda: 0.0)
         n = algorithm.n_channels
         self.buffers: List[Deque[Any]] = [deque() for _ in range(n)]
+        self._buffered = 0
         self.stats = SRRReceiverStats()
         # Mirror of the sender's initial state (see SRR.initial_state).
         self.ptr = 0
@@ -122,7 +123,8 @@ class SRRReceiver:
 
     @property
     def buffered(self) -> int:
-        return sum(len(b) for b in self.buffers)
+        """Packets buffered across channels (tracked incrementally, O(1))."""
+        return self._buffered
 
     def expected_channel(self) -> int:
         """The channel the receiver is currently blocked on."""
@@ -133,8 +135,9 @@ class SRRReceiver:
         if not 0 <= channel < self.n_channels:
             raise ValueError(f"channel {channel} out of range")
         self.buffers[channel].append(packet)
-        if self.buffered > self.stats.max_buffered:
-            self.stats.max_buffered = self.buffered
+        self._buffered += 1
+        if self._buffered > self.stats.max_buffered:
+            self.stats.max_buffered = self._buffered
         return self.drain()
 
     # ------------------------------------------------------------------ #
@@ -185,6 +188,7 @@ class SRRReceiver:
             if not buffer:
                 return out  # block on this channel
             packet = buffer.popleft()
+            self._buffered -= 1
             if is_marker(packet):
                 self._adopt(c, packet)
                 continue

@@ -59,6 +59,7 @@ class Resequencer:
         ]
         self.delivered = 0
         self.max_buffered = 0
+        self._buffered = 0
 
     @property
     def state(self) -> Any:
@@ -83,8 +84,12 @@ class Resequencer:
 
     @property
     def buffered(self) -> int:
-        """Packets currently held in per-channel buffers."""
-        return sum(len(b) for b in self.buffers)
+        """Packets currently held in per-channel buffers.
+
+        Tracked incrementally — reading it is O(1), not O(n_channels),
+        so the per-push high-water check stays cheap at large N.
+        """
+        return self._buffered
 
     def expected_channel(self) -> int:
         """The channel the next in-order packet will arrive on."""
@@ -99,8 +104,9 @@ class Resequencer:
         if not 0 <= channel < self.n_channels:
             raise ValueError(f"channel {channel} out of range")
         self.buffers[channel].append(packet)
-        if self.buffered > self.max_buffered:
-            self.max_buffered = self.buffered
+        self._buffered += 1
+        if self._buffered > self.max_buffered:
+            self.max_buffered = self._buffered
         return self.drain()
 
     def drain(self) -> List[Any]:
@@ -114,6 +120,7 @@ class Resequencer:
             if not buffer:
                 break  # block on the expected channel
             packet = buffer.popleft()
+            self._buffered -= 1
             if is_marker(packet):
                 continue  # recovery not handled here
             out.append(packet)

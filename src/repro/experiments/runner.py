@@ -40,8 +40,11 @@ class Experiment:
     name: str
     paper_ref: str
     description: str
-    run: Callable[..., Any]  # accepts quick: bool
+    run: Callable[..., Any]  # accepts quick: bool (and fast: bool if supported)
     quick_supported: bool = True
+    #: True if the experiment can run on the burst-batched simulation fast
+    #: path (``--fast``); results are identical, only wall clock changes.
+    fast_supported: bool = False
 
 
 def _run_table1(quick: bool = False) -> str:
@@ -152,12 +155,14 @@ def _run_multiflow(quick: bool = False):
     return run_multiflow()
 
 
-def _run_scalability(quick: bool = False):
+def _run_scalability(quick: bool = False, fast: bool = False):
     from repro.experiments.scalability import run_scalability
 
     if quick:
-        return run_scalability(channel_counts=(2, 8), duration_s=1.0)
-    return run_scalability()
+        return run_scalability(
+            channel_counts=(2, 8), duration_s=1.0, fast=fast
+        )
+    return run_scalability(fast=fast)
 
 
 def _run_tcp_channels(quick: bool = False):
@@ -182,6 +187,16 @@ def _run_kernel_bench(quick: bool = False):
     if quick:
         return run_kernel_bench(n_packets=50_000, repeats=1)
     return run_kernel_bench()
+
+
+def _run_sim_bench(quick: bool = False):
+    from repro.experiments.sim_bench import run_sim_bench
+
+    if quick:
+        return run_sim_bench(
+            channel_counts=(2, 8), duration_s=0.3, repeats=1
+        )
+    return run_sim_bench()
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -249,7 +264,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "scalability", "Title claim (extension)",
             "Throughput / ordering / recovery vs channel count",
-            _run_scalability,
+            _run_scalability, fast_supported=True,
         ),
         Experiment(
             "tcp_channels", "Section 2 (extension)",
@@ -266,17 +281,24 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Scheduler-kernel stepping: frozen vs mutable vs batched",
             _run_kernel_bench,
         ),
+        Experiment(
+            "sim_bench", "Section 6 (perf)",
+            "End-to-end simulator: reference path vs batched fast path",
+            _run_sim_bench,
+        ),
     ]
 }
 
 
-def run_experiment(name: str, quick: bool = False) -> Any:
+def run_experiment(name: str, quick: bool = False, fast: bool = False) -> Any:
     """Run one experiment by registry name; returns its result object."""
     experiment = EXPERIMENTS.get(name)
     if experiment is None:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         )
+    if fast and experiment.fast_supported:
+        return experiment.run(quick=quick, fast=True)
     return experiment.run(quick=quick)
 
 
@@ -289,6 +311,11 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(
         "--quick", action="store_true", help="shorter simulations"
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="run on the burst-batched simulation fast path where "
+             "supported (identical results, lower wall clock)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiments and exit"
@@ -315,7 +342,10 @@ def main(argv: List[str] | None = None) -> int:
         banner = f"=== {experiment.paper_ref}: {experiment.description} ==="
         print(banner)
         start = time.time()
-        result = experiment.run(quick=args.quick)
+        if args.fast and experiment.fast_supported:
+            result = experiment.run(quick=args.quick, fast=True)
+        else:
+            result = experiment.run(quick=args.quick)
         text = result if isinstance(result, str) else result.render()
         print(text)
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")

@@ -78,8 +78,14 @@ def run_scalability(
     message_bytes: int = 1000,
     with_recovery_probe: bool = True,
     seed: int = 0,
+    fast: bool = False,
 ) -> ScalabilityResult:
-    """Measure throughput / ordering / overhead / recovery vs channel count."""
+    """Measure throughput / ordering / overhead / recovery vs channel count.
+
+    ``fast=True`` runs every testbed on the burst-batched fast path
+    (:mod:`repro.transport.fast_path`); results are identical (the fast
+    path is property-tested equivalent), only wall-clock time changes.
+    """
     rows: List[ScalabilityRow] = []
     for n in channel_counts:
         # --- clean throughput run ----------------------------------------
@@ -93,6 +99,7 @@ def run_scalability(
             marker_interval_rounds=1,
             source_backlog=4 * n,
             seed=seed,
+            fast=fast,
         )
         testbed = build_socket_testbed(sim, config)
         sim.run(until=duration_s)
@@ -124,6 +131,7 @@ def run_scalability(
                     marker_interval_rounds=1,
                     source_backlog=4 * n,
                     seed=seed,
+                    fast=fast,
                 ),
             )
             loss_stop = 0.5

@@ -1,0 +1,155 @@
+"""End-to-end simulator benchmark: reference path vs fast path.
+
+Runs the scalability experiment's clean testbed (N equal links, SRR with
+per-round markers, closed-loop source) twice per channel count — once on
+the reference UDP/IP path with per-packet channel events, once on the
+burst-batched fast path — and reports wall-clock events/sec and delivered
+packets/sec for both, plus the packets/sec speedup.
+
+Every measurement pair is also an equivalence check: the two runs must
+produce the identical ``(time, seq)`` delivery record list, so a perf
+regression can never silently trade correctness for speed.
+
+``benchmarks/test_bench_sim.py`` wraps this as the checked-in regression
+gate (writing ``BENCH_sim.json``); the experiment runner exposes it as
+``sim_bench``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.socket_harness import (
+    SocketTestbedConfig,
+    build_socket_testbed,
+)
+from repro.sim.engine import Simulator
+
+DEFAULT_CHANNEL_COUNTS = (2, 4, 8, 16)
+
+
+@dataclass
+class SimBenchRow:
+    """One channel count's measurement pair."""
+
+    n_channels: int
+    packets: int
+    reference_pps: float
+    fast_pps: float
+    reference_eps: float
+    fast_eps: float
+    deliveries_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.reference_pps == 0:
+            return 0.0
+        return self.fast_pps / self.reference_pps
+
+    def render(self) -> str:
+        return (
+            f"{self.n_channels:>4} {self.packets:>8} "
+            f"{self.reference_pps:>12.0f} {self.fast_pps:>12.0f} "
+            f"{self.speedup:>7.2f}x "
+            f"{self.reference_eps:>12.0f} {self.fast_eps:>12.0f} "
+            f"{'ok' if self.deliveries_equal else 'MISMATCH':>9}"
+        )
+
+
+@dataclass
+class SimBenchResult:
+    rows: List[SimBenchRow]
+    duration_s: float
+
+    def render(self) -> str:
+        header = (
+            f"{'N':>4} {'pkts':>8} {'ref pkt/s':>12} {'fast pkt/s':>12} "
+            f"{'speedup':>8} {'ref ev/s':>12} {'fast ev/s':>12} {'equal':>9}"
+        )
+        return "\n".join(
+            [header, "-" * len(header)] + [row.render() for row in self.rows]
+        )
+
+    def min_speedup(self) -> float:
+        return min(row.speedup for row in self.rows)
+
+    def all_equal(self) -> bool:
+        return all(row.deliveries_equal for row in self.rows)
+
+
+def _measure(
+    n: int,
+    duration_s: float,
+    fast: bool,
+    link_mbps: float,
+    message_bytes: int,
+    seed: int,
+    batch: bool,
+) -> Tuple[float, int, int, List[Tuple[float, int]]]:
+    """One run; returns (wall_seconds, packets, events, delivery records)."""
+    sim = Simulator()
+    config = SocketTestbedConfig(
+        n_channels=n,
+        link_mbps=(link_mbps,),
+        prop_delay_s=tuple(0.5e-3 + 0.1e-3 * i for i in range(n)),
+        loss_rates=(0.0,),
+        message_bytes=message_bytes,
+        marker_interval_rounds=1,
+        source_backlog=4 * n,
+        seed=seed,
+        fast=fast,
+    )
+    testbed = build_socket_testbed(sim, config)
+    start = time.perf_counter()
+    sim.run(until=duration_s, batch=batch)
+    wall = time.perf_counter() - start
+    records = [(d.time, d.seq) for d in testbed.deliveries]
+    return wall, len(records), sim.events_processed, records
+
+
+def run_sim_bench(
+    channel_counts: Sequence[int] = DEFAULT_CHANNEL_COUNTS,
+    duration_s: float = 1.0,
+    link_mbps: float = 10.0,
+    message_bytes: int = 1000,
+    repeats: int = 3,
+    seed: int = 0,
+) -> SimBenchResult:
+    """Benchmark reference vs fast path over the scalability testbed.
+
+    ``duration_s`` is *simulated* seconds per run; wall-clock rates take
+    the best of ``repeats`` runs per mode (delivery counts and records are
+    identical across repeats — the simulator is deterministic).
+    """
+    rows: List[SimBenchRow] = []
+    for n in channel_counts:
+        ref_wall = fast_wall = float("inf")
+        ref_records = fast_records = None
+        ref_events = fast_events = packets = 0
+        for _ in range(max(1, repeats)):
+            wall, count, events, records = _measure(
+                n, duration_s, False, link_mbps, message_bytes, seed,
+                batch=False,
+            )
+            ref_wall = min(ref_wall, wall)
+            ref_records, ref_events, packets = records, events, count
+            wall, count, events, records = _measure(
+                n, duration_s, True, link_mbps, message_bytes, seed,
+                batch=True,
+            )
+            fast_wall = min(fast_wall, wall)
+            fast_records, fast_events = records, events
+        rows.append(
+            SimBenchRow(
+                n_channels=n,
+                packets=packets,
+                reference_pps=packets / ref_wall if ref_wall else 0.0,
+                fast_pps=packets / fast_wall if fast_wall else 0.0,
+                reference_eps=ref_events / ref_wall if ref_wall else 0.0,
+                fast_eps=fast_events / fast_wall if fast_wall else 0.0,
+                deliveries_equal=ref_records == fast_records,
+            )
+        )
+    return SimBenchResult(rows=rows, duration_s=duration_s)

@@ -20,6 +20,11 @@ from repro.net.stack import Link, Stack
 from repro.sim.engine import Simulator
 from repro.sim.loss import BernoulliLoss, SizeGatedLoss
 from repro.transport.credit import CreditSender
+from repro.transport.fast_path import (
+    FastStripedReceiver,
+    FastStripedSender,
+    wire_size,
+)
 from repro.transport.socket_striping import (
     StripedSocketReceiver,
     StripedSocketSender,
@@ -53,6 +58,11 @@ class SocketTestbedConfig:
     #: giving an identical data-loss pattern across control-plane variants
     #: (used by the marker-position study).
     data_only_loss: bool = False
+    #: if True, build the direct-to-channel fast path (burst-batched
+    #: channels + batched striper pump) instead of the full UDP/IP stack.
+    #: Delivery behaviour is identical (property-tested); credit flow
+    #: control is not supported on the fast path.
+    fast: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -63,6 +73,8 @@ class SocketTestbedConfig:
             if len(values) != self.n_channels:
                 raise ValueError(f"{name} must have {self.n_channels} entries")
             setattr(self, name, tuple(values))
+        if self.fast and self.use_credit:
+            raise ValueError("credit flow control requires the reference path")
 
 
 @dataclass
@@ -82,8 +94,8 @@ class SocketTestbed:
     receiver_stack: Stack
     links: List[Link]
     loss_models: List[BernoulliLoss]
-    sender: StripedSocketSender
-    receiver: StripedSocketReceiver
+    sender: StripedSocketSender | FastStripedSender
+    receiver: StripedSocketReceiver | FastStripedReceiver
     source: Optional[ClosedLoopSource]
     deliveries: List[Delivery] = field(default_factory=list)
 
@@ -173,12 +185,19 @@ def build_socket_testbed(
             config.n_channels, initial_credit=config.buffer_packets
         )
 
-    sender = StripedSocketSender(
-        sim, sender_stack, destinations, algorithm_s,
-        marker_policy=marker_policy,
-        credit=credit_sender,
-        credit_port=CREDIT_PORT if config.use_credit else None,
-    )
+    sender: StripedSocketSender | FastStripedSender
+    if config.fast:
+        sender = FastStripedSender(
+            sim, [link.ab for link in links], algorithm_s,
+            marker_policy=marker_policy,
+        )
+    else:
+        sender = StripedSocketSender(
+            sim, sender_stack, destinations, algorithm_s,
+            marker_policy=marker_policy,
+            credit=credit_sender,
+            credit_port=CREDIT_PORT if config.use_credit else None,
+        )
 
     testbed_ref: List[SocketTestbed] = []
 
@@ -187,15 +206,33 @@ def build_socket_testbed(
             Delivery(time=sim.now, seq=packet.seq, size=packet.size)
         )
 
-    receiver = StripedSocketReceiver(
-        sim, receiver_stack, config.n_channels, algorithm_r,
-        base_port=BASE_PORT,
-        mode=config.mode,
-        on_message=on_message,
-        buffer_packets=config.buffer_packets,
-        credit_to="10.10.0.1" if config.use_credit else None,
-        credit_port=CREDIT_PORT if config.use_credit else None,
-    )
+    receiver: StripedSocketReceiver | FastStripedReceiver
+    if config.fast:
+        receiver = FastStripedReceiver(
+            sim, config.n_channels, algorithm_r,
+            mode=config.mode,
+            on_message=on_message,
+            buffer_packets=config.buffer_packets,
+        )
+        # Bypass the UDP/IP/Ethernet plumbing: transport payloads ride the
+        # forward channels directly, with the stack's framing bytes folded
+        # into size_of so wire timing is unchanged, and arrivals feed the
+        # receiver without the interface demux chain.
+        for index, link in enumerate(links):
+            channel = link.ab
+            channel.fast = True
+            channel.size_of = wire_size
+            channel.on_deliver = receiver.channel_handler(index)
+    else:
+        receiver = StripedSocketReceiver(
+            sim, receiver_stack, config.n_channels, algorithm_r,
+            base_port=BASE_PORT,
+            mode=config.mode,
+            on_message=on_message,
+            buffer_packets=config.buffer_packets,
+            credit_to="10.10.0.1" if config.use_credit else None,
+            credit_port=CREDIT_PORT if config.use_credit else None,
+        )
 
     source: Optional[ClosedLoopSource] = None
     if config.closed_loop:

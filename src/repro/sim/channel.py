@@ -12,13 +12,26 @@ A channel also has a finite transmit queue.  A full queue exerts
 throughput collapse to the slowest link in Figure 15 — the sender must wait
 for the slow channel's queue to drain before it may send the next packet in
 order.
+
+Fast path (``fast=True``): while the channel is *static* — no live loss,
+no corruption, no dynamic skew — the whole transmit queue is serialized as
+one back-to-back burst per event instead of one ``_tx_done`` event per
+packet.  Completion and arrival times are accumulated with exactly the
+same floating-point expressions the per-packet path evaluates, so burst
+mode is time-identical, packet for packet.  Deliveries run off a *train*:
+a FIFO of precomputed ``(arrival, packet, size)`` entries with a single
+armed slot-free engine callback that re-arms itself for the next distinct
+arrival time.  A channel whose loss model is live (or that has corruption
+or skew) keeps the classic per-packet pipeline, because loss and
+corruption draws must happen at exact per-packet transmission boundaries
+(``stop_losses_at`` mutates the loss probability at a simulated time).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Callable, Deque, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.loss import CorruptionModel, LossModel, NoLoss
@@ -64,6 +77,9 @@ class Channel:
         size_of: maps a packet object to its size in bytes on this channel
             (default: ``packet.size`` attribute).  Interfaces override this
             to add framing overhead (Ethernet headers, ATM cell padding).
+        fast: opt in to the burst-batched transmit path (see module
+            docstring).  Time-identical to the per-packet path; lossy or
+            skewed channels automatically stay on the classic pipeline.
     """
 
     def __init__(
@@ -78,6 +94,7 @@ class Channel:
         corruption: Optional[CorruptionModel] = None,
         skew: Optional[Callable[[], float]] = None,
         size_of: Optional[Callable[[Any], int]] = None,
+        fast: bool = False,
     ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
@@ -92,6 +109,7 @@ class Channel:
         self.corruption = corruption
         self.skew = skew
         self.size_of = size_of if size_of is not None else _default_size
+        self.fast = fast
         self.stats = ChannelStats()
 
         self.on_deliver: Optional[Callable[[Any], None]] = None
@@ -102,6 +120,10 @@ class Channel:
         self._transmitting = False
         self._last_arrival = 0.0
         self._offered_index = 0
+        # Fast-path delivery train: (arrival, packet, size) in FIFO order
+        # with at most one armed engine callback at a time.
+        self._train: Deque[Any] = deque()
+        self._train_armed = False
 
     # ------------------------------------------------------------------ #
     # sender side
@@ -114,6 +136,11 @@ class Channel:
     @property
     def queued_bytes(self) -> int:
         return sum(self.size_of(p) for p in self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets serialized but not yet delivered (burst-mode train)."""
+        return len(self._train)
 
     def can_accept(self) -> bool:
         """True if :meth:`send` would enqueue rather than drop."""
@@ -135,7 +162,7 @@ class Channel:
         if force:
             self._queue.append(packet)
             if not self._transmitting:
-                self._start_next()
+                self._kick()
             return True
         if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
             self.stats.queue_drops += 1
@@ -144,11 +171,122 @@ class Channel:
             return False
         self._queue.append(packet)
         if not self._transmitting:
-            self._start_next()
+            self._kick()
         return True
+
+    def send_burst(self, packets: Sequence[Any]) -> None:
+        """Bulk-enqueue a batch the caller has already capacity-checked.
+
+        The batched striper pump admits packets against the channel's free
+        queue slots before calling this, so there is no per-packet drop
+        check here.  Equivalent to ``send(p)`` for each packet.
+        """
+        queue = self._queue
+        stats = self.stats
+        size_of = self.size_of
+        for packet in packets:
+            stats.offered_packets += 1
+            stats.offered_bytes += size_of(packet)
+            queue.append(packet)
+        if not self._transmitting:
+            self._kick()
 
     # ------------------------------------------------------------------ #
     # internal transmission pipeline
+
+    def _kick(self) -> None:
+        """Start transmitting: burst mode when eligible, else per-packet.
+
+        Eligibility is re-evaluated at every transmission start, so a
+        channel whose loss model goes quiescent mid-run (``stop_losses_at``
+        zeroing the drop probability) upgrades to burst mode for the rest
+        of the run, and vice versa.
+        """
+        if self.fast and self._queue and self._burst_capable():
+            self._start_burst()
+        else:
+            self._start_next()
+
+    def _burst_capable(self) -> bool:
+        """True when per-packet boundary work cannot observe anything.
+
+        Loss and corruption draws happen at per-packet transmission
+        boundaries and may consume RNG state or see mutated probabilities,
+        so any live model forces the classic pipeline.  A Bernoulli-style
+        model with ``p == 0.0`` draws nothing, so it is safe to batch —
+        note this assumes the probability is only ever *lowered* mid-run
+        (the ``stop_losses_at`` pattern), never raised.
+        """
+        loss = self.loss_model
+        if type(loss) is not NoLoss and getattr(loss, "p", 1.0) != 0.0:
+            return False
+        return self.corruption is None and self.skew is None
+
+    def _start_burst(self) -> None:
+        """Serialize the whole queue back-to-back in one engine event.
+
+        Times are accumulated with exactly the per-packet path's
+        floating-point expressions (``tx = 8.0 * size / bandwidth`` chained
+        by addition), so completion and arrival instants are bit-identical
+        to ``_start_next``/``_tx_done`` chains over the same packets.
+        """
+        self._transmitting = True
+        queue = self._queue
+        sim = self.sim
+        bandwidth = self.bandwidth_bps
+        size_of = self.size_of
+        prop = self.prop_delay
+        stats = self.stats
+        train = self._train
+        last_arrival = self._last_arrival
+        t = sim.now
+        count = len(queue)
+        while queue:
+            packet = queue.popleft()
+            size = size_of(packet)
+            tx_time = (8.0 * size) / bandwidth
+            stats.busy_time += tx_time
+            t += tx_time
+            arrival = t + prop
+            if arrival < last_arrival:
+                arrival = last_arrival
+            last_arrival = arrival
+            train.append((arrival, packet, size))
+        self._last_arrival = last_arrival
+        self._offered_index += count
+        sim.schedule_call(t, self._burst_done)
+        if not self._train_armed:
+            self._arm_train()
+
+    def _burst_done(self) -> None:
+        self._transmitting = False
+        if self._queue:
+            self._kick()
+        if self.on_space is not None and (
+            self.queue_limit is None or len(self._queue) < self.queue_limit
+        ):
+            self.on_space()
+
+    def _arm_train(self) -> None:
+        train = self._train
+        if train:
+            self._train_armed = True
+            self.sim.schedule_call(train[0][0], self._run_train)
+        else:
+            self._train_armed = False
+
+    def _run_train(self) -> None:
+        train = self._train
+        now = self.sim.now
+        stats = self.stats
+        on_deliver = self.on_deliver
+        while train and train[0][0] <= now:
+            _, packet, size = train.popleft()
+            stats.delivered_packets += 1
+            stats.delivered_bytes += size
+            if on_deliver is not None:
+                on_deliver(packet)
+        self._arm_train()
 
     def _start_next(self) -> None:
         if not self._queue:
@@ -193,7 +331,7 @@ class Channel:
             self._last_arrival = arrival
             self.sim.schedule_at(arrival, self._deliver, packet, size)
 
-        self._start_next()
+        self._kick()
         # The queue just shrank by one; tell the sender space is available.
         if self.on_space is not None and (
             self.queue_limit is None or len(self._queue) < self.queue_limit

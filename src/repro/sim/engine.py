@@ -1,18 +1,44 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are ``(time, sequence, callback)``
-triples kept in a binary heap.  Ties on time are broken by insertion order,
-so a simulation run is fully reproducible.
+A minimal, deterministic event loop.  Scheduled work is kept in a binary
+heap of plain list entries ``[time, seq, callback, args]`` — lists compare
+element-wise in C on ``(time, seq)``, so heap sifting never calls back into
+Python the way an ``Event.__lt__`` would.  Ties on time are broken by
+insertion order, so a simulation run is fully reproducible.
 
 The engine deliberately has no notion of "processes" — components schedule
 plain callbacks.  This keeps the core small and makes event ordering easy to
 reason about in tests.
+
+Two scheduling surfaces coexist:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle that supports cancellation — the general-purpose
+  API used by timers (retransmit, ARP retry, keepalive).
+* :meth:`Simulator.schedule_call` and :meth:`Simulator.schedule_many` are
+  the *slot-free fast path*: they take pre-bound zero-argument callbacks,
+  allocate no handle, and cannot be cancelled.  The batched channel
+  transmit path (:mod:`repro.sim.channel`) runs almost entirely on these.
+
+Cancelled events are skipped when popped; on top of that the heap is
+*lazily compacted*: once more than half of a non-trivial heap is dead, the
+dead entries are filtered out and the heap rebuilt in one O(n) pass, so
+long timer-heavy runs (retransmit/marker timers that are almost always
+cancelled before firing) cannot leak memory.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+#: Heap entry slots: [time, seq, callback, args].  A cancelled entry has
+#: its callback slot set to None and is dropped when popped (or compacted).
+_TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
+
+#: Compaction threshold: rebuild once the heap is larger than this *and*
+#: more than half of it is cancelled entries.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -20,38 +46,51 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable handle to a scheduled callback.
 
-    Returned by :meth:`Simulator.schedule` so callers can cancel it.  A
-    cancelled event stays in the heap but is skipped when popped.
+    Returned by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.
+    The handle shares the underlying heap entry with the engine: cancelling
+    nulls the entry's callback slot, so the engine skips it on pop and the
+    compactor can reclaim it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., Any],
-        args: tuple[Any, ...],
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: list, sim: "Simulator") -> None:
+        self._entry = entry
+        self._sim = sim
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the callback fires at."""
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        """Insertion-order tiebreaker."""
+        return self._entry[_SEQ]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Prevent this event's callback from running."""
-        self.cancelled = True
+        entry = self._entry
+        if entry[_CALLBACK] is not None:
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        name = getattr(self.callback, "__qualname__", repr(self.callback))
-        return f"<Event t={self.time:.9f} #{self.seq} {name} ({state})>"
+        entry = self._entry
+        if entry[_CALLBACK] is None:
+            return f"<Event t={entry[_TIME]:.9f} #{entry[_SEQ]} (cancelled)>"
+        name = getattr(entry[_CALLBACK], "__qualname__", repr(entry[_CALLBACK]))
+        return f"<Event t={entry[_TIME]:.9f} #{entry[_SEQ]} {name} (pending)>"
 
 
 class Simulator:
@@ -70,10 +109,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: List[list] = []
         self._seq: int = 0
         self._running: bool = False
         self._events_processed: int = 0
+        self._cancelled: int = 0
 
     @property
     def now(self) -> float:
@@ -89,6 +129,14 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (pre-compaction)."""
+        return self._cancelled
+
+    # ------------------------------------------------------------------ #
+    # scheduling
 
     def schedule(
         self, delay: float, callback: Callable[..., Any], *args: Any
@@ -106,22 +154,96 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(time, self._seq, callback, args)
+        entry = [time, self._seq, callback, args]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, entry)
+        return Event(entry, self)
+
+    def schedule_call(self, time: float, callback: Callable[[], Any]) -> None:
+        """Slot-free fast path: a pre-bound zero-arg callback at ``time``.
+
+        No :class:`Event` handle is allocated, so the event cannot be
+        cancelled.  This is the per-burst scheduling primitive of the
+        batched channel transmit path.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, [time, self._seq, callback, ()])
+        self._seq += 1
+
+    def schedule_many(
+        self, items: Iterable[Tuple[float, Callable[[], Any]]]
+    ) -> int:
+        """Schedule many ``(absolute_time, zero_arg_callback)`` pairs.
+
+        The batched counterpart of :meth:`schedule_call`: one call, one
+        validation pass, no handles.  Items need not be sorted; each gets
+        the next insertion sequence number in iteration order, so the
+        ``(time, seq)`` determinism contract is preserved.  Returns the
+        number of events scheduled.
+        """
+        heap = self._heap
+        push = heapq.heappush
+        now = self._now
+        seq = self._seq
+        count = 0
+        for time, callback in items:
+            if time < now:
+                self._seq = seq
+                raise SimulationError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            push(heap, [time, seq, callback, ()])
+            seq += 1
+            count += 1
+        self._seq = seq
+        return count
+
+    # ------------------------------------------------------------------ #
+    # cancellation bookkeeping
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) > _COMPACT_MIN and self._cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap in one pass.
+
+        Compacts *in place* (same list object): ``run``/``step`` hold a
+        local alias to the heap while executing callbacks, and a callback
+        may trigger compaction via :meth:`Event.cancel`.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if e[_CALLBACK] is not None]
+        heapq.heapify(heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------ #
+    # execution
 
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        batch: bool = False,
     ) -> int:
         """Run the event loop.
 
         Args:
             until: stop once the next event would fire strictly after this
                 time; the clock is then advanced to ``until``.
-            max_events: stop after this many events (safety valve).
+            max_events: stop after this many events (safety valve).  With
+                ``batch=True`` the budget is checked between timestamp
+                batches, so a batch that straddles the budget completes.
+            batch: pop all events sharing the earliest timestamp at once
+                (FIFO within the batch) instead of one heap pop per event.
+                Semantically identical to the default loop — same
+                ``(time, seq)`` order, cancellations honored at execution
+                time — but cheaper when many events share a timestamp.
 
         Returns:
             The number of events processed during this call.
@@ -130,41 +252,100 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         processed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                if max_events is not None and processed >= max_events:
-                    break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
-                processed += 1
-                self._events_processed += 1
+            if not batch:
+                while heap:
+                    entry = heap[0]
+                    if entry[_CALLBACK] is None:
+                        pop(heap)
+                        self._cancelled -= 1
+                        continue
+                    if max_events is not None and processed >= max_events:
+                        break
+                    time = entry[_TIME]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                    self._now = time
+                    entry[_CALLBACK](*entry[_ARGS])
+                    processed += 1
+            else:
+                group: List[list] = []
+                while heap:
+                    entry = heap[0]
+                    if entry[_CALLBACK] is None:
+                        pop(heap)
+                        self._cancelled -= 1
+                        continue
+                    if max_events is not None and processed >= max_events:
+                        break
+                    time = entry[_TIME]
+                    if until is not None and time > until:
+                        break
+                    # Pop the whole same-timestamp batch, then execute it
+                    # FIFO.  Callbacks may cancel later batch members (the
+                    # callback slot is re-checked at execution) or schedule
+                    # new events at this same timestamp (they have higher
+                    # seq, so they form the next batch — same order as the
+                    # unbatched loop).
+                    group.clear()
+                    while heap and heap[0][_TIME] == time:
+                        group.append(pop(heap))
+                    self._now = time
+                    for entry in group:
+                        callback = entry[_CALLBACK]
+                        if callback is None:
+                            self._cancelled -= 1
+                            continue
+                        callback(*entry[_ARGS])
+                        processed += 1
         finally:
             self._running = False
+            self._events_processed += processed
         if until is not None and self._now < until:
             self._now = until
         return processed
 
-    def step(self) -> bool:
-        """Process exactly one event.  Returns False if none are pending."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+    def step(self, until: Optional[float] = None) -> bool:
+        """Process exactly one event.  Returns False if none are eligible.
+
+        Honors the same contracts as :meth:`run`: re-entrant calls raise
+        :class:`SimulationError`, and with ``until`` set the event is only
+        processed if it fires at or before the horizon — otherwise the
+        clock advances to ``until`` and False is returned (mirroring
+        ``run(until=...)``'s clock semantics).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                heapq.heappop(heap)
+                self._cancelled -= 1
                 continue
-            self._now = event.time
-            event.callback(*event.args)
-            self._events_processed += 1
+            time = entry[_TIME]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            self._running = True
+            try:
+                self._now = time
+                entry[_CALLBACK](*entry[_ARGS])
+            finally:
+                self._running = False
+                self._events_processed += 1
             return True
+        if until is not None and self._now < until:
+            self._now = until
         return False
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if heap is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return heap[0][_TIME] if heap else None

@@ -17,6 +17,7 @@ class TestRegistry:
             "grr_worst", "sync_loss", "marker_freq", "marker_pos",
             "credit_fc", "video", "fault_tolerance", "mtu", "multiflow",
             "scalability", "tcp_channels", "cell_striping", "kernel_bench",
+            "sim_bench",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -224,3 +224,95 @@ class TestStatsAndValidation:
         channel.send(Packet(900))
         sim.run()
         assert arrivals == [pytest.approx(1.0)]
+
+
+class TestFastBurstMode:
+    def _timed(self, sim, fast, packets, **kwargs):
+        channel = Channel(sim, fast=fast, **kwargs)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append((p.seq, sim.now))
+        for packet in packets:
+            channel.send(packet)
+        sim.run()
+        return channel, arrivals
+
+    def test_burst_timing_identical_to_classic(self):
+        """A burst-mode channel delivers at the exact classic timestamps."""
+        import copy
+        from repro.sim.engine import Simulator
+
+        packets = [Packet(100 * (i % 7 + 1), seq=i) for i in range(50)]
+        results = []
+        for fast in (False, True):
+            sim = Simulator()
+            _, arrivals = self._timed(
+                sim, fast, copy.deepcopy(packets),
+                bandwidth_bps=1e6, prop_delay=0.01,
+            )
+            results.append(arrivals)
+        assert results[0] == results[1]  # bit-identical, not approx
+
+    def test_lossy_channel_stays_classic(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e6, prop_delay=0.0, fast=True,
+            loss_model=BernoulliLoss(0.5, rng=random.Random(1)),
+        )
+        assert not channel._burst_capable()
+        out = collect(channel)
+        for i in range(100):
+            channel.send(Packet(100, seq=i))
+        sim.run()
+        assert 0 < len(out) < 100  # losses actually happened
+
+    def test_zero_rate_loss_model_is_burst_capable(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=1e6, prop_delay=0.0, fast=True,
+            loss_model=BernoulliLoss(0.0, rng=random.Random(1)),
+        )
+        assert channel._burst_capable()
+
+    def test_upgrades_to_burst_after_losses_stop(self, sim):
+        """stop_losses_at zeroes p; later sends must take the burst path."""
+        channel = Channel(
+            sim, bandwidth_bps=8000.0, prop_delay=0.0, fast=True,
+            loss_model=BernoulliLoss(0.8, rng=random.Random(3)),
+        )
+        sim.schedule_at(5.0, lambda: setattr(channel.loss_model, "p", 0.0))
+        out = collect(channel)
+        for i in range(5):
+            channel.send(Packet(1000, seq=i))  # classic, lossy
+        sim.run(until=10.0)
+        lossy_deliveries = len(out)
+        assert lossy_deliveries < 5
+        for i in range(5, 15):
+            channel.send(Packet(1000, seq=i))
+        assert channel._burst_capable()  # p was zeroed at t=5
+        assert channel.in_flight >= 1  # first burst train already armed
+        sim.run()
+        assert [p.seq for p in out[lossy_deliveries:]] == list(range(5, 15))
+
+    def test_send_burst_and_in_flight(self, sim):
+        channel = Channel(sim, bandwidth_bps=8000.0, prop_delay=0.0, fast=True)
+        out = collect(channel)
+        channel.send_burst([Packet(1000, seq=i) for i in range(4)])
+        sim.run(until=0.5)  # mid-first-transmission
+        assert channel.in_flight + len(channel._queue) + len(out) == 4
+        sim.run()
+        assert [p.seq for p in out] == [0, 1, 2, 3]
+        assert channel.stats.offered_packets == 4
+        assert channel.stats.delivered_packets == 4
+        assert channel.stats.busy_time == pytest.approx(4.0)
+
+    def test_on_space_fires_after_burst_drains_queue(self, sim):
+        channel = Channel(
+            sim, bandwidth_bps=8000.0, prop_delay=0.0, fast=True,
+            queue_limit=2,
+        )
+        collect(channel)
+        spaces = []
+        channel.on_space = lambda: spaces.append(sim.now)
+        channel.send(Packet(1000, seq=0))
+        channel.send(Packet(1000, seq=1))
+        channel.send(Packet(1000, seq=2))
+        sim.run()
+        assert spaces  # backpressure callback still functions in burst mode

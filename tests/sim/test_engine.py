@@ -166,3 +166,180 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestSlotFreeScheduling:
+    def test_schedule_call_runs_at_time(self, sim):
+        seen = []
+        sim.schedule_call(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_schedule_call_orders_with_handles(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "handle")
+        sim.schedule_call(1.0, lambda: order.append("call"))
+        sim.run()
+        assert order == ["handle", "call"]  # insertion order breaks the tie
+
+    def test_schedule_call_rejects_past(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_call(1.0, lambda: None)
+
+    def test_schedule_many_preserves_insertion_order(self, sim):
+        order = []
+        count = sim.schedule_many(
+            (1.0, lambda tag=tag: order.append(tag)) for tag in "abc"
+        )
+        sim.schedule(1.0, order.append, "d")
+        sim.run()
+        assert count == 3
+        assert order == ["a", "b", "c", "d"]
+
+    def test_schedule_many_accepts_unsorted_times(self, sim):
+        order = []
+        sim.schedule_many(
+            [
+                (3.0, lambda: order.append("c")),
+                (1.0, lambda: order.append("a")),
+                (2.0, lambda: order.append("b")),
+            ]
+        )
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_many_rejects_past(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(6.0, lambda: None), (1.0, lambda: None)])
+
+
+class TestCompaction:
+    def test_cancelled_events_are_reclaimed(self, sim):
+        """Regression: cancelled timers must not occupy heap slots forever."""
+        live = [sim.schedule(10.0 + i, lambda: None) for i in range(10)]
+        dead = [sim.schedule(20.0 + i, lambda: None) for i in range(190)]
+        assert sim.pending == 200
+        for event in dead:
+            event.cancel()
+        # Compaction fires whenever >50% of a >64-entry heap is dead, so
+        # the heap must have shrunk to a small residue: the 10 live events
+        # plus at most a minority of dead entries under the threshold.
+        assert sim.pending < 70
+        assert sim.cancelled_pending * 2 <= sim.pending or sim.pending <= 64
+        assert all(not event.cancelled for event in live)
+
+    def test_heap_does_not_grow_under_cancel_churn(self, sim):
+        """The retransmit-timer pattern: schedule, cancel, reschedule."""
+        peak = 0
+        for i in range(5000):
+            event = sim.schedule(1000.0 + i, lambda: None)
+            event.cancel()
+            peak = max(peak, sim.pending)
+        assert peak < 200
+
+    def test_events_fire_correctly_after_compaction(self, sim):
+        seen = []
+        keep = []
+        for i in range(50):
+            keep.append(sim.schedule(1.0 + i, seen.append, i))
+        doomed = [sim.schedule(100.0 + i, seen.append, -1) for i in range(150)]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending < 200  # compacted at least once
+        sim.run()
+        assert seen == list(range(50))
+
+    def test_compaction_during_run_keeps_heap_identity(self, sim):
+        """A callback-triggered compaction must not strand the run loop."""
+        seen = []
+        doomed = [sim.schedule(50.0 + i, seen.append, -1) for i in range(150)]
+
+        def cancel_all_then_schedule():
+            for event in doomed:
+                event.cancel()
+            sim.schedule(1.0, seen.append, "after")
+
+        sim.schedule(1.0, cancel_all_then_schedule)
+        sim.schedule(40.0, seen.append, "mid")
+        sim.run()
+        assert seen == ["after", "mid"]
+
+
+class TestBatchPop:
+    def test_batch_matches_unbatched_order(self):
+        def run_once(batch):
+            sim = Simulator()
+            trace = []
+
+            def tick(n):
+                trace.append((sim.now, n))
+                if n < 30:
+                    sim.schedule(0.1 * (n % 3), tick, n + 1)
+
+            for i in range(5):
+                sim.schedule(0.0, tick, 0)
+            processed = sim.run(batch=batch)
+            return trace, processed
+
+        assert run_once(False) == run_once(True)
+
+    def test_batch_honors_cancellation_at_execution(self, sim):
+        seen = []
+        holder = {}
+        # The canceller has the earlier seq, so it runs first within the
+        # batch and must suppress the already-popped later member.
+        sim.schedule(1.0, lambda: holder["late"].cancel())
+        holder["late"] = sim.schedule(1.0, seen.append, "late")
+        sim.run(batch=True)
+        assert seen == []
+
+    def test_batch_respects_until(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.run(until=1.5, batch=True)
+        assert seen == ["a"]
+        assert sim.now == 1.5
+
+
+class TestStepSemantics:
+    def test_step_rejects_reentrancy(self, sim):
+        errors = []
+
+        def reenter():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.step()
+        assert len(errors) == 1
+
+    def test_step_respects_until_and_advances_clock(self, sim):
+        seen = []
+        sim.schedule(2.0, seen.append, "late")
+        assert sim.step(until=1.0) is False
+        assert sim.now == 1.0  # clock advanced to the horizon, like run()
+        assert seen == []
+        assert sim.step(until=3.0) is True
+        assert seen == ["late"]
+
+    def test_step_counts_events_processed(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        sim.step()
+        assert sim.events_processed == 2
+
+    def test_step_skips_cancelled(self, sim):
+        seen = []
+        doomed = sim.schedule(1.0, seen.append, "dead")
+        sim.schedule(2.0, seen.append, "live")
+        doomed.cancel()
+        assert sim.step() is True
+        assert seen == ["live"]

@@ -112,3 +112,32 @@ class TestRingLimits:
     def test_negative_costs_rejected(self, sim):
         with pytest.raises(ValueError):
             HostCPU(sim, per_packet_cost=-1)
+
+
+class TestEnqueueMany:
+    def test_single_interrupt_for_burst(self, sim):
+        cpu, processed = make_cpu(
+            sim, per_packet_cost=0.001, per_interrupt_cost=0.01
+        )
+        nic = cpu.new_nic("eth0")
+        accepted = nic.enqueue_many([Packet(100, seq=i) for i in range(6)])
+        sim.run()
+        assert accepted == 6
+        assert [seq for _, seq in processed] == list(range(6))
+        assert cpu.total_interrupts == 1
+
+    def test_ring_limit_drops_overflow(self, sim):
+        cpu, processed = make_cpu(sim, per_packet_cost=0.001)
+        nic = cpu.new_nic("eth0", queue_limit=3)
+        accepted = nic.enqueue_many([Packet(100, seq=i) for i in range(8)])
+        assert accepted == 3
+        assert nic.drops == 5
+        sim.run()
+        assert [seq for _, seq in processed] == [0, 1, 2]
+
+    def test_empty_batch_posts_no_interrupt(self, sim):
+        cpu, processed = make_cpu(sim, per_packet_cost=0.001)
+        nic = cpu.new_nic("eth0")
+        assert nic.enqueue_many([]) == 0
+        sim.run()
+        assert cpu.total_interrupts == 0
