@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench experiments quick-experiments examples clean
+.PHONY: install test bench experiments quick-experiments examples clean \
+	endpoints-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +11,18 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast confidence check for the endpoint layer: unit/regression tests for
+# the pipelines plus the cross-transport equivalence properties.
+endpoints-smoke:
+	PYTHONPATH=src pytest tests/transport/test_endpoint.py \
+		tests/properties/test_endpoint_equivalence.py \
+		tests/core/test_marker_codec.py
+
+# Complexity/length guard for src/repro/transport/ (C901, PLR0915);
+# ruff is not vendored — install it locally to run this target.
+lint-endpoints:
+	ruff check src/repro/transport/
 
 experiments:
 	python -m repro.experiments --all --json results.json

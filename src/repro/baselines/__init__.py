@@ -17,11 +17,18 @@ from repro.baselines.random_selection import RandomSelection
 from repro.baselines.address_hash import AddressHashing, stable_hash
 from repro.baselines.mppp import (
     MPPP_HEADER_BYTES,
+    MpppDiscipline,
     MpppFragment,
     MpppReceiver,
     MpppSender,
 )
-from repro.baselines.bonding import BondingDemux, BondingFrame, BondingMux
+from repro.baselines.bonding import (
+    BondingDemux,
+    BondingDiscipline,
+    BondingFrame,
+    BondingMux,
+    BondingResequencer,
+)
 
 __all__ = [
     "ShortestQueueFirst",
@@ -31,8 +38,11 @@ __all__ = [
     "MpppSender",
     "MpppReceiver",
     "MpppFragment",
+    "MpppDiscipline",
     "MPPP_HEADER_BYTES",
     "BondingMux",
     "BondingDemux",
     "BondingFrame",
+    "BondingDiscipline",
+    "BondingResequencer",
 ]

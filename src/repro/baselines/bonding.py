@@ -21,10 +21,11 @@ exactly what general channels disallow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.cfq import Capabilities
-from repro.core.packet import Packet
+from repro.core.packet import Packet, is_marker
+from repro.core.transform import LoadSharer
 
 
 @dataclass
@@ -170,3 +171,94 @@ class BondingDemux:
 
     def assembled_bytes(self, uid: int) -> int:
         return self._assembly.get(uid, 0)
+
+
+class BondingDiscipline(LoadSharer):
+    """BONDING as a pluggable endpoint discipline.
+
+    :meth:`wrap_packet` carves each submitted packet into fixed-size frames
+    (the hardware reformatting general channels disallow); the channel of a
+    frame is fixed by its sequence number, so ``choose`` just reads it.
+    The receiver half (``receiver_mode = "bonding"``, a
+    :class:`BondingResequencer`) realigns frames by sequence.  Plugged into
+    the unified endpoint pipeline this runs BONDING-style inverse muxing
+    over any transport's channel ports — delivery is *frames*, not packets,
+    exactly as the real hardware presents a byte stream.
+    """
+
+    capabilities = BondingMux.capabilities
+    simulatable = False
+    receiver_mode = "bonding"
+
+    def __init__(self, n: int, frame_bytes: int = 512) -> None:
+        self.mux = BondingMux(n, frame_bytes)
+
+    @property
+    def n_channels(self) -> int:
+        return self.mux.n_channels
+
+    def wrap_packet(self, packet: Packet) -> List[BondingFrame]:
+        """Carve into the frame stream; may complete zero or more frames."""
+        return self.mux.submit(packet)
+
+    def flush(self) -> Optional[BondingFrame]:
+        """Pad and emit the partial trailing frame (end of burst)."""
+        return self.mux.flush()
+
+    def choose(self, packet: Any, queue_depths=None) -> int:
+        if isinstance(packet, BondingFrame):
+            return packet.channel
+        # No frame in hand (e.g. a kernel peek): the next frame's slot.
+        return self.mux.next_sequence % self.mux.n_channels
+
+    def notify_sent(self, channel: int, packet: Any) -> None:
+        pass
+
+    def reset(self) -> None:
+        mux = self.mux
+        self.mux = BondingMux(mux.n_channels, mux.frame_bytes)
+
+
+class BondingResequencer:
+    """Receiver half of :class:`BondingDiscipline` for the endpoint pipeline.
+
+    Adapts :class:`BondingDemux` to the ``push(channel, packet)`` /
+    ``drain()`` logical-reception surface (the channel index is implicit in
+    the frame's sequence number and ignored).  ``on_deliver`` receives
+    released :class:`BondingFrame` objects in sequence order.
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        max_skew_frames: int = 8,
+        on_deliver: Optional[Callable[[BondingFrame], None]] = None,
+    ) -> None:
+        self.demux = BondingDemux(n_channels, max_skew_frames)
+        self.on_deliver = on_deliver
+        self.delivered = 0
+
+    @property
+    def n_channels(self) -> int:
+        return self.demux.n_channels
+
+    @property
+    def buffered(self) -> int:
+        return len(self.demux._pending)
+
+    def push(self, channel: int, frame: Any) -> List[BondingFrame]:
+        if is_marker(frame):
+            return []
+        released = self.demux.push(frame)
+        self.delivered += len(released)
+        if self.on_deliver is not None:
+            for item in released:
+                self.on_deliver(item)
+        return released
+
+    def drain(self) -> List[BondingFrame]:
+        return []
+
+    def fail_channel(self, channel: int) -> List[BondingFrame]:
+        """Alignment handles gaps via its skew window; nothing extra."""
+        return []

@@ -25,7 +25,8 @@ from typing import Any, Callable, List, Optional
 
 from repro.core.cfq import Capabilities
 from repro.core.packet import Packet
-from repro.core.transform import LoadSharer
+from repro.core.srr import make_rr
+from repro.core.transform import LoadSharer, TransformedLoadSharer
 from repro.sim.engine import Event, Simulator
 
 MPPP_HEADER_BYTES = 4
@@ -109,6 +110,65 @@ class MpppSender:
         self.sent += 1
         self.header_overhead_bytes += self.header_bytes
         return True
+
+
+class MpppDiscipline(LoadSharer):
+    """MPPP as a pluggable endpoint discipline.
+
+    RFC 1717 "supplies no algorithm for striping at the sender" — the
+    channel choice delegates to any inner policy (plain round robin by
+    default, the conventional reading).  What MPPP *does* specify is the
+    per-packet sequence header: :meth:`wrap_packet` applies it, and the
+    matching receiver half (``receiver_mode = "mppp"``, an
+    :class:`MpppReceiver`) strips it.  Plugged into the unified endpoint
+    pipeline this runs MPPP over any transport's channel ports.
+    """
+
+    capabilities = MpppSender.capabilities
+    simulatable = False
+    #: receiver half the endpoint pipeline should build
+    receiver_mode = "mppp"
+
+    def __init__(
+        self,
+        n: int,
+        header_bytes: int = MPPP_HEADER_BYTES,
+        inner: Optional[LoadSharer] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one channel")
+        self.inner = (
+            inner if inner is not None else TransformedLoadSharer(make_rr(n))
+        )
+        if self.inner.n_channels != n:
+            raise ValueError("inner policy/channel count mismatch")
+        self.header_bytes = header_bytes
+        self.next_sequence = 0
+        self.header_overhead_bytes = 0
+
+    @property
+    def n_channels(self) -> int:
+        return self.inner.n_channels
+
+    def wrap_packet(self, packet: Packet) -> List[MpppFragment]:
+        """Prepend the sequence header (the modification strIPe forbids)."""
+        fragment = MpppFragment(self.next_sequence, packet, self.header_bytes)
+        self.next_sequence += 1
+        self.header_overhead_bytes += self.header_bytes
+        return [fragment]
+
+    def choose(self, packet, queue_depths=None) -> int:
+        return self.inner.choose(packet, queue_depths)
+
+    def notify_sent(self, channel: int, packet) -> None:
+        self.inner.notify_sent(channel, packet)
+
+    def assign_many(self, packets, queue_depths=None) -> List[int]:
+        return self.inner.assign_many(packets, queue_depths)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.next_sequence = 0
 
 
 class MpppReceiver:

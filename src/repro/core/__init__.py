@@ -36,6 +36,7 @@ from repro.core.kernel import (
     CFQKernelAdapter,
     DRRKernel,
     SchedulerKernel,
+    SharerKernel,
     SRRKernel,
     kernel_for,
     make_grr_kernel,
@@ -50,8 +51,21 @@ from repro.core.transform import (
     verify_reverse_correspondence,
 )
 from repro.core.striper import ChannelPort, ListPort, MarkerPolicy, Striper
-from repro.core.resequencer import NullResequencer, Resequencer
-from repro.core.markers import ReceiverSnapshot, SRRReceiver, SRRReceiverStats
+from repro.core.resequencer import (
+    RESEQ_MODES,
+    NullResequencer,
+    Resequencer,
+    make_resequencer,
+)
+from repro.core.markers import (
+    MARKER_WIRE_BYTES,
+    ReceiverSnapshot,
+    SRRReceiver,
+    SRRReceiverStats,
+    decode_marker,
+    encode_marker,
+    piggybacked_credit,
+)
 from repro.core.fairness import (
     FairnessReport,
     jain_fairness_index,
@@ -84,6 +98,7 @@ __all__ = [
     "SRRState",
     "SchedulerKernel",
     "SRRKernel",
+    "SharerKernel",
     "CFQKernelAdapter",
     "DRRKernel",
     "kernel_for",
@@ -108,7 +123,13 @@ __all__ = [
     "ListPort",
     "Resequencer",
     "NullResequencer",
+    "make_resequencer",
+    "RESEQ_MODES",
     "SRRReceiver",
+    "encode_marker",
+    "decode_marker",
+    "piggybacked_credit",
+    "MARKER_WIRE_BYTES",
     "SRRReceiverStats",
     "ReceiverSnapshot",
     "FairnessReport",

@@ -39,7 +39,8 @@ sizes, which is exactly why DRR cannot be striped with logical reception.
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Optional, Sequence, Tuple
+import copy
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.cfq import CausalFQ
 from repro.core.srr import SRR, SRRState
@@ -275,16 +276,94 @@ class CFQKernelAdapter(SchedulerKernel):
         self.state = self.algorithm.initial_state()
 
 
-def kernel_for(algorithm: CausalFQ) -> SchedulerKernel:
+class _SizedProbe:
+    """A minimal packet stand-in for size-only kernel stepping."""
+
+    __slots__ = ("size", "flow")
+
+    def __init__(self, size: int, flow: Any = None) -> None:
+        self.size = size
+        self.flow = flow
+
+
+class SharerKernel(SchedulerKernel):
+    """Kernel surface over any load-sharing policy, causal or not.
+
+    The comparison baselines (shortest queue first, random selection,
+    address hashing) implement the two-phase
+    :class:`~repro.core.transform.LoadSharer` protocol rather than the
+    ``(s0, f, g)`` algebra, so they historically sat outside the kernel
+    machinery.  This adapter runs choose/notify behind the standard
+    stepping surface, so one endpoint pipeline can hold *any* discipline
+    as a kernel.
+
+    Depth-sensitive policies (SQF) see live queue depths through the
+    ``depths`` provider; without one they degrade exactly as the policy
+    itself degrades.  Snapshots deep-copy the sharer's mutable attributes —
+    these policies keep a few scalars (and at most one PRNG) of state.
+    """
+
+    __slots__ = ("sharer", "depths")
+
+    def __init__(
+        self,
+        sharer: Any,
+        depths: Optional[Callable[[], Sequence[int]]] = None,
+    ) -> None:
+        self.sharer = sharer
+        self.depths = depths
+
+    @property
+    def n_channels(self) -> int:
+        return self.sharer.n_channels
+
+    def _depths(self) -> Optional[Sequence[int]]:
+        return self.depths() if self.depths is not None else None
+
+    def peek(self) -> int:
+        return self.sharer.choose(None, self._depths())
+
+    def step(self, size: int) -> int:
+        return self.step_packet(_SizedProbe(size))
+
+    def step_packet(self, packet: Any) -> int:
+        """Step with a real packet (address hashing reads ``flow``)."""
+        channel = self.sharer.choose(packet, self._depths())
+        self.sharer.notify_sent(channel, packet)
+        return channel
+
+    def assign_many(self, sizes: Sequence[int]) -> List[int]:
+        return self.sharer.assign_many(
+            [_SizedProbe(size) for size in sizes], self._depths()
+        )
+
+    def snapshot(self) -> Any:
+        return copy.deepcopy(vars(self.sharer))
+
+    def restore(self, snapshot: Any) -> None:
+        vars(self.sharer).clear()
+        vars(self.sharer).update(copy.deepcopy(snapshot))
+
+    def reset(self) -> None:
+        self.sharer.reset()
+
+
+def kernel_for(algorithm: Any) -> SchedulerKernel:
     """The fastest kernel available for ``algorithm``.
 
     SRR-family algorithms (SRR, and RR / GRR via :func:`~repro.core.srr.make_rr`
     / :func:`~repro.core.srr.make_grr`) get the native :class:`SRRKernel`;
-    everything else is wrapped in a :class:`CFQKernelAdapter`.
+    other :class:`~repro.core.cfq.CausalFQ` algorithms are wrapped in a
+    :class:`CFQKernelAdapter`, and plain load sharers (the non-causal
+    baselines) in a :class:`SharerKernel`.
     """
     if isinstance(algorithm, SRR):
         return SRRKernel(algorithm)
-    return CFQKernelAdapter(algorithm)
+    if isinstance(algorithm, CausalFQ):
+        return CFQKernelAdapter(algorithm)
+    if hasattr(algorithm, "choose") and hasattr(algorithm, "notify_sent"):
+        return SharerKernel(algorithm)
+    raise TypeError(f"no kernel available for {algorithm!r}")
 
 
 def make_rr_kernel(n: int) -> SRRKernel:

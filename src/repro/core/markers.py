@@ -27,6 +27,7 @@ plus one one-way propagation delay.
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Tuple
@@ -35,6 +36,77 @@ from repro.core.kernel import SRRKernel
 from repro.core.packet import MarkerPacket, is_marker
 from repro.core.srr import SRR, SRRState
 from repro.sim.trace import NULL_TRACER, Tracer
+
+# --------------------------------------------------------------------- #
+# canonical marker wire codec
+#
+# Every transport stack used to carry its own ad-hoc framing for marker
+# packets; this is the one canonical encoding.  Layout (network order):
+#
+#   magic     u16   0x5352 ("SR") — demux guard
+#   version   u8    codec version (1)
+#   flags     u8    bit 0: a piggybacked credit is present
+#   channel   u32   sender's channel number (condition C2)
+#   round     i64   round number r of the next data packet
+#   deficit   f64   deficit-counter value d of that packet
+#   credit    i64   piggybacked FCVC credit (0 unless flagged)
+#
+# 32 bytes total — exactly the default MarkerPacket.size, so simulated
+# wire timing and the real encoding agree.
+
+_MARKER_STRUCT = struct.Struct("!HBBIqdq")
+MARKER_MAGIC = 0x5352
+MARKER_CODEC_VERSION = 1
+MARKER_WIRE_BYTES = _MARKER_STRUCT.size
+_FLAG_CREDIT = 0x01
+
+
+def encode_marker(marker: MarkerPacket) -> bytes:
+    """Serialize a marker to its canonical 32-byte wire form."""
+    flags = 0
+    credit = 0
+    if marker.credit is not None:
+        flags |= _FLAG_CREDIT
+        credit = marker.credit
+    return _MARKER_STRUCT.pack(
+        MARKER_MAGIC,
+        MARKER_CODEC_VERSION,
+        flags,
+        marker.channel,
+        marker.round_number,
+        marker.deficit,
+        credit,
+    )
+
+
+def decode_marker(data: bytes) -> MarkerPacket:
+    """Parse the canonical wire form back into a :class:`MarkerPacket`."""
+    if len(data) != MARKER_WIRE_BYTES:
+        raise ValueError(
+            f"marker frame must be {MARKER_WIRE_BYTES} bytes, got {len(data)}"
+        )
+    magic, version, flags, channel, round_number, deficit, credit = (
+        _MARKER_STRUCT.unpack(data)
+    )
+    if magic != MARKER_MAGIC:
+        raise ValueError(f"bad marker magic {magic:#06x}")
+    if version != MARKER_CODEC_VERSION:
+        raise ValueError(f"unsupported marker codec version {version}")
+    return MarkerPacket(
+        channel=channel,
+        round_number=round_number,
+        deficit=deficit,
+        size=MARKER_WIRE_BYTES,
+        credit=credit if flags & _FLAG_CREDIT else None,
+    )
+
+
+def piggybacked_credit(packet: Any) -> Optional[Tuple[int, int]]:
+    """The ``(channel, credit)`` riding ``packet``, if it is a credit-bearing
+    marker (the §6.3 FCVC piggyback); None otherwise."""
+    if is_marker(packet) and packet.credit is not None:
+        return (packet.channel, packet.credit)
+    return None
 
 
 @dataclass(frozen=True)
@@ -68,6 +140,9 @@ class SRRReceiverStats:
     #: (the Theorem 5.1 assumption violated).
     deep_overdraw_skips: int = 0
     max_buffered: int = 0
+    #: expected packets on a failed (dead) channel written off as lost so
+    #: the surviving channels could keep delivering
+    assumed_lost: int = 0
 
 
 class SRRReceiver:
@@ -114,6 +189,8 @@ class SRRReceiver:
         self.dc[0] = algorithm.quanta[0]
         self.pending: List[bool] = [False] + [True] * (n - 1)
         self.sync_round: List[Optional[int]] = [None] * n
+        #: channels declared dead (see :meth:`fail_channel`)
+        self.failed: set = set()
 
     # ------------------------------------------------------------------ #
 
@@ -148,9 +225,28 @@ class SRRReceiver:
         if self.ptr == 0:
             self.round_number += 1
 
+    def fail_channel(self, channel: int) -> List[Any]:
+        """Declare ``channel`` dead; expected packets there count as lost.
+
+        After failure, a scan that blocks on the dead channel (empty
+        buffer) while data is buffered elsewhere writes the expected packet
+        off as lost — one nominal quantum-sized packet per visit — so the
+        surviving channels keep delivering instead of stalling forever.
+        Returns packets that became deliverable immediately.
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        self.failed.add(channel)
+        return self.drain()
+
+    def _nominal_size(self, channel: int) -> int:
+        """Assumed size of an unseen (lost) packet on a failed channel."""
+        return max(1, int(self.algorithm.quanta[channel]))
+
     def drain(self) -> List[Any]:
         """Deliver every packet currently deliverable, honoring C1 skips."""
         out: List[Any] = []
+        assumed_budget = 64 * self.n_channels
         # The scan terminates: each iteration either consumes a buffered
         # packet, advances the pointer toward the minimum pending sync
         # round, or blocks.  The skip budget bounds pathological spins.
@@ -186,7 +282,22 @@ class SRRReceiver:
                 continue
             buffer = self.buffers[c]
             if not buffer:
+                if (
+                    c in self.failed
+                    and self._buffered > 0
+                    and assumed_budget > 0
+                ):
+                    # Dead channel with live data elsewhere: write the
+                    # expected packet off as lost and keep scanning.
+                    self.stats.assumed_lost += 1
+                    assumed_budget -= 1
+                    self.dc[c] -= self.algorithm.cost(self._nominal_size(c))
+                    if self.dc[c] <= 0:
+                        self.pending[c] = True
+                        self._advance()
+                    continue
                 return out  # block on this channel
+            assumed_budget = 64 * self.n_channels
             packet = buffer.popleft()
             self._buffered -= 1
             if is_marker(packet):

@@ -60,6 +60,11 @@ class Resequencer:
         self.delivered = 0
         self.max_buffered = 0
         self._buffered = 0
+        #: channels declared dead (see :meth:`fail_channel`)
+        self.failed: set = set()
+        #: packets the simulated sender assigned to a failed channel that
+        #: were skipped over (assumed lost) to keep delivery progressing
+        self.assumed_lost = 0
 
     @property
     def state(self) -> Any:
@@ -109,16 +114,53 @@ class Resequencer:
             self.max_buffered = self._buffered
         return self.drain()
 
+    def fail_channel(self, channel: int) -> List[Any]:
+        """Declare ``channel`` dead; packets routed there count as lost.
+
+        Logical reception normally *blocks* on the expected channel — on a
+        channel that will never speak again, that block is forever.  After
+        failure, whenever the scan reaches the dead channel while data is
+        buffered elsewhere, the simulated sender is stepped past the
+        expected packet (assumed lost, one nominal quantum-sized packet per
+        step) so the surviving channels keep delivering.  Delivery degrades
+        to quasi-FIFO with gaps instead of stalling; returns packets that
+        became deliverable immediately.
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        self.failed.add(channel)
+        return self.drain()
+
+    def _nominal_size(self, channel: int) -> int:
+        """Assumed size of an unseen (lost) packet on a failed channel."""
+        quanta = getattr(self.kernel, "quanta", None)
+        if quanta is not None:
+            return max(1, int(quanta[channel]))
+        return 1
+
     def drain(self) -> List[Any]:
         """Deliver everything currently deliverable in logical order."""
         out: List[Any] = []
         kernel = self.kernel
         buffers = self.buffers
+        skip_budget = 64 * self.n_channels
         while True:
             channel = kernel.peek()
             buffer = buffers[channel]
             if not buffer:
+                if (
+                    channel in self.failed
+                    and self._buffered > 0
+                    and skip_budget > 0
+                ):
+                    # Dead channel with live data elsewhere: write the
+                    # expected packet off as lost and keep scanning.
+                    kernel.step(self._nominal_size(channel))
+                    self.assumed_lost += 1
+                    skip_budget -= 1
+                    continue
                 break  # block on the expected channel
+            skip_budget = 64 * self.n_channels
             packet = buffer.popleft()
             self._buffered -= 1
             if is_marker(packet):
@@ -162,3 +204,65 @@ class NullResequencer:
 
     def drain(self) -> List[Any]:
         return []
+
+    def fail_channel(self, channel: int) -> List[Any]:
+        """Physical-order delivery never blocks; nothing to do."""
+        return []
+
+
+#: Receiver modes understood by :func:`make_resequencer`.
+RESEQ_MODES = ("marker", "plain", "none", "mppp", "bonding")
+
+
+def make_resequencer(
+    algorithm: Optional[CausalFQ],
+    mode: str,
+    *,
+    n_channels: Optional[int] = None,
+    on_deliver: Optional[Callable[[Any], None]] = None,
+    clock: Optional[Callable[[], float]] = None,
+    sim: Optional[Any] = None,
+) -> Any:
+    """The one canonical construction of a logical-reception engine.
+
+    Every receiver stack historically hand-rolled the same mode dispatch;
+    this factory is the single copy.  Modes:
+
+    * ``"marker"`` — logical reception + marker recovery (the paper;
+      requires an SRR-family ``algorithm``).
+    * ``"plain"`` — logical reception, no loss recovery (Theorem 4.1;
+      any :class:`~repro.core.cfq.CausalFQ`).
+    * ``"none"`` — physical arrival order (the Figure 15 ablation;
+      needs only ``n_channels``).
+    * ``"mppp"`` — RFC 1717 sequence-number resequencing (baseline;
+      ``sim`` enables the gap timeout).
+    * ``"bonding"`` — BONDING-style frame alignment (baseline).
+
+    Returns an object with ``push(channel, packet)`` / ``drain()``.
+    """
+    if n_channels is None:
+        if algorithm is None:
+            raise ValueError("need an algorithm or an explicit n_channels")
+        n_channels = algorithm.n_channels
+    if mode == "marker":
+        from repro.core.markers import SRRReceiver
+        from repro.core.srr import SRR
+
+        if not isinstance(algorithm, SRR):
+            raise ValueError("marker mode requires an SRR-family algorithm")
+        return SRRReceiver(algorithm, on_deliver=on_deliver, clock=clock)
+    if mode == "plain":
+        if algorithm is None:
+            raise ValueError("plain mode requires a CausalFQ algorithm")
+        return Resequencer(algorithm, on_deliver=on_deliver)
+    if mode == "none":
+        return NullResequencer(n_channels, on_deliver=on_deliver)
+    if mode == "mppp":
+        from repro.baselines.mppp import MpppReceiver
+
+        return MpppReceiver(sim=sim, on_deliver=on_deliver)
+    if mode == "bonding":
+        from repro.baselines.bonding import BondingResequencer
+
+        return BondingResequencer(n_channels, on_deliver=on_deliver)
+    raise ValueError(f"unknown resequencing mode {mode!r}")

@@ -20,6 +20,7 @@ from repro.net.stack import Link, Stack
 from repro.sim.engine import Simulator
 from repro.sim.loss import BernoulliLoss, SizeGatedLoss
 from repro.transport.credit import CreditSender
+from repro.transport.endpoint import make_discipline, receiver_mode_for
 from repro.transport.fast_path import (
     FastStripedReceiver,
     FastStripedSender,
@@ -48,6 +49,11 @@ class SocketTestbedConfig:
     marker_interval_rounds: int = 1
     marker_position: int = 0
     mode: str = "marker"  # marker | plain | none
+    #: named endpoint discipline (see repro.transport.make_discipline);
+    #: None keeps the paper's SRR.  When set, ``mode`` is derived from the
+    #: discipline (its own receiver half for mppp/bonding, plain logical
+    #: reception for causal policies, arrival order for non-causal ones).
+    discipline: Optional[str] = None
     buffer_packets: Optional[int] = None
     use_credit: bool = False
     source_backlog: int = 16
@@ -63,6 +69,10 @@ class SocketTestbedConfig:
     #: Delivery behaviour is identical (property-tested); credit flow
     #: control is not supported on the fast path.
     fast: bool = False
+    #: optional receiver-side dead-channel watchdog
+    #: (:class:`repro.transport.endpoint.ChannelFailureDetector`);
+    #: reference path only.
+    failure_detector: Optional[object] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -168,8 +178,24 @@ def build_socket_testbed(
         r_if.arp_cache.install(s_if.ip_address, s_if.mac)
         destinations.append((r_ip, BASE_PORT + index))
 
-    algorithm_s = SRR([float(config.message_bytes)] * config.n_channels)
-    algorithm_r = SRR([float(config.message_bytes)] * config.n_channels)
+    if config.discipline is not None:
+        # Any (s0, f, g) scheme through the same testbed: the sender gets
+        # the named discipline, the receiver its matching reception mode.
+        options = dict(
+            quantum=float(config.message_bytes), seed=config.seed
+        )
+        algorithm_s = make_discipline(
+            config.discipline, config.n_channels, **options
+        )
+        config.mode = receiver_mode_for(algorithm_s)
+        algorithm_r = None
+        if config.mode == "plain":
+            algorithm_r = make_discipline(
+                config.discipline, config.n_channels, **options
+            ).algorithm
+    else:
+        algorithm_s = SRR([float(config.message_bytes)] * config.n_channels)
+        algorithm_r = SRR([float(config.message_bytes)] * config.n_channels)
     marker_policy = None
     if config.mode == "marker" and config.marker_interval_rounds > 0:
         marker_policy = MarkerPolicy(
@@ -202,8 +228,12 @@ def build_socket_testbed(
     testbed_ref: List[SocketTestbed] = []
 
     def on_message(packet) -> None:
+        # BONDING delivers frames (sequence), everything else packets (seq).
+        seq = getattr(packet, "seq", None)
+        if seq is None:
+            seq = getattr(packet, "sequence", -1)
         testbed_ref[0].deliveries.append(
-            Delivery(time=sim.now, seq=packet.seq, size=packet.size)
+            Delivery(time=sim.now, seq=seq, size=packet.size)
         )
 
     receiver: StripedSocketReceiver | FastStripedReceiver
@@ -232,6 +262,7 @@ def build_socket_testbed(
             buffer_packets=config.buffer_packets,
             credit_to="10.10.0.1" if config.use_credit else None,
             credit_port=CREDIT_PORT if config.use_credit else None,
+            failure_detector=config.failure_detector,
         )
 
     source: Optional[ClosedLoopSource] = None

@@ -41,6 +41,7 @@ def build_tcp_striped(
     loss: float = 0.0,
     message_sizes: Sequence[int] = (200, 1000, 1460),
     seed: int = 0,
+    failure_detector=None,
 ) -> Tuple[StripedTcpSender, StripedTcpReceiver, list]:
     """Two hosts, one link per TCP channel, closed-loop striped stream."""
     s = Stack(sim, "S")
@@ -67,7 +68,10 @@ def build_tcp_striped(
         dst_ips.append(f"10.{70 + index}.0.2")
     ts = TcpLayer(s, sim)
     tr = TcpLayer(r, sim)
-    receiver = StripedTcpReceiver(tr, n_channels, SRR([1000.0] * n_channels))
+    receiver = StripedTcpReceiver(
+        tr, n_channels, SRR([1000.0] * n_channels),
+        failure_detector=failure_detector,
+    )
     sender = StripedTcpSender(
         ts, dst_ips[0], n_channels, SRR([1000.0] * n_channels),
         dst_ips=dst_ips,

@@ -16,9 +16,8 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cfq import CausalFQ
-from repro.core.markers import SRRReceiver
 from repro.core.packet import is_marker
-from repro.core.resequencer import NullResequencer, Resequencer
+from repro.core.resequencer import make_resequencer
 from repro.core.srr import SRR
 from repro.core.striper import MarkerPolicy, Striper
 from repro.core.transform import LoadSharer, TransformedLoadSharer
@@ -152,19 +151,10 @@ class StripeInterface(NetworkInterface):
             self._reassembler.push if self._reassembler is not None
             else self._deliver_up
         )
-        if resequencing == RESEQ_MARKER:
-            assert isinstance(algorithm, SRR)
-            self.receiver: Any = SRRReceiver(
-                algorithm, on_deliver=deliver, clock=lambda: self.sim.now
-            )
-        elif resequencing == RESEQ_PLAIN:
-            self.receiver = Resequencer(algorithm, on_deliver=deliver)
-        elif resequencing == RESEQ_NONE:
-            self.receiver = NullResequencer(
-                algorithm.n_channels, on_deliver=deliver
-            )
-        else:
-            raise ValueError(f"unknown resequencing mode {resequencing!r}")
+        self.receiver: Any = make_resequencer(
+            algorithm, resequencing,
+            on_deliver=deliver, clock=lambda: self.sim.now,
+        )
 
         # --- wiring --------------------------------------------------------
         self._member_index = {id(iface): i for i, iface in enumerate(self.members)}

@@ -6,10 +6,24 @@
   reordering and loss have their real effects).
 * :mod:`repro.transport.credit` — Kung/Chapman credit-based flow control
   (section 6.3).
+* :mod:`repro.transport.endpoint` — the transport-agnostic striping
+  endpoint layer: channel-port protocol, sender/receiver pipelines, the
+  discipline registry, and the dead-channel watchdog.
 * :mod:`repro.transport.socket_striping` — striping across UDP sockets at
   the transport layer (section 6.3's experimental harness).
 """
 
+from repro.transport.endpoint import (
+    DISCIPLINES,
+    ChannelFailureDetector,
+    ChannelPort,
+    FastStriper,
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+    make_discipline,
+    receiver_mode_for,
+    resolve_discipline,
+)
 from repro.transport.udp import UDP_HEADER_BYTES, UdpDatagram, UdpLayer, UdpSocket
 from repro.transport.tcp import (
     BulkReceiver,
@@ -22,11 +36,17 @@ from repro.transport.credit import CreditPacket, CreditReceiver, CreditSender
 from repro.transport.socket_striping import (
     StripedSocketReceiver,
     StripedSocketSender,
+    UdpChannelPort,
 )
 from repro.transport.session_striping import (
-    ChannelFailureDetector,
     SessionSocketReceiver,
     SessionSocketSender,
+)
+from repro.transport.fast_path import (
+    FastChannelPort,
+    FastStripedReceiver,
+    FastStripedSender,
+    wire_size,
 )
 from repro.transport.duplex import DuplexStripedEndpoint, connect_duplex
 from repro.transport.tcp_striping import (
@@ -36,6 +56,19 @@ from repro.transport.tcp_striping import (
 )
 
 __all__ = [
+    "ChannelPort",
+    "StripeSenderPipeline",
+    "StripeReceiverPipeline",
+    "FastStriper",
+    "DISCIPLINES",
+    "make_discipline",
+    "resolve_discipline",
+    "receiver_mode_for",
+    "UdpChannelPort",
+    "FastChannelPort",
+    "FastStripedSender",
+    "FastStripedReceiver",
+    "wire_size",
     "UdpDatagram",
     "UdpLayer",
     "UdpSocket",

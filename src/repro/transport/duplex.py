@@ -14,7 +14,12 @@ host; :func:`connect_duplex` wires two endpoints so that
 * each receiver forwards arriving piggybacked credits to its co-located
   sender's :class:`~repro.transport.credit.CreditSender`.
 
-No standalone credit packets are sent at all.
+No standalone credit packets are sent at all.  Everything here is plain
+composition over the endpoint layer: the sender/receiver halves are the
+:class:`~repro.transport.endpoint.StripeSenderPipeline` /
+:class:`~repro.transport.endpoint.StripeReceiverPipeline` adapters from
+:mod:`repro.transport.socket_striping`, and the piggyback plumbing is the
+pipelines' ``marker_decorator`` / ``credit_sink`` hooks.
 """
 
 from __future__ import annotations

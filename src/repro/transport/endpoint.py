@@ -1,0 +1,742 @@
+"""The transport-agnostic striping endpoint layer.
+
+Every transport stack in this package — UDP sockets, session-managed UDP,
+TCP connections, the direct-to-channel fast path, duplex sessions — used
+to carry its own copy of the same machinery: a stripe pump feeding channel
+ports, marker placement, credit hooks, a per-channel receive buffer with a
+drop rule, logical reception through a resequencer, and (sometimes) a
+dead-channel watchdog.  This module is the single copy.
+
+* :class:`ChannelPort` — the protocol a transport must implement per
+  striped channel: ``send`` / ``can_accept`` / ``queue_length``, plus
+  optional ``send_burst`` + ``free_capacity`` (enables the batched fast
+  pump), ``close``, and an ``on_unblocked`` callback slot.
+* :class:`StripeSenderPipeline` — kernel-driven stripe pump over any port
+  list: marker placement via :class:`~repro.core.striper.MarkerPolicy`,
+  the batched :class:`FastStriper` when the ports support bursts, FCVC
+  credit integration, keepalive markers, and packet-wrapping disciplines
+  (MPPP headers, BONDING frames).
+* :class:`StripeReceiverPipeline` — per-channel buffering with the
+  physical buffer-cap drop rule, logical reception via
+  :func:`~repro.core.resequencer.make_resequencer` (marker resync per
+  condition C1 in marker mode), piggybacked-credit extraction, credit
+  issuance, and pluggable :class:`ChannelFailureDetector` support.
+* :func:`make_discipline` / :func:`resolve_discipline` — one registry for
+  every striping policy in the repo (SRR family and the five section-2.1
+  baselines), so any ``(s0, f, g)`` scheme plugs into any transport.
+
+The module deliberately imports nothing from :mod:`repro.net`,
+:mod:`repro.sim`, or the concrete transports: a pipeline only sees ports
+and (optionally) a duck-typed event scheduler, which is what makes the
+same code run over UDP sockets, TCP streams, raw simulated channels, or
+the in-memory list ports the offline tests use.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core.cfq import CausalFQ
+from repro.core.markers import piggybacked_credit
+from repro.core.packet import Packet, is_marker
+from repro.core.resequencer import make_resequencer
+from repro.core.striper import MarkerPolicy, Striper
+from repro.core.transform import LoadSharer, TransformedLoadSharer
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: A value safely larger than any queue limit, used for unbounded queues.
+_UNBOUNDED = 1 << 30
+
+#: Input backlogs below this run the per-packet pump: snapshotting and
+#: scanning the batch machinery costs more than it saves for a couple of
+#: packets (the common case for per-submit pumps of a closed-loop source).
+_BATCH_MIN = 4
+
+_MISSING = object()
+
+
+@runtime_checkable
+class ChannelPort(Protocol):
+    """What the endpoint layer needs from one striped channel.
+
+    Required surface::
+
+        send(packet, force=False) -> bool   # enqueue for transmission
+        can_accept() -> bool                # queue space for one more?
+        queue_length -> int                 # packets queued (depth policies)
+
+    Optional surface, detected by attribute presence:
+
+    * ``send_burst(packets)`` + ``free_capacity() -> int`` — enables the
+      batched fast pump (:class:`FastStriper`).
+    * ``close()`` — release the underlying transport resource.
+    * ``on_unblocked`` — a slot the pipeline fills with its pump so the
+      port can resume a stalled sender (ARP resolution, credit arrival).
+    """
+
+    def send(self, packet: Any, force: bool = False) -> bool: ...
+
+    def can_accept(self) -> bool: ...
+
+    @property
+    def queue_length(self) -> int: ...
+
+
+# --------------------------------------------------------------------- #
+# discipline registry: any (s0, f, g) scheme -> any transport
+
+
+def _make_srr(n: int, **options: Any) -> LoadSharer:
+    from repro.core.srr import SRR
+
+    quanta = options.get("quanta")
+    if quanta is None:
+        quanta = [float(options.get("quantum", 1500.0))] * n
+    return TransformedLoadSharer(
+        SRR(quanta, count_packets=options.get("count_packets", False))
+    )
+
+
+def _make_rr(n: int, **options: Any) -> LoadSharer:
+    from repro.core.srr import make_rr
+
+    return TransformedLoadSharer(make_rr(n))
+
+
+def _make_grr(n: int, **options: Any) -> LoadSharer:
+    from repro.core.srr import make_grr
+
+    weights = options.get("weights")
+    if weights is None:
+        weights = [1.0] * n
+    return TransformedLoadSharer(make_grr(weights))
+
+
+def _make_sqf(n: int, **options: Any) -> LoadSharer:
+    from repro.baselines.sqf import ShortestQueueFirst
+
+    return ShortestQueueFirst(n)
+
+
+def _make_random(n: int, **options: Any) -> LoadSharer:
+    import random
+
+    from repro.baselines.random_selection import RandomSelection
+
+    return RandomSelection(n, random.Random(options.get("seed", 0)))
+
+
+def _make_hash(n: int, **options: Any) -> LoadSharer:
+    from repro.baselines.address_hash import AddressHashing
+
+    return AddressHashing(n)
+
+
+def _make_mppp(n: int, **options: Any) -> LoadSharer:
+    from repro.baselines.mppp import MPPP_HEADER_BYTES, MpppDiscipline
+
+    return MpppDiscipline(
+        n, header_bytes=options.get("header_bytes", MPPP_HEADER_BYTES)
+    )
+
+
+def _make_bonding(n: int, **options: Any) -> LoadSharer:
+    from repro.baselines.bonding import BondingDiscipline
+
+    return BondingDiscipline(n, frame_bytes=options.get("frame_bytes", 512))
+
+
+#: Named striping disciplines: factory(n_channels, **options) -> LoadSharer.
+DISCIPLINES: Dict[str, Callable[..., LoadSharer]] = {
+    "srr": _make_srr,
+    "rr": _make_rr,
+    "grr": _make_grr,
+    "sqf": _make_sqf,
+    "random_selection": _make_random,
+    "random": _make_random,
+    "address_hash": _make_hash,
+    "hash": _make_hash,
+    "mppp": _make_mppp,
+    "bonding": _make_bonding,
+}
+
+
+def make_discipline(name: str, n_channels: int, **options: Any) -> LoadSharer:
+    """Build a named striping discipline for ``n_channels`` channels.
+
+    Names: ``srr`` (quanta/quantum/count_packets options), ``rr``, ``grr``
+    (weights), ``sqf``, ``random_selection``/``random`` (seed),
+    ``address_hash``/``hash``, ``mppp`` (header_bytes), ``bonding``
+    (frame_bytes).
+    """
+    factory = DISCIPLINES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown discipline {name!r}; known: {sorted(set(DISCIPLINES))}"
+        )
+    return factory(n_channels, **options)
+
+
+def resolve_discipline(
+    spec: Any, n_channels: int, **options: Any
+) -> LoadSharer:
+    """Normalize any striping-policy spec to a :class:`LoadSharer`.
+
+    Accepts a discipline name (see :func:`make_discipline`), a
+    :class:`~repro.core.cfq.CausalFQ` algorithm (wrapped via the paper's
+    transformation), or any ready-made load sharer (two-phase
+    ``choose``/``notify_sent`` object).
+    """
+    if isinstance(spec, str):
+        sharer = make_discipline(spec, n_channels, **options)
+    elif isinstance(spec, CausalFQ):
+        sharer = TransformedLoadSharer(spec)
+    elif isinstance(spec, LoadSharer) or (
+        hasattr(spec, "choose") and hasattr(spec, "notify_sent")
+    ):
+        sharer = spec
+    else:
+        raise TypeError(f"cannot use {type(spec).__name__} as a discipline")
+    if sharer.n_channels != n_channels:
+        raise ValueError(
+            f"policy expects {sharer.n_channels} channels, got {n_channels}"
+        )
+    return sharer
+
+
+def receiver_mode_for(spec: Any, markers: bool = False) -> str:
+    """The resequencing mode matching a sender-side discipline.
+
+    Disciplines that bring their own receiver half declare it via a
+    ``receiver_mode`` attribute (MPPP, BONDING).  Simulatable (causal)
+    policies get logical reception — ``"marker"`` when the sender emits
+    markers, ``"plain"`` otherwise.  Non-causal policies cannot be
+    simulated at all, so they fall back to physical arrival order.
+    """
+    mode = getattr(spec, "receiver_mode", None)
+    if mode is not None:
+        return mode
+    if isinstance(spec, CausalFQ) or getattr(spec, "simulatable", False):
+        return "marker" if markers else "plain"
+    return "none"
+
+
+# --------------------------------------------------------------------- #
+# sender side
+
+
+class FastStriper(Striper):
+    """A :class:`~repro.core.striper.Striper` with a batched pump.
+
+    Semantically identical to the base per-packet pump for SRR-family
+    policies — same channel assignments (the kernel is causal), same
+    per-channel packet order, same marker emission points — but the kernel
+    is advanced with one ``assign_many`` per chunk and each channel
+    receives its packets as one burst.  Requires ports with
+    ``send_burst``/``free_capacity``.  Non-SRR policies, enabled tracers,
+    and unreconstructable pointer trajectories fall back to the exact base
+    pump.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._min_quantum: Optional[float] = None
+        if self._kernel is not None:
+            self._min_quantum = min(self._kernel.quanta)
+
+    def pump(self) -> int:
+        kernel = self._kernel
+        if kernel is None or self.tracer.enabled:
+            return super().pump()
+        if self._initial_markers_pending:
+            self._initial_markers_pending = False
+            self._emit_markers()
+        queue = self.input_queue
+        if not queue:
+            return 0
+        if len(queue) < _BATCH_MIN:
+            return super().pump()
+        ports = self.ports
+        n = kernel.n_channels
+        markers = self._markers_enabled
+        position = interval = 0
+        if markers:
+            policy = self.marker_policy
+            position = policy.position % n
+            interval = policy.interval_rounds
+        sent_total = 0
+        while queue:
+            free = [port.free_capacity() for port in ports]
+            if free[kernel.ptr] <= 0:
+                break  # head-of-line: causality forbids sending elsewhere
+            budget = 0
+            for f in free:
+                budget += f
+            backlog = len(queue)
+            chunk = budget if budget < backlog else backlog
+            sizes = [p.size for p in islice(queue, chunk)]
+            snapshot = kernel.snapshot()
+            chans = kernel.assign_many(sizes)
+            end_ptr = kernel.ptr
+            # Longest admissible prefix under per-channel free slots.  The
+            # first packet is always admissible (free[chans[0]] > 0 was
+            # just checked), so q >= 1 and the loop makes progress.
+            q = chunk
+            for i in range(chunk):
+                c = chans[i]
+                f = free[c]
+                if f <= 0:
+                    q = i
+                    break
+                free[c] = f - 1
+            emit = False
+            if markers:
+                # Walk the pointer trajectory packet by packet: chans[i+1]
+                # (or the post-chunk pointer) is the live pointer after
+                # packet i.  Each single-channel advance is one potential
+                # marker-position crossing; a multi-channel hop (deep
+                # overdraw) cannot be reconstructed from the channel
+                # vector alone, so it falls back to the per-packet pump.
+                crossings = self._crossings_seen
+                ptr = chans[0]
+                stop = q
+                for i in range(q):
+                    nxt = chans[i + 1] if i + 1 < chunk else end_ptr
+                    if nxt == ptr:
+                        continue
+                    step = nxt - ptr
+                    if step != 1 and step != 1 - n:
+                        kernel.restore(snapshot)
+                        return sent_total + super().pump()
+                    ptr = nxt
+                    if nxt == position:
+                        crossings += 1
+                        if crossings % interval == 0:
+                            # Cut after the crossing packet so the marker
+                            # batch lands exactly where the per-packet
+                            # pump would put it.
+                            stop = i + 1
+                            emit = True
+                            break
+                self._crossings_seen = crossings
+                q = stop
+            if q < chunk:
+                kernel.restore(snapshot)
+                kernel.assign_many(sizes[:q])
+            bursts: Dict[int, List[Any]] = {}
+            bytes_sent = 0
+            for i in range(q):
+                packet = queue.popleft()
+                bytes_sent += sizes[i]
+                c = chans[i]
+                burst = bursts.get(c)
+                if burst is None:
+                    bursts[c] = [packet]
+                else:
+                    burst.append(packet)
+            for c, burst in bursts.items():
+                ports[c].send_burst(burst)
+            self.packets_sent += q
+            self.bytes_sent += bytes_sent
+            sent_total += q
+            if emit:
+                self._emit_markers()
+        return sent_total
+
+
+class StripeSenderPipeline:
+    """The one striping send pump, over any transport's channel ports.
+
+    Args:
+        ports: one :class:`ChannelPort` per channel.
+        discipline: anything :func:`resolve_discipline` accepts — a name,
+            a :class:`~repro.core.cfq.CausalFQ`, or a load sharer.
+        marker_policy: marker emission policy (SRR-family only).
+        marker_decorator / on_marker: per-marker hooks (credit piggyback).
+        credit: optional FCVC :class:`~repro.transport.credit.CreditSender`;
+            its ``on_unblocked`` is pointed at the pump.
+        sim: event scheduler (``schedule(delay, fn)``/``now``) — required
+            only for keepalive markers.
+        marker_keepalive_s: if set, force a marker batch whenever no marker
+            was emitted for this long (stalled/idle senders must keep the
+            receiver — and piggybacked credits — refreshed).
+        fast: force the batched (True) or per-packet (False) pump; by
+            default the batched pump is used when every port supports
+            ``send_burst``/``free_capacity``.
+        discipline_options: forwarded to :func:`make_discipline` when
+            ``discipline`` is a name.
+    """
+
+    def __init__(
+        self,
+        ports: Sequence[ChannelPort],
+        discipline: Any,
+        *,
+        marker_policy: Optional[MarkerPolicy] = None,
+        marker_decorator: Optional[Callable[[int, Any], None]] = None,
+        on_marker: Optional[Callable[[int, Any], None]] = None,
+        credit: Any = None,
+        sim: Any = None,
+        marker_keepalive_s: Optional[float] = None,
+        fast: Optional[bool] = None,
+        tracer: Tracer = NULL_TRACER,
+        clock: Optional[Callable[[], float]] = None,
+        discipline_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.ports: List[Any] = list(ports)
+        self.sim = sim
+        sharer = resolve_discipline(
+            discipline, len(self.ports), **(discipline_options or {})
+        )
+        self.sharer = sharer
+        #: discipline-supplied packet transformation (MPPP headers,
+        #: BONDING frames); None for the paper's no-modification schemes.
+        self._wrap = getattr(sharer, "wrap_packet", None)
+        if fast is None:
+            fast = all(
+                hasattr(port, "send_burst") and hasattr(port, "free_capacity")
+                for port in self.ports
+            )
+        if clock is None and sim is not None:
+            clock = lambda: sim.now  # noqa: E731
+        striper_cls = FastStriper if fast else Striper
+        self.striper = striper_cls(
+            sharer,
+            self.ports,
+            marker_policy,
+            on_marker=on_marker,
+            marker_decorator=marker_decorator,
+            tracer=tracer,
+            clock=clock,
+        )
+        self.credit = credit
+        if credit is not None:
+            credit.on_unblocked = self._pump
+        for port in self.ports:
+            # Fill empty resume slots; ports without the slot (or with one
+            # already claimed) are left alone.
+            if getattr(port, "on_unblocked", _MISSING) is None:
+                port.on_unblocked = self._pump
+        self.messages_submitted = 0
+        self._keepalive_s = marker_keepalive_s
+        self._markers_at_last_tick = 0
+        if marker_keepalive_s is not None:
+            if marker_policy is None:
+                raise ValueError("keepalive markers need a marker policy")
+            if sim is None:
+                raise ValueError("keepalive markers need an event scheduler")
+            sim.schedule(marker_keepalive_s, self._keepalive_tick)
+
+    # ------------------------------------------------------------------ #
+
+    def send_message(self, size: int, payload: Any = None) -> Packet:
+        """Submit one application message of ``size`` bytes for striping."""
+        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
+        self.messages_submitted += 1
+        self._submit(packet)
+        return packet
+
+    def submit_packet(self, packet: Packet) -> None:
+        """Submit a caller-constructed packet (e.g. video trace packets)."""
+        self.messages_submitted += 1
+        self._submit(packet)
+
+    def _submit(self, packet: Any) -> None:
+        if self._wrap is not None:
+            for unit in self._wrap(packet):
+                self.striper.submit(unit)
+        else:
+            self.striper.submit(packet)
+
+    def flush(self) -> None:
+        """Flush discipline-buffered residue (a partial BONDING frame)."""
+        flush = getattr(self.sharer, "flush", None)
+        if flush is None:
+            return
+        unit = flush()
+        if unit is not None:
+            self.striper.submit(unit)
+
+    @property
+    def backlog(self) -> int:
+        return self.striper.backlog
+
+    def pump(self) -> int:
+        return self.striper.pump()
+
+    def _pump(self) -> None:
+        self.striper.pump()
+
+    def close(self) -> None:
+        for port in self.ports:
+            close = getattr(port, "close", None)
+            if close is not None:
+                close()
+
+    def _keepalive_tick(self) -> None:
+        if self.striper.markers_sent == self._markers_at_last_tick:
+            self.striper.force_marker_batch()
+        self._markers_at_last_tick = self.striper.markers_sent
+        self.sim.schedule(self._keepalive_s, self._keepalive_tick)
+
+
+# --------------------------------------------------------------------- #
+# receiver side
+
+
+class ChannelFailureDetector:
+    """Receiver-side dead-channel watchdog, transport-agnostic.
+
+    Every ``check_interval`` seconds it compares per-channel arrival
+    times; a channel that saw nothing for ``silence_threshold`` seconds
+    while the others progressed is declared dead and reported through the
+    bound failure callback — a session receiver reconfigures the sender,
+    a plain pipeline writes the channel off so delivery keeps flowing.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        silence_threshold: float = 0.25,
+        check_interval: float = 0.05,
+    ) -> None:
+        self.sim = sim
+        self.silence_threshold = silence_threshold
+        self.check_interval = check_interval
+        self.receiver: Any = None
+        self.last_arrival: List[float] = []
+        self.failed: set = set()
+        self.failures_reported: List[int] = []
+        self._on_failure: Optional[Callable[[int], Any]] = None
+        self._active: Optional[Callable[[], Sequence[int]]] = None
+        self._started = False
+
+    def bind(
+        self,
+        n_channels: int,
+        on_failure: Callable[[int], Any],
+        active_channels: Optional[Callable[[], Sequence[int]]] = None,
+    ) -> None:
+        """Generic wiring: watch ``n_channels``, report via ``on_failure``.
+
+        ``active_channels`` yields the channel set currently expected to
+        carry traffic (a session's live subset); by default every channel
+        not yet declared failed.
+        """
+        self.last_arrival = [0.0] * n_channels
+        self._on_failure = on_failure
+        if active_channels is None:
+            active_channels = lambda: [  # noqa: E731
+                i for i in range(n_channels) if i not in self.failed
+            ]
+        self._active = active_channels
+
+    def attach(self, receiver: Any) -> None:
+        """Session-receiver wiring (compatibility surface).
+
+        The receiver must expose ``n_ports``, ``request_drop_channel`` and
+        ``session.config.active_channels``.
+        """
+        self.receiver = receiver
+        self.bind(
+            receiver.n_ports,
+            receiver.request_drop_channel,
+            lambda: receiver.session.config.active_channels,
+        )
+
+    def note_arrival(self, port_index: int) -> None:
+        if port_index < len(self.last_arrival):
+            self.last_arrival[port_index] = self.sim.now
+        if not self._started:
+            self._started = True
+            self.sim.schedule(self.check_interval, self._check)
+
+    def _check(self) -> None:
+        if self._on_failure is None or self._active is None:
+            return
+        now = self.sim.now
+        active = list(self._active())
+        alive = [
+            i
+            for i in active
+            if now - self.last_arrival[i] < self.silence_threshold
+        ]
+        if alive and len(alive) < len(active):
+            for index in active:
+                if index not in alive and index not in self.failed:
+                    self.failed.add(index)
+                    self.failures_reported.append(index)
+                    self._on_failure(index)
+        self.sim.schedule(self.check_interval, self._check)
+
+
+class StripeReceiverPipeline:
+    """The one striped-receive pump, over any transport's arrivals.
+
+    Arrivals enter via :meth:`push` (or the per-channel closures from
+    :meth:`channel_handler`); the pipeline applies the physical buffer-cap
+    drop rule, extracts piggybacked credits from markers, feeds the
+    resequencer built by
+    :func:`~repro.core.resequencer.make_resequencer`, and reports
+    consumption to the FCVC credit layer.
+
+    Args:
+        n_channels: striped channel count.
+        algorithm: the sender's CFQ algorithm (simulated for logical
+            reception); None for modes that need none.
+        mode: resequencing mode (``marker``/``plain``/``none``/``mppp``/
+            ``bonding``).
+        on_message: callback for in-order application messages.
+        buffer_packets: per-channel physical buffer cap; data arrivals
+            beyond it are dropped (counted) — the loss credit flow
+            control eliminates.
+        credit: optional :class:`~repro.transport.credit.CreditReceiver`
+            notified as buffered packets are consumed.
+        failure_detector: optional :class:`ChannelFailureDetector`; it is
+            bound to :meth:`fail_channel`, so plain pipelines survive a
+            dead channel (delivery degrades to quasi-FIFO with gaps
+            instead of stalling forever).
+        sim: event scheduler, used for the marker-receiver clock and the
+            MPPP gap timeout.
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        algorithm: Optional[CausalFQ] = None,
+        *,
+        mode: str = "marker",
+        on_message: Optional[Callable[[Any], None]] = None,
+        buffer_packets: Optional[int] = None,
+        credit: Any = None,
+        failure_detector: Optional[ChannelFailureDetector] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sim: Any = None,
+    ) -> None:
+        self.n_channels = n_channels
+        self.sim = sim
+        self.on_message = on_message
+        self.buffer_packets = buffer_packets
+        self.buffer_drops = 0
+        self.delivered: List[Any] = []
+        #: invoked as fn(channel, credit) when a piggybacked credit rides
+        #: an arriving marker (the reverse direction's flow-control state).
+        self.credit_sink: Optional[Callable[[int, int], None]] = None
+        self.credit = credit
+        if clock is None and sim is not None:
+            clock = lambda: sim.now  # noqa: E731
+        self.resequencer = make_resequencer(
+            algorithm,
+            mode,
+            n_channels=n_channels,
+            on_deliver=self._deliver,
+            clock=clock,
+            sim=sim,
+        )
+        self._pushed_data: List[int] = [0] * n_channels
+        self._credited: List[int] = [0] * n_channels
+        self.failed_channels: set = set()
+        self.failure_detector = failure_detector
+        if failure_detector is not None:
+            failure_detector.bind(n_channels, self.fail_channel)
+
+    # ------------------------------------------------------------------ #
+
+    def push(self, channel: int, packet: Any) -> List[Any]:
+        """Physical arrival of ``packet`` on ``channel``.
+
+        Returns the application packets delivered in logical order as a
+        result (also passed to ``on_message``).
+        """
+        detector = self.failure_detector
+        if detector is not None:
+            detector.note_arrival(channel)
+        if not is_marker(packet):
+            if (
+                self.buffer_packets is not None
+                and self._buffered_data(channel) >= self.buffer_packets
+            ):
+                self.buffer_drops += 1
+                return []
+            self._pushed_data[channel] += 1
+        else:
+            piggyback = piggybacked_credit(packet)
+            if piggyback is not None and self.credit_sink is not None:
+                self.credit_sink(*piggyback)
+        out = self.resequencer.push(channel, packet)
+        if self.credit is not None:
+            self._issue_credits()
+        return out
+
+    def channel_handler(self, index: int) -> Callable[[Any], None]:
+        """A per-channel arrival callback (for transports that demux)."""
+        if (
+            self.buffer_packets is None
+            and self.credit is None
+            and self.failure_detector is None
+        ):
+            # Hot path (the fast transport): no drop rule, no credits, no
+            # watchdog — skip their per-packet checks entirely.
+            push = self.resequencer.push
+            pushed = self._pushed_data
+
+            def handle(packet: Any) -> None:
+                if not is_marker(packet):
+                    pushed[index] += 1
+                push(index, packet)
+
+            return handle
+
+        def handle(packet: Any) -> None:
+            self.push(index, packet)
+
+        return handle
+
+    def fail_channel(self, channel: int) -> List[Any]:
+        """Declare a channel dead so delivery does not block on it."""
+        if channel in self.failed_channels:
+            return []
+        self.failed_channels.add(channel)
+        fail = getattr(self.resequencer, "fail_channel", None)
+        if fail is None:
+            return []
+        return fail(channel)
+
+    # ------------------------------------------------------------------ #
+
+    def _buffered_data(self, index: int) -> int:
+        """Data packets currently buffered on a channel (markers excluded)."""
+        buffers = getattr(self.resequencer, "buffers", None)
+        if buffers is None:
+            return 0
+        return sum(1 for p in buffers[index] if not is_marker(p))
+
+    def _issue_credits(self) -> None:
+        """Report newly consumed packets on every channel to the credit layer.
+
+        Consumed = pushed into the channel buffer minus still buffered; a
+        single push can unblock deliveries on *other* channels, so all
+        channels are re-examined.
+        """
+        credit = self.credit
+        assert credit is not None
+        for index in range(len(self._pushed_data)):
+            consumed = self._pushed_data[index] - self._buffered_data(index)
+            while self._credited[index] < consumed:
+                self._credited[index] += 1
+                credit.on_consumed(index)
+
+    def _deliver(self, packet: Any) -> None:
+        self.delivered.append(packet)
+        if self.on_message is not None:
+            self.on_message(packet)

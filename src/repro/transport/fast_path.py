@@ -11,17 +11,21 @@ delay.  The fast path therefore strips it away:
   directly and accounts for the framing the stack would have added via the
   channel's ``size_of`` hook (:func:`wire_size`), so wire timing is
   bit-identical to the reference path.
-* :class:`FastStriper` replaces the per-packet choose/send/notify loop with
-  a batched pump: snapshot the SRR kernel, assign a whole chunk of the
-  input queue with :meth:`~repro.core.kernel.SRRKernel.assign_many`, cut
-  the chunk at the first head-of-line block or marker emission point, and
-  hand each channel its packets as one burst
-  (:meth:`~repro.sim.channel.Channel.send_burst`).
-* :class:`FastStripedSender` / :class:`FastStripedReceiver` mirror the
-  striped-socket surface (ports with ``sent_data``/``sent_markers``,
-  ``submit_packet``, ``backlog``, per-channel arrival handlers feeding the
-  same resequencers), so the experiment harness can swap them in behind a
-  ``fast=True`` flag.
+* :class:`~repro.transport.endpoint.FastStriper` (re-exported here)
+  replaces the per-packet choose/send/notify loop with a batched pump:
+  snapshot the SRR kernel, assign a whole chunk of the input queue with
+  :meth:`~repro.core.kernel.SRRKernel.assign_many`, cut the chunk at the
+  first head-of-line block or marker emission point, and hand each channel
+  its packets as one burst (:meth:`~repro.sim.channel.Channel.send_burst`).
+* :class:`FastStripedSender` / :class:`FastStripedReceiver` are thin
+  adapters over the shared endpoint pipelines
+  (:class:`~repro.transport.endpoint.StripeSenderPipeline` /
+  :class:`~repro.transport.endpoint.StripeReceiverPipeline`): the port
+  capabilities select the batched pump automatically, and the surface
+  (ports with ``sent_data``/``sent_markers``, ``submit_packet``,
+  ``backlog``, per-channel arrival handlers) matches the striped-socket
+  stack, so the experiment harness can swap them in behind a ``fast=True``
+  flag.
 
 Determinism contract: for any configuration the harness builds, the fast
 path produces the *identical delivery sequence* as the reference path, and
@@ -36,29 +40,30 @@ per-packet pump for that chunk.
 
 from __future__ import annotations
 
-from itertools import islice
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.cfq import CausalFQ
-from repro.core.markers import SRRReceiver
-from repro.core.packet import Packet, is_marker
-from repro.core.resequencer import NullResequencer, Resequencer
-from repro.core.srr import SRR
-from repro.core.striper import MarkerPolicy, Striper
-from repro.core.transform import TransformedLoadSharer
+from repro.core.packet import is_marker
+from repro.core.striper import MarkerPolicy
 from repro.net.ethernet import ethernet_wire_size
 from repro.net.ip import IP_HEADER_BYTES
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
+from repro.transport.endpoint import (
+    _UNBOUNDED,
+    FastStriper,
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+)
 from repro.transport.udp import UDP_HEADER_BYTES
 
-#: A value safely larger than any queue limit, used for unbounded queues.
-_UNBOUNDED = 1 << 30
-
-#: Input backlogs below this run the per-packet pump: snapshotting and
-#: scanning the batch machinery costs more than it saves for a couple of
-#: packets (the common case for per-submit pumps of a closed-loop source).
-_BATCH_MIN = 4
+__all__ = [
+    "FastChannelPort",
+    "FastStripedReceiver",
+    "FastStripedSender",
+    "FastStriper",
+    "wire_size",
+]
 
 
 def wire_size(packet: Any) -> int:
@@ -110,132 +115,15 @@ class FastChannelPort:
         return self.channel.queue_length
 
 
-class FastStriper(Striper):
-    """A :class:`~repro.core.striper.Striper` with a batched pump.
-
-    Semantically identical to the base per-packet pump for SRR-family
-    policies — same channel assignments (the kernel is causal), same
-    per-channel packet order, same marker emission points — but the kernel
-    is advanced with one ``assign_many`` per chunk and each channel
-    receives its packets as one burst.  Non-SRR policies, enabled tracers,
-    and unreconstructable pointer trajectories fall back to the exact base
-    pump.
-    """
-
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        self._min_quantum: Optional[float] = None
-        if self._kernel is not None:
-            self._min_quantum = min(self._kernel.quanta)
-
-    def pump(self) -> int:
-        kernel = self._kernel
-        if kernel is None or self.tracer.enabled:
-            return super().pump()
-        if self._initial_markers_pending:
-            self._initial_markers_pending = False
-            self._emit_markers()
-        queue = self.input_queue
-        if not queue:
-            return 0
-        if len(queue) < _BATCH_MIN:
-            return super().pump()
-        ports = self.ports
-        n = kernel.n_channels
-        markers = self._markers_enabled
-        position = interval = 0
-        if markers:
-            policy = self.marker_policy
-            position = policy.position % n
-            interval = policy.interval_rounds
-        sent_total = 0
-        while queue:
-            free = [port.free_capacity() for port in ports]
-            if free[kernel.ptr] <= 0:
-                break  # head-of-line: causality forbids sending elsewhere
-            budget = 0
-            for f in free:
-                budget += f
-            backlog = len(queue)
-            chunk = budget if budget < backlog else backlog
-            sizes = [p.size for p in islice(queue, chunk)]
-            snapshot = kernel.snapshot()
-            chans = kernel.assign_many(sizes)
-            end_ptr = kernel.ptr
-            # Longest admissible prefix under per-channel free slots.  The
-            # first packet is always admissible (free[chans[0]] > 0 was
-            # just checked), so q >= 1 and the loop makes progress.
-            q = chunk
-            for i in range(chunk):
-                c = chans[i]
-                f = free[c]
-                if f <= 0:
-                    q = i
-                    break
-                free[c] = f - 1
-            emit = False
-            if markers:
-                # Walk the pointer trajectory packet by packet: chans[i+1]
-                # (or the post-chunk pointer) is the live pointer after
-                # packet i.  Each single-channel advance is one potential
-                # marker-position crossing; a multi-channel hop (deep
-                # overdraw) cannot be reconstructed from the channel
-                # vector alone, so it falls back to the per-packet pump.
-                crossings = self._crossings_seen
-                ptr = chans[0]
-                stop = q
-                for i in range(q):
-                    nxt = chans[i + 1] if i + 1 < chunk else end_ptr
-                    if nxt == ptr:
-                        continue
-                    step = nxt - ptr
-                    if step != 1 and step != 1 - n:
-                        kernel.restore(snapshot)
-                        return sent_total + super().pump()
-                    ptr = nxt
-                    if nxt == position:
-                        crossings += 1
-                        if crossings % interval == 0:
-                            # Cut after the crossing packet so the marker
-                            # batch lands exactly where the per-packet
-                            # pump would put it.
-                            stop = i + 1
-                            emit = True
-                            break
-                self._crossings_seen = crossings
-                q = stop
-            if q < chunk:
-                kernel.restore(snapshot)
-                kernel.assign_many(sizes[:q])
-            bursts: Dict[int, List[Any]] = {}
-            bytes_sent = 0
-            for i in range(q):
-                packet = queue.popleft()
-                bytes_sent += sizes[i]
-                c = chans[i]
-                burst = bursts.get(c)
-                if burst is None:
-                    bursts[c] = [packet]
-                else:
-                    burst.append(packet)
-            for c, burst in bursts.items():
-                ports[c].send_burst(burst)
-            self.packets_sent += q
-            self.bytes_sent += bytes_sent
-            sent_total += q
-            if emit:
-                self._emit_markers()
-        return sent_total
-
-
-class FastStripedSender:
+class FastStripedSender(StripeSenderPipeline):
     """Drop-in fast replacement for ``StripedSocketSender``.
 
     Same submission surface and per-port counters, but packets go straight
-    to the channels through :class:`FastChannelPort` and the batched
-    :class:`FastStriper`.  No credit flow control — the FCVC experiments
-    measure per-packet control-plane behaviour and stay on the reference
-    path.
+    to the channels through :class:`FastChannelPort`, whose burst support
+    makes the shared pipeline pick the batched
+    :class:`~repro.transport.endpoint.FastStriper`.  No credit flow
+    control — the FCVC experiments measure per-packet control-plane
+    behaviour and stay on the reference path.
     """
 
     def __init__(
@@ -245,39 +133,23 @@ class FastStripedSender:
         algorithm: CausalFQ,
         marker_policy: Optional[MarkerPolicy] = None,
     ) -> None:
-        self.sim = sim
-        self.ports: List[FastChannelPort] = [
-            FastChannelPort(channel) for channel in channels
-        ]
-        sharer = TransformedLoadSharer(algorithm)
-        self.striper = FastStriper(sharer, self.ports, marker_policy)
-        self.messages_submitted = 0
-
-    def send_message(self, size: int, payload: Any = None) -> Packet:
-        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-        return packet
-
-    def submit_packet(self, packet: Packet) -> None:
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-
-    @property
-    def backlog(self) -> int:
-        return self.striper.backlog
-
-    def pump(self) -> int:
-        return self.striper.pump()
+        super().__init__(
+            [FastChannelPort(channel) for channel in channels],
+            algorithm,
+            marker_policy=marker_policy,
+            sim=sim,
+        )
 
 
-class FastStripedReceiver:
+class FastStripedReceiver(StripeReceiverPipeline):
     """Drop-in fast replacement for ``StripedSocketReceiver``.
 
     Channel arrivals are plain transport payloads (no datagram wrapper);
-    :meth:`channel_handler` builds the per-channel callback to install as
-    the channel's ``on_deliver``.  The resequencing modes and the physical
-    buffer-cap drop rule match the reference receiver exactly.
+    :meth:`~repro.transport.endpoint.StripeReceiverPipeline.channel_handler`
+    builds the per-channel callback to install as the channel's
+    ``on_deliver``.  The resequencing modes and the physical buffer-cap
+    drop rule come from the shared pipeline and match the reference
+    receiver exactly.
     """
 
     def __init__(
@@ -286,62 +158,14 @@ class FastStripedReceiver:
         n_channels: int,
         algorithm: CausalFQ,
         mode: str = "marker",
-        on_message: Optional[Callable[[Packet], None]] = None,
+        on_message: Optional[Callable[[Any], None]] = None,
         buffer_packets: Optional[int] = None,
     ) -> None:
-        self.sim = sim
-        self.on_message = on_message
-        self.buffer_packets = buffer_packets
-        self.buffer_drops = 0
-        self.delivered: List[Packet] = []
-
-        if mode == "marker":
-            if not isinstance(algorithm, SRR):
-                raise ValueError("marker mode requires an SRR-family algorithm")
-            self.resequencer: Any = SRRReceiver(
-                algorithm, on_deliver=self._deliver, clock=lambda: sim.now
-            )
-        elif mode == "plain":
-            self.resequencer = Resequencer(algorithm, on_deliver=self._deliver)
-        elif mode == "none":
-            self.resequencer = NullResequencer(
-                n_channels, on_deliver=self._deliver
-            )
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
-
-        self._pushed_data: List[int] = [0] * n_channels
-
-    def channel_handler(self, index: int) -> Callable[[Any], None]:
-        """The ``on_deliver`` callback for channel ``index``."""
-        push = self.resequencer.push
-        if self.buffer_packets is None:
-            pushed = self._pushed_data
-
-            def handle(packet: Any) -> None:
-                if not is_marker(packet):
-                    pushed[index] += 1
-                push(index, packet)
-
-        else:
-
-            def handle(packet: Any) -> None:
-                if not is_marker(packet):
-                    if self._buffered_data(index) >= self.buffer_packets:
-                        self.buffer_drops += 1
-                        return
-                    self._pushed_data[index] += 1
-                push(index, packet)
-
-        return handle
-
-    def _buffered_data(self, index: int) -> int:
-        buffers = getattr(self.resequencer, "buffers", None)
-        if buffers is None:
-            return 0
-        return sum(1 for p in buffers[index] if not is_marker(p))
-
-    def _deliver(self, packet: Packet) -> None:
-        self.delivered.append(packet)
-        if self.on_message is not None:
-            self.on_message(packet)
+        super().__init__(
+            n_channels,
+            algorithm,
+            mode=mode,
+            on_message=on_message,
+            buffer_packets=buffer_packets,
+            sim=sim,
+        )

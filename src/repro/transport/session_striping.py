@@ -3,9 +3,12 @@
 Wraps :mod:`repro.core.session` around the UDP channel machinery of
 :mod:`repro.transport.socket_striping`: data, markers, and in-band RESETs
 travel per striped channel; ACKs and reset requests ride a dedicated
-reverse control flow.  Adds a receiver-side :class:`ChannelFailureDetector`
-that watches per-channel arrivals and asks the sender to reconfigure
-without a silent channel.
+reverse control flow.  The stripe/resequence pumps live in the session
+objects (:mod:`repro.core.session`) — these classes only adapt them to
+UDP sockets, reusing the shared :class:`UdpChannelPort` and the endpoint
+layer's :class:`~repro.transport.endpoint.ChannelFailureDetector`
+(re-exported here), whose ``attach`` wiring asks the sender to
+reconfigure without a silent channel.
 """
 
 from __future__ import annotations
@@ -23,7 +26,14 @@ from repro.core.striper import MarkerPolicy
 from repro.net.addresses import IPAddress
 from repro.net.stack import Stack
 from repro.sim.engine import Simulator
-from repro.transport.socket_striping import _UdpChannelPort, _udp_layer_for
+from repro.transport.endpoint import ChannelFailureDetector
+from repro.transport.socket_striping import UdpChannelPort, _udp_layer_for
+
+__all__ = [
+    "ChannelFailureDetector",
+    "SessionSocketReceiver",
+    "SessionSocketSender",
+]
 
 
 class SessionSocketSender:
@@ -50,11 +60,11 @@ class SessionSocketSender:
         self.sim = sim
         self.stack = stack
         self.udp = _udp_layer_for(stack)
-        self.ports: List[_UdpChannelPort] = []
+        self.ports: List[UdpChannelPort] = []
         for index, (dst_ip, dst_port) in enumerate(destinations):
             socket = self.udp.bind()
             self.ports.append(
-                _UdpChannelPort(
+                UdpChannelPort(
                     socket, IPAddress.parse(dst_ip), dst_port,
                     src_ip=None, channel_index=index, credit_sender=None,
                 )
@@ -88,58 +98,6 @@ class SessionSocketSender:
 
     def _on_control(self, datagram: Any, src: IPAddress) -> None:
         self.session.on_control(datagram.payload)
-
-
-class ChannelFailureDetector:
-    """Receiver-side dead-channel watchdog.
-
-    Every ``check_interval`` seconds it compares per-channel arrival
-    counters; a channel that saw nothing for ``silence_threshold`` seconds
-    while the others progressed is declared dead, and the receiver asks
-    the sender to reconfigure without it.
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        silence_threshold: float = 0.25,
-        check_interval: float = 0.05,
-    ) -> None:
-        self.sim = sim
-        self.silence_threshold = silence_threshold
-        self.check_interval = check_interval
-        self.receiver: Optional["SessionSocketReceiver"] = None
-        self.last_arrival: List[float] = []
-        self.failed: set = set()
-        self.failures_reported: List[int] = []
-        self._started = False
-
-    def attach(self, receiver: "SessionSocketReceiver") -> None:
-        self.receiver = receiver
-        self.last_arrival = [0.0] * receiver.n_ports
-
-    def note_arrival(self, port_index: int) -> None:
-        if port_index < len(self.last_arrival):
-            self.last_arrival[port_index] = self.sim.now
-        if not self._started:
-            self._started = True
-            self.sim.schedule(self.check_interval, self._check)
-
-    def _check(self) -> None:
-        assert self.receiver is not None
-        now = self.sim.now
-        active = self.receiver.session.config.active_channels
-        alive = [
-            i for i in active
-            if now - self.last_arrival[i] < self.silence_threshold
-        ]
-        if alive and len(alive) < len(active):
-            for index in active:
-                if index not in alive and index not in self.failed:
-                    self.failed.add(index)
-                    self.failures_reported.append(index)
-                    self.receiver.request_drop_channel(index)
-        self.sim.schedule(self.check_interval, self._check)
 
 
 class SessionSocketReceiver:

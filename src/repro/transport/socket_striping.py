@@ -6,11 +6,15 @@ packets across multiple application sockets using the same SRR striping
 and resequencing algorithm."
 
 One striped *channel* here is a UDP flow (a socket pair on a dedicated
-port).  The sender runs the SRR striper with markers; the receiver runs the
-marker-synchronized resequencer.  Optional FCVC credit flow control bounds
-per-channel in-flight data; credit advertisements ride on dedicated reverse
-UDP datagrams and, when markers flow in the reverse direction, can
-piggyback on them.
+port).  Both classes are thin adapters over the shared endpoint layer
+(:mod:`repro.transport.endpoint`): :class:`UdpChannelPort` maps one UDP
+flow onto the :class:`~repro.transport.endpoint.ChannelPort` protocol, and
+the sender/receiver subclasses of
+:class:`~repro.transport.endpoint.StripeSenderPipeline` /
+:class:`~repro.transport.endpoint.StripeReceiverPipeline` only add the
+socket plumbing: binding, datagram demux, and the dedicated reverse UDP
+flow for FCVC credit advertisements (credits can also piggyback on
+reverse-direction markers — see :mod:`repro.transport.duplex`).
 
 These classes are the workhorses of the marker-frequency, marker-position,
 loss-sweep, flow-control, and video experiments.
@@ -21,21 +25,22 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.cfq import CausalFQ
-from repro.core.markers import SRRReceiver
-from repro.core.packet import MarkerPacket, Packet, is_marker
-from repro.core.resequencer import NullResequencer, Resequencer
-from repro.core.srr import SRR
-from repro.core.striper import MarkerPolicy, Striper
-from repro.core.transform import TransformedLoadSharer
+from repro.core.markers import piggybacked_credit
+from repro.core.packet import Packet, is_marker
+from repro.core.striper import MarkerPolicy
 from repro.net.addresses import IPAddress
 from repro.net.stack import Stack
 from repro.sim.engine import Simulator
 from repro.transport.credit import CreditPacket, CreditReceiver, CreditSender
+from repro.transport.endpoint import (
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+)
 from repro.transport.udp import UdpLayer, UdpSocket
 
 
-class _UdpChannelPort:
-    """Striper port sending over one UDP flow, with optional credits."""
+class UdpChannelPort:
+    """Endpoint channel port sending over one UDP flow, with credits."""
 
     def __init__(
         self,
@@ -54,7 +59,7 @@ class _UdpChannelPort:
         self.credit_sender = credit_sender
         self.sent_data = 0
         self.sent_markers = 0
-        #: set by the owning sender; called when an ARP stall resolves
+        #: filled by the owning pipeline; called when an ARP stall resolves
         self.on_unblocked = None
         self._arp_hooked = False
 
@@ -94,6 +99,9 @@ class _UdpChannelPort:
             return False
         return iface.can_accept()
 
+    def close(self) -> None:
+        self.socket.close()
+
     @property
     def queue_length(self) -> int:
         stack = self.socket.layer.stack
@@ -101,7 +109,11 @@ class _UdpChannelPort:
         return route.interface.queue_length if route else 0
 
 
-class StripedSocketSender:
+#: Backwards-compatible private alias (pre-endpoint-layer name).
+_UdpChannelPort = UdpChannelPort
+
+
+class StripedSocketSender(StripeSenderPipeline):
     """Stripes application messages across N UDP flows with SRR + markers.
 
     Args:
@@ -109,7 +121,7 @@ class StripedSocketSender:
         stack: the local host.
         destinations: per-channel ``(dst_ip, dst_port)``; each pair is one
             striped channel.
-        algorithm: SRR-family CFQ algorithm.
+        algorithm: SRR-family CFQ algorithm (or any endpoint discipline).
         marker_policy: marker emission policy (None = no markers).
         source_ips: optional per-channel source address (multihomed hosts).
         credit: optional :class:`CreditSender` for FCVC flow control.
@@ -129,83 +141,45 @@ class StripedSocketSender:
         marker_decorator=None,
         marker_keepalive_s: Optional[float] = None,
     ) -> None:
-        self.sim = sim
         self.stack = stack
         self.udp = _udp_layer_for(stack)
-        self.credit = credit
-        if credit is not None:
-            credit.on_unblocked = self._pump
-        self.ports: List[_UdpChannelPort] = []
+        ports: List[UdpChannelPort] = []
         for index, (dst_ip, dst_port) in enumerate(destinations):
             src = None
             if source_ips is not None:
                 src = IPAddress.parse(source_ips[index])
-            socket = self.udp.bind()
-            self.ports.append(
-                _UdpChannelPort(
-                    socket, IPAddress.parse(dst_ip), dst_port, src, index, credit
+            ports.append(
+                UdpChannelPort(
+                    self.udp.bind(), IPAddress.parse(dst_ip), dst_port,
+                    src, index, credit,
                 )
             )
-        sharer = TransformedLoadSharer(algorithm)
-        self.striper = Striper(
-            sharer, self.ports, marker_policy,
+        super().__init__(
+            ports,
+            algorithm,
+            marker_policy=marker_policy,
             marker_decorator=marker_decorator,
+            credit=credit,
+            sim=sim,
+            marker_keepalive_s=marker_keepalive_s,
         )
-        for port in self.ports:
-            port.on_unblocked = self._pump
         if credit_port is not None:
             self.udp.bind(credit_port, on_datagram=self._on_credit_datagram)
-        self.messages_submitted = 0
-        # Keepalive: markers are normally emitted by round progression; a
-        # stalled (flow-controlled or idle) sender must still refresh the
-        # receiver periodically — and, in duplex mode, keep carrying
-        # piggybacked credits — or both directions can deadlock.
-        self._keepalive_s = marker_keepalive_s
-        self._markers_at_last_tick = 0
-        if marker_keepalive_s is not None:
-            if marker_policy is None:
-                raise ValueError("keepalive markers need a marker policy")
-            sim.schedule(marker_keepalive_s, self._keepalive_tick)
-
-    def send_message(self, size: int, payload: Any = None) -> Packet:
-        """Submit one application message of ``size`` bytes for striping."""
-        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-        return packet
-
-    def submit_packet(self, packet: Packet) -> None:
-        """Submit a caller-constructed packet (e.g. video trace packets)."""
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-
-    @property
-    def backlog(self) -> int:
-        return self.striper.backlog
-
-    def pump(self) -> int:
-        return self.striper.pump()
-
-    def _pump(self) -> None:
-        self.striper.pump()
-
-    def _keepalive_tick(self) -> None:
-        if self.striper.markers_sent == self._markers_at_last_tick:
-            self.striper.force_marker_batch()
-        self._markers_at_last_tick = self.striper.markers_sent
-        self.sim.schedule(self._keepalive_s, self._keepalive_tick)
 
     def _on_credit_datagram(self, datagram: Any, src: IPAddress) -> None:
         payload = datagram.payload
-        if isinstance(payload, CreditPacket) and self.credit is not None:
+        if self.credit is None:
+            return
+        if isinstance(payload, CreditPacket):
             self.credit.on_credit(payload.channel, payload.limit)
-        elif isinstance(payload, MarkerPacket) and payload.credit is not None:
+        else:
             # piggybacked credit on a reverse-direction marker
-            if self.credit is not None:
-                self.credit.on_credit(payload.channel, payload.credit)
+            piggyback = piggybacked_credit(payload)
+            if piggyback is not None:
+                self.credit.on_credit(*piggyback)
 
 
-class StripedSocketReceiver:
+class StripedSocketReceiver(StripeReceiverPipeline):
     """Receives N UDP flows and reassembles the FIFO stream.
 
     Args:
@@ -222,6 +196,8 @@ class StripedSocketReceiver:
         credit_to / credit_port: if set, send FCVC credit advertisements to
             that (ip, port) as packets are consumed.
         advertise_every: batch credit advertisements (1 = per packet).
+        failure_detector: optional dead-channel watchdog; see
+            :class:`~repro.transport.endpoint.ChannelFailureDetector`.
     """
 
     def __init__(
@@ -237,51 +213,36 @@ class StripedSocketReceiver:
         credit_to: Optional[IPAddress | str] = None,
         credit_port: Optional[int] = None,
         advertise_every: int = 1,
+        failure_detector=None,
     ) -> None:
-        self.sim = sim
         self.stack = stack
         self.udp = _udp_layer_for(stack)
-        self.on_message = on_message
-        self.buffer_packets = buffer_packets
-        self.buffer_drops = 0
-        self.delivered: List[Packet] = []
-
-        if mode == "marker":
-            if not isinstance(algorithm, SRR):
-                raise ValueError("marker mode requires an SRR-family algorithm")
-            self.resequencer: Any = SRRReceiver(
-                algorithm, on_deliver=self._deliver, clock=lambda: sim.now
-            )
-        elif mode == "plain":
-            self.resequencer = Resequencer(algorithm, on_deliver=self._deliver)
-        elif mode == "none":
-            self.resequencer = NullResequencer(n_channels, on_deliver=self._deliver)
-        else:
-            raise ValueError(f"unknown mode {mode!r}")
-
-        #: invoked as fn(channel, credit) when a piggybacked credit rides
-        #: an arriving marker (the reverse direction's flow-control state).
-        self.credit_sink = None
-        self.credit: Optional[CreditReceiver] = None
-        self._credit_socket: Optional[UdpSocket] = None
         self._credit_to: Optional[IPAddress] = None
         self._credit_port: Optional[int] = None
+        self._credit_socket: Optional[UdpSocket] = None
+        credit: Optional[CreditReceiver] = None
         if credit_to is not None:
             if buffer_packets is None:
                 raise ValueError("credit flow control needs buffer_packets")
             self._credit_to = IPAddress.parse(credit_to)
             self._credit_port = credit_port
             self._credit_socket = self.udp.bind()
-            self.credit = CreditReceiver(
+            credit = CreditReceiver(
                 n_channels,
                 buffer_packets,
                 send_credit=self._send_credit,
                 advertise_every=advertise_every,
             )
-
-        self._pushed_data: List[int] = [0] * n_channels
-        self._credited: List[int] = [0] * n_channels
-
+        super().__init__(
+            n_channels,
+            algorithm,
+            mode=mode,
+            on_message=on_message,
+            buffer_packets=buffer_packets,
+            credit=credit,
+            failure_detector=failure_detector,
+            sim=sim,
+        )
         self.sockets: List[UdpSocket] = []
         for index in range(n_channels):
             socket = self.udp.bind(
@@ -294,49 +255,9 @@ class StripedSocketReceiver:
 
     def _make_channel_handler(self, index: int):
         def handle(datagram: Any, src: IPAddress) -> None:
-            payload = datagram.payload
-            if (
-                self.buffer_packets is not None
-                and not is_marker(payload)
-                and self._buffered_data(index) >= self.buffer_packets
-            ):
-                self.buffer_drops += 1
-                return
-            if not is_marker(payload):
-                self._pushed_data[index] += 1
-            elif payload.credit is not None and self.credit_sink is not None:
-                self.credit_sink(payload.channel, payload.credit)
-            self.resequencer.push(index, payload)
-            if self.credit is not None:
-                self._issue_credits()
+            self.push(index, datagram.payload)
 
         return handle
-
-    def _buffered_data(self, index: int) -> int:
-        """Data packets currently buffered on a channel (markers excluded)."""
-        buffers = getattr(self.resequencer, "buffers", None)
-        if buffers is None:
-            return 0
-        return sum(1 for p in buffers[index] if not is_marker(p))
-
-    def _issue_credits(self) -> None:
-        """Report newly consumed packets on every channel to the credit layer.
-
-        Consumed = pushed into the channel buffer minus still buffered; a
-        single push can unblock deliveries on *other* channels, so all
-        channels are re-examined.
-        """
-        assert self.credit is not None
-        for index in range(len(self._pushed_data)):
-            consumed = self._pushed_data[index] - self._buffered_data(index)
-            while self._credited[index] < consumed:
-                self._credited[index] += 1
-                self.credit.on_consumed(index)
-
-    def _deliver(self, packet: Packet) -> None:
-        self.delivered.append(packet)
-        if self.on_message is not None:
-            self.on_message(packet)
 
     def _send_credit(self, channel: int, limit: int) -> None:
         if self._credit_socket is None or self._credit_to is None:

@@ -6,13 +6,17 @@ achieve higher throughput by striping data across multiple 'intelligent'
 adaptors, each of which implements a TCP connection."
 
 Each striped channel is one :class:`~repro.transport.tcp.BulkSender` /
-``BulkReceiver`` pair running in *message mode*.  Because TCP channels are
-reliable **and** FIFO, logical reception alone yields *guaranteed* FIFO
-delivery — no markers, no quasi-FIFO caveat: the loss-recovery machinery
-exists precisely because raw links lose packets, and these channels do not.
+``BulkReceiver`` pair running in *message mode*; both classes are thin
+adapters over the shared endpoint pipelines
+(:mod:`repro.transport.endpoint`).  Because TCP channels are reliable
+**and** FIFO, logical reception alone yields *guaranteed* FIFO delivery —
+no markers, no quasi-FIFO caveat: the loss-recovery machinery exists
+precisely because raw links lose packets, and these channels do not.
 (Table 1's "Fair Queuing algorithm, no header" row upgrades from
 "Quasi-FIFO" to "Guaranteed FIFO" when the channels are transport
-connections.)
+connections.)  A whole *connection* can still die, though — pass a
+:class:`~repro.transport.endpoint.ChannelFailureDetector` to the receiver
+and delivery degrades to quasi-FIFO with gaps instead of stalling forever.
 """
 
 from __future__ import annotations
@@ -21,14 +25,16 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.cfq import CausalFQ
 from repro.core.packet import Packet
-from repro.core.resequencer import Resequencer
-from repro.core.striper import Striper
-from repro.core.transform import TransformedLoadSharer
+from repro.transport.endpoint import (
+    ChannelFailureDetector,
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+)
 from repro.transport.tcp import BulkReceiver, BulkSender, TcpLayer
 
 
 class TcpChannelPort:
-    """Adapts one message-mode TCP connection to the striper port API.
+    """Adapts one message-mode TCP connection to the endpoint port API.
 
     Backpressure comes from the connection's own send state: the port
     refuses new messages while more than ``max_backlog_bytes`` are queued
@@ -56,7 +62,7 @@ class TcpChannelPort:
         return self.sender.queued_messages
 
 
-class StripedTcpSender:
+class StripedTcpSender(StripeSenderPipeline):
     """Stripes application messages across N TCP connections.
 
     Args:
@@ -78,48 +84,31 @@ class StripedTcpSender:
         mss: int = 1460,
         max_backlog_bytes: int = 64 * 1024,
     ) -> None:
-        if algorithm.n_channels != n_channels:
-            raise ValueError("algorithm/channel count mismatch")
-        self.connections: List[BulkSender] = []
-        self.ports: List[TcpChannelPort] = []
+        connections: List[BulkSender] = []
+        ports: List[TcpChannelPort] = []
         for index in range(n_channels):
             target = dst_ips[index] if dst_ips is not None else dst
             sender = BulkSender(
                 tcp_layer, target, base_port + index, 41000 + index, mss=mss
             )
             sender.on_writable = self._pump
-            self.connections.append(sender)
-            self.ports.append(TcpChannelPort(sender, max_backlog_bytes))
-        self.striper = Striper(TransformedLoadSharer(algorithm), self.ports)
-        self.messages_submitted = 0
+            connections.append(sender)
+            ports.append(TcpChannelPort(sender, max_backlog_bytes))
+        self.connections = connections
+        super().__init__(ports, algorithm)
 
     def start(self) -> None:
         for connection in self.connections:
             connection.start()
 
-    def send_message(self, size: int, payload: Any = None) -> Packet:
-        packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-        return packet
 
-    def submit_packet(self, packet: Packet) -> None:
-        self.messages_submitted += 1
-        self.striper.submit(packet)
-
-    @property
-    def backlog(self) -> int:
-        return self.striper.backlog
-
-    def _pump(self) -> None:
-        self.striper.pump()
-
-
-class StripedTcpReceiver:
+class StripedTcpReceiver(StripeReceiverPipeline):
     """Reassembles the striped FIFO stream from N TCP connections.
 
     Guaranteed FIFO: the channels are reliable, so plain logical reception
-    (Theorem 4.1) suffices with no recovery machinery at all.
+    (Theorem 4.1) suffices with no recovery machinery at all — unless a
+    connection dies outright, which the optional ``failure_detector``
+    turns into assumed-lost gaps instead of a permanent stall.
     """
 
     def __init__(
@@ -129,25 +118,19 @@ class StripedTcpReceiver:
         algorithm: CausalFQ,
         base_port: int = 8800,
         on_message: Optional[Callable[[Packet], None]] = None,
+        failure_detector: Optional[ChannelFailureDetector] = None,
     ) -> None:
-        self.on_message = on_message
-        self.delivered: List[Packet] = []
-        self.resequencer = Resequencer(algorithm, on_deliver=self._deliver)
+        super().__init__(
+            n_channels,
+            algorithm,
+            mode="plain",
+            on_message=on_message,
+            failure_detector=failure_detector,
+        )
         self.connections: List[BulkReceiver] = []
         for index in range(n_channels):
             receiver = BulkReceiver(
                 tcp_layer, base_port + index,
-                on_message=self._make_channel_handler(index),
+                on_message=self.channel_handler(index),
             )
             self.connections.append(receiver)
-
-    def _make_channel_handler(self, index: int):
-        def handle(message: Packet) -> None:
-            self.resequencer.push(index, message)
-
-        return handle
-
-    def _deliver(self, packet: Packet) -> None:
-        self.delivered.append(packet)
-        if self.on_message is not None:
-            self.on_message(packet)

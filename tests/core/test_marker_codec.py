@@ -1,0 +1,78 @@
+"""The canonical marker wire codec (one encoder for every transport)."""
+
+import pytest
+
+from repro.core.markers import (
+    MARKER_CODEC_VERSION,
+    MARKER_WIRE_BYTES,
+    decode_marker,
+    encode_marker,
+    piggybacked_credit,
+)
+from repro.core.packet import MarkerPacket, Packet
+
+
+class TestRoundTrip:
+    def test_plain_marker(self):
+        marker = MarkerPacket(channel=3, round_number=17, deficit=412.5)
+        wire = encode_marker(marker)
+        assert len(wire) == MARKER_WIRE_BYTES
+        back = decode_marker(wire)
+        assert (back.channel, back.round_number, back.deficit) == (3, 17, 412.5)
+        assert back.credit is None
+
+    def test_credit_marker(self):
+        marker = MarkerPacket(
+            channel=0, round_number=0, deficit=0.0, credit=9
+        )
+        back = decode_marker(encode_marker(marker))
+        assert back.credit == 9
+
+    def test_zero_credit_survives(self):
+        """credit=0 is a real advertisement, distinct from 'no credit'."""
+        marker = MarkerPacket(
+            channel=1, round_number=2, deficit=3.0, credit=0
+        )
+        back = decode_marker(encode_marker(marker))
+        assert back.credit == 0
+
+    def test_wire_bytes_match_default_marker_size(self):
+        """The simulated marker size is the real encoded size, so wire
+        timing in the simulator matches what a live codec would cost."""
+        assert MARKER_WIRE_BYTES == 32
+        assert MarkerPacket(channel=0, round_number=0, deficit=0.0).size == 32
+
+
+class TestRejection:
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="32 bytes"):
+            decode_marker(b"\x00" * 31)
+
+    def test_bad_magic(self):
+        wire = bytearray(
+            encode_marker(MarkerPacket(channel=0, round_number=0, deficit=0.0))
+        )
+        wire[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            decode_marker(bytes(wire))
+
+    def test_bad_version(self):
+        wire = bytearray(
+            encode_marker(MarkerPacket(channel=0, round_number=0, deficit=0.0))
+        )
+        wire[2] = MARKER_CODEC_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            decode_marker(bytes(wire))
+
+
+class TestPiggyback:
+    def test_data_packet_carries_nothing(self):
+        assert piggybacked_credit(Packet(size=100, seq=0)) is None
+
+    def test_creditless_marker_carries_nothing(self):
+        marker = MarkerPacket(channel=0, round_number=1, deficit=2.0)
+        assert piggybacked_credit(marker) is None
+
+    def test_credit_marker_yields_channel_and_credit(self):
+        marker = MarkerPacket(channel=2, round_number=1, deficit=0.0, credit=5)
+        assert piggybacked_credit(marker) == (2, 5)

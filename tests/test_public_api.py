@@ -14,6 +14,10 @@ SURFACE = {
         "bytes_per_channel", "verify_reverse_correspondence",
         "Striper", "MarkerPolicy", "ListPort",
         "Resequencer", "NullResequencer", "SRRReceiver",
+        "make_resequencer", "RESEQ_MODES",
+        "encode_marker", "decode_marker", "piggybacked_credit",
+        "MARKER_WIRE_BYTES",
+        "SchedulerKernel", "SRRKernel", "SharerKernel", "kernel_for",
         "fq_service_order", "fq_service_order_noncausal",
         "srr_fairness_report", "jain_fairness_index",
         "StripeConfig", "StripeSenderSession", "StripeReceiverSession",
@@ -37,14 +41,21 @@ SURFACE = {
     "repro.transport": [
         "UdpLayer", "UdpSocket", "TcpLayer", "BulkSender", "BulkReceiver",
         "CreditSender", "CreditReceiver", "CreditPacket",
-        "StripedSocketSender", "StripedSocketReceiver",
+        "ChannelPort", "StripeSenderPipeline", "StripeReceiverPipeline",
+        "FastStriper", "DISCIPLINES", "make_discipline",
+        "resolve_discipline", "receiver_mode_for",
+        "StripedSocketSender", "StripedSocketReceiver", "UdpChannelPort",
         "SessionSocketSender", "SessionSocketReceiver",
         "ChannelFailureDetector", "connect_duplex",
         "StripedTcpSender", "StripedTcpReceiver",
+        "FastStripedSender", "FastStripedReceiver", "FastChannelPort",
+        "wire_size",
     ],
     "repro.baselines": [
         "ShortestQueueFirst", "RandomSelection", "AddressHashing",
-        "MpppSender", "MpppReceiver", "BondingMux", "BondingDemux",
+        "MpppSender", "MpppReceiver", "MpppDiscipline",
+        "BondingMux", "BondingDemux", "BondingDiscipline",
+        "BondingResequencer",
     ],
     "repro.workloads": [
         "RandomMixSizes", "AlternatingSizes", "ConstantSizes",

@@ -1,0 +1,361 @@
+"""Tests for the transport-agnostic endpoint layer.
+
+Covers the discipline registry (any (s0, f, g) scheme into any
+transport), the shared sender/receiver pipelines over in-memory ports,
+the kernel surface for non-causal sharers, and the dead-channel
+regressions for the plain striped-socket and TCP paths.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BondingFrame,
+    MpppDiscipline,
+    MpppFragment,
+    RandomSelection,
+    ShortestQueueFirst,
+)
+from repro.core.kernel import SharerKernel, kernel_for
+from repro.core.packet import MarkerPacket, Packet, is_marker
+from repro.core.srr import SRR, make_rr
+from repro.core.striper import ListPort, MarkerPolicy, Striper
+from repro.core.transform import LoadSharer, TransformedLoadSharer
+from repro.experiments.socket_harness import (
+    SocketTestbedConfig,
+    build_socket_testbed,
+)
+from repro.experiments.tcp_channels import build_tcp_striped
+from repro.sim.loss import BernoulliLoss
+from repro.transport.endpoint import (
+    DISCIPLINES,
+    ChannelFailureDetector,
+    FastStriper,
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+    make_discipline,
+    receiver_mode_for,
+    resolve_discipline,
+)
+
+
+def make_ports(n, limit=None):
+    return [ListPort(limit) for _ in range(n)]
+
+
+class TestDisciplineRegistry:
+    @pytest.mark.parametrize("name", sorted(set(DISCIPLINES)))
+    def test_every_name_builds(self, name):
+        sharer = make_discipline(name, 3)
+        assert sharer.n_channels == 3
+        assert hasattr(sharer, "choose") and hasattr(sharer, "notify_sent")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown discipline"):
+            make_discipline("fifo", 2)
+
+    def test_resolve_wraps_causal_fq(self):
+        sharer = resolve_discipline(SRR([100.0, 100.0]), 2)
+        assert isinstance(sharer, TransformedLoadSharer)
+
+    def test_resolve_passes_sharer_through(self):
+        sqf = ShortestQueueFirst(2)
+        assert resolve_discipline(sqf, 2) is sqf
+
+    def test_resolve_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            resolve_discipline(SRR([100.0, 100.0]), 3)
+
+    def test_resolve_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_discipline(42, 2)
+
+    def test_receiver_modes(self):
+        assert receiver_mode_for(SRR([1.0, 1.0]), markers=True) == "marker"
+        assert receiver_mode_for(make_discipline("rr", 2)) == "plain"
+        assert receiver_mode_for(ShortestQueueFirst(2)) == "none"
+        assert receiver_mode_for(make_discipline("mppp", 2)) == "mppp"
+        assert receiver_mode_for(make_discipline("bonding", 2)) == "bonding"
+
+
+class TestSharerKernel:
+    def test_kernel_for_builds_sharer_kernel(self):
+        kernel = kernel_for(ShortestQueueFirst(2))
+        assert isinstance(kernel, SharerKernel)
+        assert kernel.n_channels == 2
+
+    def test_step_matches_direct_use(self):
+        import random
+
+        kernel = kernel_for(RandomSelection(3, random.Random(7)))
+        direct = RandomSelection(3, random.Random(7))
+        packets = [Packet(size=100, seq=i) for i in range(20)]
+        via_kernel = [kernel.step_packet(p) for p in packets]
+        via_direct = []
+        for p in packets:
+            c = direct.choose(p, None)
+            direct.notify_sent(c, p)
+            via_direct.append(c)
+        assert via_kernel == via_direct
+
+    def test_snapshot_restore_round_trip(self):
+        import random
+
+        kernel = kernel_for(RandomSelection(3, random.Random(11)))
+        for _ in range(5):
+            kernel.step(100)
+        snap = kernel.snapshot()
+        first = [kernel.step(100) for _ in range(10)]
+        kernel.restore(snap)
+        replay = [kernel.step(100) for _ in range(10)]
+        assert first == replay
+
+
+class TestSenderPipeline:
+    def test_matches_manual_striper_with_markers(self):
+        policy = MarkerPolicy(interval_rounds=1)
+        ports_a = make_ports(3)
+        manual = Striper(
+            TransformedLoadSharer(SRR([500.0] * 3)), ports_a, policy
+        )
+        ports_b = make_ports(3)
+        pipeline = StripeSenderPipeline(
+            ports_b, SRR([500.0] * 3), marker_policy=policy
+        )
+        for i in range(30):
+            packet = Packet(size=200 + (i * 37) % 900, seq=i)
+            manual.submit(packet)
+            pipeline.submit_packet(
+                Packet(size=packet.size, seq=i)
+            )
+        for a, b in zip(ports_a, ports_b):
+            assert [type(p).__name__ for p in a.sent] == [
+                type(p).__name__ for p in b.sent
+            ]
+            assert [p.seq for p in a.data_packets()] == [
+                p.seq for p in b.data_packets()
+            ]
+
+    def test_named_discipline_and_counters(self):
+        ports = make_ports(2)
+        pipeline = StripeSenderPipeline(ports, "rr")
+        first = pipeline.send_message(100)
+        second = pipeline.send_message(100)
+        assert (first.seq, second.seq) == (0, 1)
+        assert pipeline.messages_submitted == 2
+        assert pipeline.backlog == 0
+        assert [len(p.sent) for p in ports] == [1, 1]
+
+    def test_mppp_discipline_wraps_with_headers(self):
+        ports = make_ports(2)
+        pipeline = StripeSenderPipeline(ports, "mppp")
+        for i in range(6):
+            pipeline.send_message(500)
+        fragments = [p for port in ports for p in port.sent]
+        assert all(isinstance(f, MpppFragment) for f in fragments)
+        assert sorted(f.sequence for f in fragments) == list(range(6))
+        assert all(f.size == 500 + 4 for f in fragments)
+
+    def test_bonding_discipline_carves_frames(self):
+        ports = make_ports(2)
+        pipeline = StripeSenderPipeline(
+            ports, "bonding", discipline_options={"frame_bytes": 256}
+        )
+        pipeline.send_message(1000)  # 3 full frames + 232B residue
+        frames = [p for port in ports for p in port.sent]
+        assert all(isinstance(f, BondingFrame) for f in frames)
+        assert len(frames) == 3
+        pipeline.flush()
+        frames = [p for port in ports for p in port.sent]
+        assert len(frames) == 4
+        assert all(f.size == 256 for f in frames)
+
+    def test_fast_pump_selected_by_port_capabilities(self):
+        plain = StripeSenderPipeline(make_ports(2), "rr")
+        assert not isinstance(plain.striper, FastStriper)
+
+        class BurstPort(ListPort):
+            def send_burst(self, packets):
+                self.sent.extend(packets)
+
+            def free_capacity(self):
+                return 1 << 30
+
+        fast = StripeSenderPipeline([BurstPort(), BurstPort()], "rr")
+        assert isinstance(fast.striper, FastStriper)
+
+    def test_keepalive_requires_policy_and_scheduler(self):
+        with pytest.raises(ValueError, match="marker policy"):
+            StripeSenderPipeline(
+                make_ports(2), "rr", marker_keepalive_s=0.1
+            )
+
+
+class TestReceiverPipeline:
+    def feed(self, pipeline, algorithm, n_packets=20, n_channels=2):
+        """Stripe a stream with a local striper and push arrivals in order."""
+        ports = make_ports(n_channels)
+        striper = Striper(TransformedLoadSharer(algorithm), ports)
+        for i in range(n_packets):
+            striper.submit(Packet(size=100, seq=i))
+        # interleave per-channel FIFOs in logical order for a loss-free run
+        cursors = [0] * n_channels
+        kernel = kernel_for(SRR([100.0] * n_channels))
+        for _ in range(n_packets):
+            channel = kernel.step(100)
+            pipeline.push(channel, ports[channel].sent[cursors[channel]])
+            cursors[channel] += 1
+
+    def test_plain_mode_delivers_fifo(self):
+        pipeline = StripeReceiverPipeline(
+            2, SRR([100.0, 100.0]), mode="plain"
+        )
+        self.feed(pipeline, SRR([100.0, 100.0]))
+        assert [p.seq for p in pipeline.delivered] == list(range(20))
+
+    def test_buffer_cap_drop_rule(self):
+        pipeline = StripeReceiverPipeline(
+            2, SRR([100.0, 100.0]), mode="plain", buffer_packets=2
+        )
+        # channel 1 floods while channel 0 stays silent: logical reception
+        # blocks on channel 0 so channel 1's buffer fills and overflows.
+        for i in range(6):
+            pipeline.push(1, Packet(size=100, seq=i))
+        assert pipeline.buffer_drops == 4
+        assert pipeline.delivered == []
+
+    def test_piggybacked_credit_reaches_sink(self):
+        pipeline = StripeReceiverPipeline(2, SRR([100.0, 100.0]))
+        seen = []
+        pipeline.credit_sink = lambda ch, credit: seen.append((ch, credit))
+        pipeline.push(
+            0,
+            MarkerPacket(channel=0, round_number=0, deficit=100.0, credit=7),
+        )
+        assert seen == [(0, 7)]
+
+    def test_credit_issued_as_packets_consumed(self):
+        class StubCredit:
+            def __init__(self):
+                self.consumed = []
+
+            def on_consumed(self, channel):
+                self.consumed.append(channel)
+
+        credit = StubCredit()
+        pipeline = StripeReceiverPipeline(
+            2, SRR([100.0, 100.0]), mode="plain", credit=credit
+        )
+        self.feed(pipeline, SRR([100.0, 100.0]), n_packets=8)
+        assert sorted(credit.consumed) == [0] * 4 + [1] * 4
+
+    def test_mppp_mode_strips_headers(self):
+        discipline = MpppDiscipline(2)
+        pipeline = StripeReceiverPipeline(2, mode="mppp")
+        sharer_ports = make_ports(2)
+        sender = StripeSenderPipeline(sharer_ports, discipline)
+        for i in range(10):
+            sender.send_message(300)
+        # arbitrary arrival interleaving: sequence numbers fix the order
+        for channel in (1, 0):
+            for fragment in sharer_ports[channel].sent:
+                pipeline.push(channel, fragment)
+        assert [p.seq for p in pipeline.delivered] == list(range(10))
+        assert all(p.size == 300 for p in pipeline.delivered)
+
+
+class TestFailureDetectorPipeline:
+    def test_plain_pipeline_survives_dead_channel(self, sim):
+        detector = ChannelFailureDetector(
+            sim, silence_threshold=0.05, check_interval=0.01
+        )
+        pipeline = StripeReceiverPipeline(
+            2, SRR([100.0, 100.0]), mode="plain", failure_detector=detector
+        )
+        # Equal quanta + equal sizes => strict alternation 0,1,0,1,...
+        # Channel 1 dies after seq 5; channel 0 keeps receiving.
+        def arrival(t, channel, seq):
+            sim.schedule_at(
+                t, lambda: pipeline.push(channel, Packet(size=100, seq=seq))
+            )
+
+        seq = 0
+        t = 0.0
+        while seq < 6:  # both channels alive
+            arrival(t, seq % 2, seq)
+            seq += 1
+            t += 0.005
+        for dead_seq in range(6, 20, 2):  # only channel 0 from here on
+            arrival(t, 0, dead_seq)
+            t += 0.01
+        sim.run(until=1.0)
+        assert detector.failures_reported == [1]
+        # the receiver kept delivering channel 0's packets (with gaps)
+        delivered = [p.seq for p in pipeline.delivered]
+        assert delivered[:6] == [0, 1, 2, 3, 4, 5]
+        assert set(range(6, 20, 2)) <= set(delivered)
+        assert pipeline.resequencer.assumed_lost > 0
+
+    def test_striped_socket_plain_path_survives_dead_channel(self, sim):
+        detector = ChannelFailureDetector(
+            sim, silence_threshold=0.1, check_interval=0.02
+        )
+        config = SocketTestbedConfig(
+            mode="plain", failure_detector=detector, message_bytes=1000
+        )
+        testbed = build_socket_testbed(sim, config)
+
+        def kill_channel_one():
+            testbed.loss_models[1].p = 1.0
+
+        sim.schedule_at(0.3, kill_channel_one)
+        sim.run(until=1.5)
+        assert detector.failures_reported == [1]
+        late = testbed.deliveries_after(0.8)
+        assert late, "delivery stalled after the channel died"
+        assert testbed.receiver.resequencer.assumed_lost > 0
+
+    def test_striped_tcp_path_survives_dead_connection(self, sim):
+        detector = ChannelFailureDetector(
+            sim, silence_threshold=0.15, check_interval=0.02
+        )
+        sender, receiver, links = build_tcp_striped(
+            sim, failure_detector=detector
+        )
+
+        progress = {}
+
+        def kill_channel_zero():
+            links[0].ab.loss_model = BernoulliLoss(1.0)
+            progress["at_failure"] = len(receiver.delivered)
+
+        sim.schedule_at(0.5, kill_channel_zero)
+        sim.run(until=3.0)
+        assert 0 in detector.failures_reported
+        # everything buffered on the surviving connection was flushed
+        # instead of stalling behind the dead channel forever
+        assert len(receiver.delivered) > progress["at_failure"]
+        assert receiver.resequencer.assumed_lost > 0
+        assert receiver.resequencer.buffered == 0
+
+
+class TestAdapterSurfaces:
+    def test_stacks_share_the_pipeline(self):
+        from repro.transport.fast_path import (
+            FastStripedReceiver,
+            FastStripedSender,
+        )
+        from repro.transport.socket_striping import (
+            StripedSocketReceiver,
+            StripedSocketSender,
+        )
+        from repro.transport.tcp_striping import (
+            StripedTcpReceiver,
+            StripedTcpSender,
+        )
+
+        assert issubclass(StripedSocketSender, StripeSenderPipeline)
+        assert issubclass(FastStripedSender, StripeSenderPipeline)
+        assert issubclass(StripedTcpSender, StripeSenderPipeline)
+        assert issubclass(StripedSocketReceiver, StripeReceiverPipeline)
+        assert issubclass(FastStripedReceiver, StripeReceiverPipeline)
+        assert issubclass(StripedTcpReceiver, StripeReceiverPipeline)
