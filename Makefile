@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repo.
 
 .PHONY: install test bench experiments quick-experiments examples clean \
-	endpoints-smoke lint-endpoints
+	endpoints-smoke chaos-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,15 @@ endpoints-smoke:
 	PYTHONPATH=src pytest tests/transport/test_endpoint.py \
 		tests/properties/test_endpoint_equivalence.py \
 		tests/core/test_marker_codec.py
+
+# Fast confidence check for the fault-injection and lifecycle machinery:
+# the seeded chaos invariant suite, the lifecycle state-machine tests, the
+# injector unit tests, and a quick pass of the chaos experiment itself.
+chaos-smoke:
+	PYTHONPATH=src pytest tests/properties/test_chaos_invariants.py \
+		tests/transport/test_lifecycle.py \
+		tests/sim/test_faults.py
+	PYTHONPATH=src python -m repro.experiments.runner chaos --quick
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

@@ -262,3 +262,6 @@ class BondingResequencer:
     def fail_channel(self, channel: int) -> List[BondingFrame]:
         """Alignment handles gaps via its skew window; nothing extra."""
         return []
+
+    def revive_channel(self, channel: int) -> None:
+        """Alignment is sequence-driven; a returning channel just resumes."""

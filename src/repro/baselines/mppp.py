@@ -248,6 +248,26 @@ class MpppReceiver:
         self._release()
         self._manage_gap_timer()
 
+    def fail_channel(self, channel: int) -> List[Packet]:
+        """A channel died; don't wait out the gap timer for its fragments.
+
+        Sequence numbers are channel-agnostic, so the only actionable step
+        is the gap timeout's: skip to the oldest buffered sequence number
+        immediately, draining packets the dead channel was holding up.
+        """
+        if not self._heap:
+            return []
+        oldest = self._heap[0][0]
+        if oldest > self.next_expected:
+            self.gaps_skipped += oldest - self.next_expected
+            self.next_expected = oldest
+        out = self._release()
+        self._manage_gap_timer()
+        return out
+
+    def revive_channel(self, channel: int) -> None:
+        """Sequence numbering is channel-agnostic; a returning channel resumes."""
+
     def flush(self) -> List[Packet]:
         """Deliver everything buffered, skipping all gaps (end of run)."""
         out: List[Packet] = []

@@ -143,6 +143,11 @@ class SRRReceiverStats:
     #: expected packets on a failed (dead) channel written off as lost so
     #: the surviving channels could keep delivering
     assumed_lost: int = 0
+    #: packets delivered by the lag flush: data buffered behind a marker
+    #: whose round the scan had already passed (late arrivals after a
+    #: reorder burst or an outage) released immediately instead of being
+    #: metered one quantum per round
+    lag_flushed: int = 0
 
 
 class SRRReceiver:
@@ -239,6 +244,23 @@ class SRRReceiver:
         self.failed.add(channel)
         return self.drain()
 
+    def revive_channel(self, channel: int) -> None:
+        """Welcome a failed channel back; stop assuming its packets lost.
+
+        The channel's pre-outage state is gone, so it re-enters pending
+        resync: its first marker installs a future sync round (condition
+        C1) and the scan skips it until that round arrives, exactly the
+        initial-adoption path.  No session reset is required.
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        if channel not in self.failed:
+            return
+        self.failed.discard(channel)
+        self.dc[channel] = 0.0
+        self.pending[channel] = True
+        self.sync_round[channel] = None
+
     def _nominal_size(self, channel: int) -> int:
         """Assumed size of an unseen (lost) packet on a failed channel."""
         return max(1, int(self.algorithm.quanta[channel]))
@@ -302,6 +324,14 @@ class SRRReceiver:
             self._buffered -= 1
             if is_marker(packet):
                 self._adopt(c, packet)
+                if packet.round_number < self.round_number:
+                    # The marker is stale: the scan has already passed the
+                    # round it describes, so data buffered behind it (late
+                    # arrivals from a reorder burst or an outage) belongs
+                    # to slots that are gone.  Metering it one quantum per
+                    # round would lock in a permanent delivery lag; flush
+                    # the provably-past segments now.
+                    self._flush_lag(c, out)
                 continue
             out.append(packet)
             self.stats.delivered += 1
@@ -330,6 +360,66 @@ class SRRReceiver:
                 channel=channel, r=marker.round_number, d=marker.deficit,
                 G=self.round_number,
             )
+
+    def _flush_lag(self, channel: int, out: List[Any]) -> None:
+        """Release data whose logical slot the scan has already passed.
+
+        Called after adopting a marker with ``r < round_number``: the
+        channel is ``round_number - r`` rounds behind the scan (late
+        arrivals after a reorder burst or an outage).  The marker gives
+        the implicit number ``(r, d)`` of the very next data packet, so
+        the missed rounds can be replayed exactly: consume buffered data
+        against the simulated deficit, advancing the channel's local
+        round each time the deficit exhausts, until it reaches the live
+        edge.  Everything consumed this way is provably overdue and is
+        delivered immediately, uncharged — its deficit belonged to rounds
+        the scan skipped; metering it instead would lock in a permanent
+        one-packet-per-round delivery lag.  A marker encountered mid-
+        replay re-anchors the simulation; if the buffer runs dry before
+        the lag is repaid, the partial progress is written back and the
+        next stale marker resumes from there.
+        """
+        buffer = self.buffers[channel]
+        quantum = self.algorithm.quanta[channel]
+        lag = self.round_number - self.sync_round[channel]
+        dc = self.dc[channel]
+        while lag > 0:
+            if buffer and is_marker(buffer[0]):
+                marker = buffer.popleft()
+                self._buffered -= 1
+                self._adopt(channel, marker)
+                if marker.round_number >= self.round_number:
+                    return  # live edge (or C1 future; the scan handles it)
+                lag = self.round_number - marker.round_number
+                dc = self.dc[channel]
+                continue
+            if dc <= 0:
+                dc += quantum
+                lag -= 1
+                continue
+            if not buffer:
+                # Partial catch-up: the rest of the overdue data is still
+                # in flight.  Record how far the replay got.
+                self.dc[channel] = dc
+                self.sync_round[channel] = self.round_number - lag
+                return
+            packet = buffer.popleft()
+            self._buffered -= 1
+            out.append(packet)
+            self.stats.delivered += 1
+            self.stats.lag_flushed += 1
+            if self.on_deliver is not None:
+                self.on_deliver(packet)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.clock(), "receiver", "deliver",
+                    channel=channel, G=self.round_number - lag, dc=dc,
+                )
+            dc -= self.algorithm.cost(packet.size)
+        # Caught up: dc is the channel's absolute deficit for the current
+        # round (its quantum already granted by the replay).
+        self.dc[channel] = dc
+        self.sync_round[channel] = self.round_number
 
     def _all_future_synced_and_idle(self) -> bool:
         return (

@@ -131,6 +131,18 @@ class Resequencer:
         self.failed.add(channel)
         return self.drain()
 
+    def revive_channel(self, channel: int) -> None:
+        """Welcome a failed channel back; stop assuming its packets lost.
+
+        Without markers there is no in-band resync, so a mid-stream revival
+        restores *blocking* semantics on the channel: alignment of its new
+        packets with the simulated sender requires a session reset (or a
+        marker-mode receiver, which resyncs via condition C1).
+        """
+        if not 0 <= channel < self.n_channels:
+            raise ValueError(f"channel {channel} out of range")
+        self.failed.discard(channel)
+
     def _nominal_size(self, channel: int) -> int:
         """Assumed size of an unseen (lost) packet on a failed channel."""
         quanta = getattr(self.kernel, "quanta", None)
@@ -208,6 +220,9 @@ class NullResequencer:
     def fail_channel(self, channel: int) -> List[Any]:
         """Physical-order delivery never blocks; nothing to do."""
         return []
+
+    def revive_channel(self, channel: int) -> None:
+        """Physical-order delivery never blocked; nothing to restore."""
 
 
 #: Receiver modes understood by :func:`make_resequencer`.

@@ -55,6 +55,8 @@ _control_ids = itertools.count(1)
 CODEPOINT_RESET = "reset"
 CODEPOINT_RESET_ACK = "reset_ack"
 CODEPOINT_RESET_REQUEST = "reset_request"
+CODEPOINT_PROBE = "probe"
+CODEPOINT_PROBE_ACK = "probe_ack"
 
 
 @dataclass(frozen=True)
@@ -121,6 +123,32 @@ class ResetRequestPacket:
     codepoint: str = CODEPOINT_RESET_REQUEST
 
 
+@dataclass
+class ProbePacket:
+    """Forward-path liveness probe on an excluded (possibly dead) channel.
+
+    ``channel`` is the *original* port index being probed; ``seq`` lets
+    the prober tell fresh acknowledgements from stale ones.
+    """
+
+    channel: int
+    seq: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_PROBE
+
+
+@dataclass
+class ProbeAckPacket:
+    """Reverse-path acknowledgement: the probed channel delivered again."""
+
+    channel: int
+    seq: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_PROBE_ACK
+
+
 class StripeSenderSession:
     """Owns the sender striper across resets and reconfigurations.
 
@@ -173,6 +201,8 @@ class StripeSenderSession:
         self.resets_completed = 0
         self.reset_packets_sent = 0
         self.on_reset_complete: Optional[Callable[[int], None]] = None
+        #: routed ProbeAck packets (claimed by a ChannelProber)
+        self.on_probe_ack: Optional[Callable[["ProbeAckPacket"], None]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -264,10 +294,13 @@ class StripeSenderSession:
         self._send_resets()
 
     def on_control(self, packet: Any) -> None:
-        """Reverse-path control input (ACKs and reset requests)."""
+        """Reverse-path control input (ACKs, reset requests, probe ACKs)."""
         if isinstance(packet, ResetAckPacket):
             if packet.epoch == self.epoch and self.state == self.RESETTING:
                 self._complete_reset()
+        elif isinstance(packet, ProbeAckPacket):
+            if self.on_probe_ack is not None:
+                self.on_probe_ack(packet)
         elif isinstance(packet, ResetRequestPacket):
             if self.state != self.RUNNING:
                 return
@@ -310,6 +343,48 @@ class StripeSenderSession:
             count_packets=self.config.count_packets,
             active_channels=tuple(c for c, _ in keep),
         )
+
+    def config_with(
+        self, port_index: int, quantum: Optional[float] = None
+    ) -> StripeConfig:
+        """The current configuration plus one (recovered) channel.
+
+        ``quantum`` defaults to the mean of the active quanta — a neutral
+        share for a channel whose pre-failure quantum is unknown.
+        """
+        if port_index in self.config.active_channels:
+            raise ValueError(f"channel {port_index} is already active")
+        if not 0 <= port_index < len(self.all_ports):
+            raise ValueError(f"channel {port_index} out of range")
+        if quantum is None:
+            quantum = sum(self.config.quanta) / len(self.config.quanta)
+        merged = sorted(
+            zip(
+                self.config.active_channels + (port_index,),
+                self.config.quanta + (float(quantum),),
+            )
+        )
+        return StripeConfig(
+            quanta=tuple(q for _, q in merged),
+            count_packets=self.config.count_packets,
+            active_channels=tuple(c for c, _ in merged),
+        )
+
+    def exclude_channel(self, port_index: int) -> bool:
+        """Drop a channel via a reconfiguration reset (stall detection path).
+
+        Returns True if a reset was initiated; False when the request is
+        not actionable right now (already resetting, channel not active, or
+        it is the last active channel).
+        """
+        if self.state != self.RUNNING:
+            return False
+        if port_index not in self.config.active_channels:
+            return False
+        if len(self.config.active_channels) <= 1:
+            return False
+        self.initiate_reset(self.config_without(port_index))
+        return True
 
     # ------------------------------------------------------------------ #
     # checkpoints (self-stabilization support)
@@ -363,6 +438,11 @@ class StripeReceiverSession:
         self.reset_discards = 0
         self.resets_seen = 0
         self.acks_sent = 0
+        #: optional ChannelLifecycleManager (set by its ``attach``): gates
+        #: probe acknowledgements behind hold-down and revival thresholds
+        self.lifecycle: Optional[Any] = None
+        self.probes_seen = 0
+        self.probe_acks_sent = 0
 
     def _make_receiver(self, config: StripeConfig) -> SRRReceiver:
         receiver = SRRReceiver(
@@ -386,6 +466,12 @@ class StripeReceiverSession:
         codepoint = getattr(packet, "codepoint", Codepoint.DATA)
         if codepoint == CODEPOINT_RESET:
             self._on_reset(port_index, packet)
+            return
+        if codepoint == CODEPOINT_PROBE:
+            # Liveness probes are not stream data: they are meaningful on
+            # excluded channels and across epochs, so they bypass both the
+            # epoch gate and the active-channel gate.
+            self._on_probe(port_index, packet)
             return
         if self._channel_epoch[port_index] != self.epoch:
             # Pre-reset stragglers (or packets racing ahead of this
@@ -420,6 +506,10 @@ class StripeReceiverSession:
             self.resets_seen += 1
             if self.checker is not None:
                 self.checker.on_reset(self.epoch)
+            if self.lifecycle is not None:
+                # A rejoin RESET re-admits previously failed channels; the
+                # lifecycle manager must rearm its silence watch for them.
+                self.lifecycle.note_rejoin(self.config.active_channels)
         # Mark this channel as switched (idempotent for retries).
         self._channel_epoch[port_index] = packet.epoch
         if all(
@@ -429,9 +519,180 @@ class StripeReceiverSession:
             self.acks_sent += 1
             self.send_control(ResetAckPacket(epoch=self.epoch))
 
+    def _on_probe(self, port_index: int, packet: "ProbePacket") -> None:
+        self.probes_seen += 1
+        ack = True
+        if self.lifecycle is not None:
+            ack = self.lifecycle.note_probe(port_index)
+        if ack:
+            self.probe_acks_sent += 1
+            self.send_control(
+                ProbeAckPacket(channel=port_index, seq=packet.seq)
+            )
+
     def request_reset(self, reason: str) -> None:
         """Ask the sender for a reset (reboot, detected corruption)."""
         self.send_control(ResetRequestPacket(reason=reason))
+
+
+class ChannelProber:
+    """Sender-side revival: probe excluded channels, rejoin on an ACK.
+
+    The receiver cannot transmit on a failed *forward* channel, so revival
+    detection is the sender's job.  Every channel excluded from the bundle
+    is probed with exponentially backed-off :class:`ProbePacket` sends
+    (forced past the queue limit, so a wedged queue cannot mask a probe).
+    A probe that gets through elicits a :class:`ProbeAckPacket` on the
+    reverse control path — gated by the receiver's lifecycle manager's
+    hold-down — and the prober then re-admits the channel via a
+    reconfiguration RESET carrying its pre-failure quantum: the paper's
+    reset machinery doubles as the rejoin path, so the revived channel
+    re-enters with fresh epoch-initial striping state.
+
+    Flap damping mirrors the receiver's: a channel that fails again within
+    ``flap_window`` seconds of rejoining must sit out a hold-down that
+    doubles per flap (``flap_penalty``, ``flap_factor``, capped at
+    ``max_hold_down``) before the next rejoin.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        session: StripeSenderSession,
+        *,
+        initial_interval: float = 0.05,
+        backoff: float = 2.0,
+        max_interval: float = 1.0,
+        max_probes: int = 200,
+        min_hold_down: float = 0.0,
+        flap_penalty: float = 0.2,
+        flap_window: float = 2.0,
+        flap_factor: float = 2.0,
+        max_hold_down: float = 4.0,
+    ) -> None:
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        self.sim = sim
+        self.session = session
+        self.initial_interval = initial_interval
+        self.backoff = backoff
+        self.max_interval = max_interval
+        self.max_probes = max_probes
+        self.min_hold_down = min_hold_down
+        self.flap_penalty = flap_penalty
+        self.flap_window = flap_window
+        self.flap_factor = flap_factor
+        self.max_hold_down = max_hold_down
+        self.probes_sent = 0
+        self.rejoins = 0
+        #: channels given up on after ``max_probes`` unanswered probes
+        self.abandoned: List[int] = []
+        self._probing: dict = {}
+        self._quantum: dict = {}
+        self._hold_down: dict = {}
+        self._down_at: dict = {}
+        self._rejoined_at: dict = {}
+        self._probe_seq = 0
+        session.on_probe_ack = self._on_probe_ack
+        self._chained_on_reset = session.on_reset_complete
+        session.on_reset_complete = self._on_reset_complete
+        self._sync()
+
+    @property
+    def probing_channels(self) -> List[int]:
+        """Original port indices currently under probe, sorted."""
+        return sorted(self._probing)
+
+    def hold_down(self, channel: int) -> float:
+        """Current flap-damped rejoin hold-down of ``channel``."""
+        return self._hold_down.get(channel, self.min_hold_down)
+
+    # ------------------------------------------------------------------ #
+
+    def _on_reset_complete(self, epoch: int) -> None:
+        if self._chained_on_reset is not None:
+            self._chained_on_reset(epoch)
+        self._sync()
+
+    def _sync(self) -> None:
+        """Reconcile probing state with the session's active-channel set."""
+        config = self.session.config
+        active = set(config.active_channels)
+        for channel, quantum in zip(config.active_channels, config.quanta):
+            # Remember each channel's quantum while it is healthy, so a
+            # later rejoin restores its pre-failure share.
+            self._quantum[channel] = quantum
+        for channel in range(len(self.session.all_ports)):
+            if channel in active:
+                if channel in self._probing:
+                    self._stop(channel)
+            elif channel not in self._probing:
+                self._start(channel)
+
+    def _start(self, channel: int) -> None:
+        now = self.sim.now
+        rejoined = self._rejoined_at.get(channel)
+        if rejoined is not None and now - rejoined < self.flap_window:
+            previous = self._hold_down.get(channel, 0.0)
+            self._hold_down[channel] = min(
+                max(previous * self.flap_factor, self.flap_penalty),
+                self.max_hold_down,
+            )
+        else:
+            self._hold_down[channel] = self.min_hold_down
+        self._down_at[channel] = now
+        state = {"interval": self.initial_interval, "sent": 0, "event": None}
+        self._probing[channel] = state
+        state["event"] = self.sim.schedule(
+            state["interval"], self._probe, channel
+        )
+
+    def _stop(self, channel: int) -> None:
+        state = self._probing.pop(channel, None)
+        if state is not None and state["event"] is not None:
+            state["event"].cancel()
+
+    def _probe(self, channel: int) -> None:
+        state = self._probing.get(channel)
+        if state is None:
+            return
+        state["event"] = None
+        if state["sent"] >= self.max_probes:
+            self.abandoned.append(channel)
+            del self._probing[channel]
+            return
+        state["sent"] += 1
+        self.probes_sent += 1
+        self._probe_seq += 1
+        self.session.all_ports[channel].send(
+            ProbePacket(channel=channel, seq=self._probe_seq), force=True
+        )
+        state["interval"] = min(
+            state["interval"] * self.backoff, self.max_interval
+        )
+        state["event"] = self.sim.schedule(
+            state["interval"], self._probe, channel
+        )
+
+    def _on_probe_ack(self, packet: ProbeAckPacket) -> None:
+        channel = packet.channel
+        if channel not in self._probing:
+            return
+        now = self.sim.now
+        if now - self._down_at[channel] < self._hold_down[channel]:
+            return  # flap-damped: not willing to rejoin yet
+        session = self.session
+        if session.state != session.RUNNING:
+            return  # a reset is in flight; _sync re-evaluates after it
+        if channel in session.config.active_channels:
+            self._stop(channel)
+            return
+        self._stop(channel)
+        self.rejoins += 1
+        self._rejoined_at[channel] = now
+        session.initiate_reset(
+            session.config_with(channel, self._quantum.get(channel))
+        )
 
 
 class LocalChecker:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.analysis.reorder import analyze_order
 from repro.core.session import LocalChecker, StripeConfig
@@ -73,6 +73,9 @@ def build_session_testbed(
     failure_detector: Optional[ChannelFailureDetector] = None,
     queue_frames: int = 40,
     seed: int = 0,
+    health_monitor: Optional[Any] = None,
+    enable_prober: bool = False,
+    prober_options: Optional[dict] = None,
 ) -> SessionTestbed:
     """Two hosts, N links, session-managed striped UDP, closed-loop source."""
     link_mbps = list(link_mbps)
@@ -121,6 +124,9 @@ def build_session_testbed(
         sim, sender_stack, destinations, config,
         marker_policy=MarkerPolicy(interval_rounds=1),
         control_port=CONTROL_PORT,
+        health_monitor=health_monitor,
+        enable_prober=enable_prober,
+        prober_options=prober_options,
     )
     deliveries: List[Tuple[float, int]] = []
     receiver = SessionSocketReceiver(

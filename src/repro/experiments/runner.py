@@ -139,6 +139,12 @@ def _run_fault_tolerance(quick: bool = False):
     return run_fault_tolerance(quick=quick)
 
 
+def _run_chaos(quick: bool = False):
+    from repro.experiments.chaos import run_chaos
+
+    return run_chaos(quick=quick)
+
+
 def _run_mtu(quick: bool = False):
     from repro.experiments.mtu_fragmentation import run_mtu_fragmentation
 
@@ -252,6 +258,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "fault_tolerance", "Section 5 (extension)",
             "Reset / reconfiguration / self-stabilization scenarios",
             _run_fault_tolerance,
+        ),
+        Experiment(
+            "chaos", "Section 5 / Theorem 5.1 (extension)",
+            "Randomized fault schedules vs the channel lifecycle stack: "
+            "degraded-mode throughput and recovery latency",
+            _run_chaos,
         ),
         Experiment(
             "mtu", "Section 6.2 (extension)",

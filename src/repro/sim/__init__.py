@@ -3,7 +3,8 @@
 This package provides the simulated "hardware" that the striping protocol
 runs over: an event-driven clock (:mod:`repro.sim.engine`), FIFO channels
 with bandwidth / propagation delay / skew / loss (:mod:`repro.sim.channel`),
-loss and corruption models (:mod:`repro.sim.loss`), a host CPU model with
+loss and corruption models (:mod:`repro.sim.loss`), timed adversarial
+fault injection (:mod:`repro.sim.faults`), a host CPU model with
 interrupt costs (:mod:`repro.sim.host`), seeded randomness
 (:mod:`repro.sim.random`), and structured event tracing
 (:mod:`repro.sim.trace`).
@@ -15,6 +16,13 @@ section 2).
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.channel import Channel, ChannelStats
+from repro.sim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSchedule,
+    InstalledFaults,
+)
 from repro.sim.loss import (
     BernoulliLoss,
     CorruptionModel,
@@ -32,6 +40,11 @@ __all__ = [
     "Simulator",
     "Channel",
     "ChannelStats",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSchedule",
+    "InstalledFaults",
     "LossModel",
     "NoLoss",
     "BernoulliLoss",

@@ -118,6 +118,7 @@ class Channel:
 
         self._queue: Deque[Any] = deque()
         self._transmitting = False
+        self._paused = False
         self._last_arrival = 0.0
         self._offered_index = 0
         # Fast-path delivery train: (arrival, packet, size) in FIFO order
@@ -174,6 +175,29 @@ class Channel:
             self._kick()
         return True
 
+    @property
+    def paused(self) -> bool:
+        """True while the transmitter is administratively paused."""
+        return self._paused
+
+    def pause(self) -> None:
+        """Freeze the transmitter (a link outage that loses nothing).
+
+        Queued packets stay queued and new sends keep enqueueing (or hit
+        the queue limit — exactly the backpressure a stalled link exerts on
+        the striping sender).  Packets already serialized keep propagating
+        and are delivered normally.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Unfreeze the transmitter and restart service of the queue."""
+        if not self._paused:
+            return
+        self._paused = False
+        if self._queue and not self._transmitting:
+            self._kick()
+
     def send_burst(self, packets: Sequence[Any]) -> None:
         """Bulk-enqueue a batch the caller has already capacity-checked.
 
@@ -202,6 +226,11 @@ class Channel:
         zeroing the drop probability) upgrades to burst mode for the rest
         of the run, and vice versa.
         """
+        if self._paused:
+            # The in-flight packet (if any) just completed; service of the
+            # queue resumes only via :meth:`resume`.
+            self._transmitting = False
+            return
         if self.fast and self._queue and self._burst_capable():
             self._start_burst()
         else:

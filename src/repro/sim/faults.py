@@ -1,0 +1,484 @@
+"""Composable, time-varying fault injection for simulated channels.
+
+The static loss models in :mod:`repro.sim.loss` answer "what fraction of
+packets does this channel lose?".  Validating the protocol's reliability
+claim (Theorem 5.1: marker resync restores FIFO within one one-way delay
+after faults stop) needs the adversarial complement: *timed* faults that
+start, mutate the channel's behaviour, and cease.  This module provides
+that as a layer over any existing :class:`~repro.sim.loss.LossModel` and
+any receiver wiring — nothing in :mod:`repro.sim.channel` or the endpoint
+pipelines knows it is being injected against.
+
+* :class:`FaultEvent` — one timed fault on one channel: ``crash`` (drop
+  everything offered for the window), ``pause`` (freeze the transmitter;
+  backpressure, no loss), ``delay_spike`` (extra one-way latency,
+  FIFO-preserving), ``duplicate`` (deliver arrivals twice), ``reorder``
+  (release a window of arrivals in reversed order — the "occasional
+  non-FIFO behaviour" of section 2), ``corrupt`` (discard arrivals, the
+  CRC-failure path), and ``marker_loss`` (drop only control-sized packets
+  — adversarially targets the resync machinery).
+* :class:`FaultSchedule` — an ordered set of events with an installation
+  hook that wires injectors onto live :class:`~repro.sim.channel.Channel`
+  objects (transmit side via a wrapping loss model and pause/resume,
+  receive side via an ``on_deliver`` interposer).
+* :class:`FaultPlan` — a seeded generator of randomized schedules whose
+  faults all cease before a horizon, for chaos property tests.
+
+Install order matters: :meth:`FaultSchedule.install` must run *after* the
+receiver wiring has claimed ``channel.on_deliver``, because the injector
+interposes on whatever handler is present at install time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.loss import LossModel
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "crash",
+    "pause",
+    "delay_spike",
+    "duplicate",
+    "reorder",
+    "corrupt",
+    "marker_loss",
+)
+
+#: Kinds for which the protocol promises exactly-once delivery of whatever
+#: physically arrives (duplication injects extra copies by definition, so
+#: chaos invariant suites draw from this set and test ``duplicate``
+#: separately with a bounded-duplication assertion).
+EXACTLY_ONCE_KINDS = (
+    "crash",
+    "pause",
+    "delay_spike",
+    "reorder",
+    "corrupt",
+    "marker_loss",
+)
+
+#: Packets at or below this size are treated as control traffic by
+#: ``marker_loss`` faults (markers are 32 B, credits smaller; data packets
+#: in the testbeds are hundreds of bytes).
+CONTROL_SIZE_MAX = 64
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault on one channel.
+
+    ``magnitude`` is kind-specific: drop probability for ``crash`` /
+    ``corrupt`` / ``marker_loss`` / ``duplicate``, extra one-way seconds
+    for ``delay_spike``, window depth (packets) for ``reorder``; unused
+    for ``pause``.
+    """
+
+    time: float
+    channel: int
+    kind: str
+    duration: float = 0.05
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.duration < 0:
+            raise ValueError(
+                f"fault duration must be >= 0, got {self.duration}"
+            )
+        if self.channel < 0:
+            raise ValueError(f"channel must be >= 0, got {self.channel}")
+
+    @property
+    def end(self) -> float:
+        """Simulated time at which this fault ceases."""
+        return self.time + self.duration
+
+
+class _FaultLoss(LossModel):
+    """Wraps a channel's loss model with the injector's transmit-side drops.
+
+    Composable by construction: the inner model keeps making its own draws
+    for every packet the fault layer lets through, so a crashed window on a
+    lossy channel behaves exactly like the lossy channel once the crash
+    ceases.  The wrapper deliberately has no ``p`` attribute, which keeps
+    an injected channel off the burst-batched fast path (fault draws must
+    happen at per-packet transmission boundaries).
+    """
+
+    def __init__(self, injector: "FaultInjector", inner: LossModel) -> None:
+        self.injector = injector
+        self.inner = inner
+
+    def should_drop(self, packet_index: int, size: int) -> bool:
+        if self.injector._transmit_drop(size):
+            return True
+        return self.inner.should_drop(packet_index, size)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class FaultInjector:
+    """Applies one channel's share of a :class:`FaultSchedule`.
+
+    Transmit-side faults (``crash``) ride a wrapping loss model so the
+    channel's own statistics count them; ``pause`` uses the channel's
+    administrative pause.  Receive-side faults interpose on the channel's
+    ``on_deliver``.  Delay spikes are clamped so per-channel release times
+    stay non-decreasing — the channel model remains FIFO, as the paper
+    requires; reordering comes only from explicit ``reorder`` bursts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Any,
+        rng: Optional[random.Random] = None,
+        control_size_max: int = CONTROL_SIZE_MAX,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.rng = rng if rng is not None else random.Random(0)
+        self.control_size_max = control_size_max
+
+        self._crash_until = -1.0
+        self._crash_p = 1.0
+        self._corrupt_until = -1.0
+        self._corrupt_p = 1.0
+        self._marker_loss_until = -1.0
+        self._marker_loss_p = 1.0
+        self._dup_until = -1.0
+        self._dup_p = 1.0
+        self._delay_until = -1.0
+        self._delay_extra = 0.0
+        self._reorder_until = -1.0
+        self._reorder_depth = 2
+        self._reorder_buf: List[Any] = []
+        self._pause_depth = 0
+        self._last_release = 0.0
+        self._scheduled = 0
+
+        self.crash_drops = 0
+        self.corrupt_drops = 0
+        self.marker_drops = 0
+        self.duplicates_injected = 0
+        self.reordered = 0
+        self.delayed = 0
+
+        channel.loss_model = _FaultLoss(self, channel.loss_model)
+        self._downstream: Callable[[Any], None] = (
+            channel.on_deliver if channel.on_deliver is not None else _sink
+        )
+        channel.on_deliver = self._on_deliver
+
+    # ------------------------------------------------------------------ #
+    # schedule activation
+
+    def apply(self, event: FaultEvent) -> None:
+        """Activate ``event`` now (called by the schedule at event.time)."""
+        kind = event.kind
+        end = event.end
+        if kind == "crash":
+            self._crash_until = max(self._crash_until, end)
+            self._crash_p = event.magnitude
+        elif kind == "pause":
+            self._pause_depth += 1
+            self.channel.pause()
+            self.sim.schedule_at(end, self._end_pause)
+        elif kind == "delay_spike":
+            self._delay_until = max(self._delay_until, end)
+            self._delay_extra = event.magnitude
+        elif kind == "duplicate":
+            self._dup_until = max(self._dup_until, end)
+            self._dup_p = event.magnitude
+        elif kind == "reorder":
+            self._reorder_until = max(self._reorder_until, end)
+            self._reorder_depth = max(2, int(event.magnitude))
+            self.sim.schedule_at(end, self._flush_reorder)
+        elif kind == "corrupt":
+            self._corrupt_until = max(self._corrupt_until, end)
+            self._corrupt_p = event.magnitude
+        elif kind == "marker_loss":
+            self._marker_loss_until = max(self._marker_loss_until, end)
+            self._marker_loss_p = event.magnitude
+
+    def _end_pause(self) -> None:
+        self._pause_depth -= 1
+        if self._pause_depth == 0:
+            self.channel.resume()
+
+    # ------------------------------------------------------------------ #
+    # transmit side (consulted by the wrapping loss model)
+
+    def _transmit_drop(self, size: int) -> bool:
+        if self.sim.now < self._crash_until and (
+            self._crash_p >= 1.0 or self.rng.random() < self._crash_p
+        ):
+            self.crash_drops += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # receive side (interposed on channel.on_deliver)
+
+    def _on_deliver(self, packet: Any) -> None:
+        now = self.sim.now
+        size = getattr(packet, "size", 0)
+        if now < self._corrupt_until and self.rng.random() < self._corrupt_p:
+            self.corrupt_drops += 1
+            return
+        if (
+            now < self._marker_loss_until
+            and size <= self.control_size_max
+            and self.rng.random() < self._marker_loss_p
+        ):
+            self.marker_drops += 1
+            return
+        if now < self._reorder_until:
+            self._reorder_buf.append(packet)
+            if len(self._reorder_buf) >= self._reorder_depth:
+                self._flush_reorder()
+            return
+        self._release(packet)
+
+    def _flush_reorder(self) -> None:
+        buffered = self._reorder_buf
+        if not buffered:
+            return
+        self._reorder_buf = []
+        self.reordered += len(buffered)
+        for packet in reversed(buffered):
+            self._release(packet)
+
+    def _release(self, packet: Any) -> None:
+        now = self.sim.now
+        copies = 1
+        if now < self._dup_until and self.rng.random() < self._dup_p:
+            self.duplicates_injected += 1
+            copies = 2
+        extra = self._delay_extra if now < self._delay_until else 0.0
+        release_at = now + extra
+        if release_at < self._last_release:
+            release_at = self._last_release
+        self._last_release = release_at
+        for _ in range(copies):
+            if release_at <= now and self._scheduled == 0:
+                self._downstream(packet)
+            else:
+                # Keep per-channel FIFO: once one release is scheduled,
+                # everything behind it goes through the engine too
+                # (insertion order breaks same-time ties).
+                if extra > 0.0:
+                    self.delayed += 1
+                self._scheduled += 1
+                self.sim.schedule_at(release_at, self._deliver_later, packet)
+
+    def _deliver_later(self, packet: Any) -> None:
+        self._scheduled -= 1
+        self._downstream(packet)
+
+
+def _sink(packet: Any) -> None:
+    """Delivery into the void (a channel nobody wired a receiver to)."""
+
+
+@dataclass
+class InstalledFaults:
+    """Handle returned by :meth:`FaultSchedule.install`."""
+
+    schedule: "FaultSchedule"
+    injectors: List[FaultInjector]
+
+    @property
+    def crash_drops(self) -> int:
+        return sum(i.crash_drops for i in self.injectors)
+
+    @property
+    def corrupt_drops(self) -> int:
+        return sum(i.corrupt_drops for i in self.injectors)
+
+    @property
+    def marker_drops(self) -> int:
+        return sum(i.marker_drops for i in self.injectors)
+
+    @property
+    def duplicates_injected(self) -> int:
+        return sum(i.duplicates_injected for i in self.injectors)
+
+    @property
+    def reordered(self) -> int:
+        return sum(i.reordered for i in self.injectors)
+
+    @property
+    def total_faulted(self) -> int:
+        """Packets visibly perturbed (dropped, duplicated, or reordered)."""
+        return (
+            self.crash_drops
+            + self.corrupt_drops
+            + self.marker_drops
+            + self.duplicates_injected
+            + self.reordered
+        )
+
+
+class FaultSchedule:
+    """An ordered set of timed per-channel fault events.
+
+    Args:
+        events: the fault events (any order; stored sorted by time).
+    """
+
+    def __init__(self, events: Sequence[FaultEvent]) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.channel))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def last_fault_end(self) -> float:
+        """Time after which every scheduled fault has ceased."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def kinds_used(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.kind for e in self.events}))
+
+    def for_channel(self, channel: int) -> List[FaultEvent]:
+        return [e for e in self.events if e.channel == channel]
+
+    def install(
+        self,
+        sim: Simulator,
+        channels: Sequence[Any],
+        *,
+        seed: int = 0,
+        control_size_max: int = CONTROL_SIZE_MAX,
+    ) -> InstalledFaults:
+        """Wire injectors onto live channels and arm every event.
+
+        Must be called after the receiver side has claimed each channel's
+        ``on_deliver`` (the injector interposes on the current handler).
+        Injector randomness is derived from ``seed`` per channel, so a
+        schedule replays identically for the same seed.
+        """
+        for event in self.events:
+            if event.channel >= len(channels):
+                raise ValueError(
+                    f"event targets channel {event.channel} but only "
+                    f"{len(channels)} channels were supplied"
+                )
+        injectors = [
+            FaultInjector(
+                sim,
+                channel,
+                rng=random.Random((seed << 8) ^ index),
+                control_size_max=control_size_max,
+            )
+            for index, channel in enumerate(channels)
+        ]
+        for event in self.events:
+            sim.schedule_at(
+                event.time, injectors[event.channel].apply, event
+            )
+        return InstalledFaults(schedule=self, injectors=injectors)
+
+
+#: Per-kind magnitude samplers for randomized plans.
+_MAGNITUDES: dict = {
+    "crash": lambda rng: 1.0,
+    "pause": lambda rng: 1.0,
+    "delay_spike": lambda rng: rng.uniform(0.004, 0.03),
+    "duplicate": lambda rng: rng.uniform(0.2, 1.0),
+    "reorder": lambda rng: float(rng.randint(2, 6)),
+    "corrupt": lambda rng: rng.uniform(0.3, 1.0),
+    "marker_loss": lambda rng: rng.uniform(0.5, 1.0),
+}
+
+
+class FaultPlan:
+    """A seeded generator of randomized chaos schedules.
+
+    Every generated fault starts after ``start_after`` and ends before
+    ``cease_by`` — the "faults eventually cease" premise of Theorem 5.1 is
+    guaranteed by construction, so a chaos run can assert recovery after
+    ``schedule.last_fault_end``.
+
+    Args:
+        n_channels: channels the target bundle has.
+        cease_by: all faults end strictly before this simulated time.
+        kinds: fault kinds to draw from (default: every kind).
+        max_events: up to this many events per schedule (at least 1).
+        start_after: no fault starts before this time (lets the protocol
+            reach steady state first).
+        min_duration / max_duration: fault length bounds in seconds.
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        cease_by: float,
+        *,
+        kinds: Sequence[str] = FAULT_KINDS,
+        max_events: int = 6,
+        start_after: float = 0.1,
+        min_duration: float = 0.02,
+        max_duration: float = 0.25,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("need at least one channel")
+        unknown = set(kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if not kinds:
+            raise ValueError("need at least one fault kind")
+        if max_events < 1:
+            raise ValueError("need at least one event per schedule")
+        if start_after + min_duration >= cease_by:
+            raise ValueError("no room for any fault before cease_by")
+        self.n_channels = n_channels
+        self.cease_by = cease_by
+        self.kinds = tuple(kinds)
+        self.max_events = max_events
+        self.start_after = start_after
+        self.min_duration = min_duration
+        self.max_duration = max_duration
+
+    def schedule(self, seed: int) -> FaultSchedule:
+        """The deterministic schedule for ``seed``."""
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        for _ in range(rng.randint(1, self.max_events)):
+            kind = rng.choice(self.kinds)
+            latest_start = self.cease_by - self.min_duration
+            start = rng.uniform(self.start_after, latest_start)
+            duration = rng.uniform(
+                self.min_duration,
+                min(self.max_duration, self.cease_by - start),
+            )
+            events.append(
+                FaultEvent(
+                    time=start,
+                    channel=rng.randrange(self.n_channels),
+                    kind=kind,
+                    duration=duration,
+                    magnitude=_MAGNITUDES[kind](rng),
+                )
+            )
+        return FaultSchedule(events)
+
+    def schedules(self, seeds: Sequence[int]) -> List[FaultSchedule]:
+        return [self.schedule(seed) for seed in seeds]

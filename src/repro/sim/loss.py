@@ -49,9 +49,18 @@ class BernoulliLoss(LossModel):
             raise ValueError(f"loss probability must be in [0, 1], got {p}")
         self.p = p
         self.rng = rng if rng is not None else random.Random(0)
+        self._initial_rng_state = self.rng.getstate()
 
     def should_drop(self, packet_index: int, size: int) -> bool:
         return self.rng.random() < self.p
+
+    def reset(self) -> None:
+        """Rewind the RNG to its construction-time state.
+
+        Makes reruns reproducible: the same packet stream offered after a
+        reset sees the identical drop pattern.
+        """
+        self.rng.setstate(self._initial_rng_state)
 
 
 class GilbertElliottLoss(LossModel):
@@ -83,6 +92,7 @@ class GilbertElliottLoss(LossModel):
         self.p_bad = p_bad
         self.p_good = p_good
         self.rng = rng if rng is not None else random.Random(0)
+        self._initial_rng_state = self.rng.getstate()
         self._bad = False
 
     @property
@@ -100,7 +110,9 @@ class GilbertElliottLoss(LossModel):
         return self.rng.random() < p
 
     def reset(self) -> None:
+        """Return to the good state and rewind the RNG (reproducible reruns)."""
         self._bad = False
+        self.rng.setstate(self._initial_rng_state)
 
     def steady_state_loss_rate(self) -> float:
         """Long-run average loss probability of the model."""

@@ -17,6 +17,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.packet import Packet
 from repro.core.session import (
+    ChannelProber,
     LocalChecker,
     StripeConfig,
     StripeReceiverSession,
@@ -26,11 +27,18 @@ from repro.core.striper import MarkerPolicy
 from repro.net.addresses import IPAddress
 from repro.net.stack import Stack
 from repro.sim.engine import Simulator
-from repro.transport.endpoint import ChannelFailureDetector
+from repro.transport.endpoint import (
+    ChannelFailureDetector,
+    ChannelLifecycleManager,
+    SenderHealthMonitor,
+)
 from repro.transport.socket_striping import UdpChannelPort, _udp_layer_for
 
 __all__ = [
     "ChannelFailureDetector",
+    "ChannelLifecycleManager",
+    "ChannelProber",
+    "SenderHealthMonitor",
     "SessionSocketReceiver",
     "SessionSocketSender",
 ]
@@ -46,6 +54,13 @@ class SessionSocketSender:
         config: initial striping configuration.
         marker_policy: markers per epoch (needed by the LocalChecker).
         control_port: local UDP port where ACKs / reset requests arrive.
+        health_monitor: optional :class:`SenderHealthMonitor`; a stalled
+            channel (wedged queue / starved credit) is excluded via a
+            reconfiguration reset without waiting for receiver silence.
+        enable_prober: create a :class:`~repro.core.session.ChannelProber`
+            so excluded channels are probed with exponential backoff and
+            rejoined (fresh quanta via RESET) once they answer.
+        prober_options: forwarded to the prober's constructor.
     """
 
     def __init__(
@@ -56,6 +71,9 @@ class SessionSocketSender:
         config: StripeConfig,
         marker_policy: Optional[MarkerPolicy] = None,
         control_port: int = 6900,
+        health_monitor: Optional[SenderHealthMonitor] = None,
+        enable_prober: bool = False,
+        prober_options: Optional[dict] = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
@@ -76,6 +94,18 @@ class SessionSocketSender:
             port.on_unblocked = self.pump
         self.udp.bind(control_port, on_datagram=self._on_control)
         self.messages_submitted = 0
+        self.health_monitor = health_monitor
+        if health_monitor is not None:
+            health_monitor.bind(
+                self.ports, self._on_stall, backlog_fn=lambda: self.backlog
+            )
+        # Chain before the prober so its reset hook wraps ours.
+        self.session.on_reset_complete = self._on_reset_complete
+        self.prober: Optional[ChannelProber] = None
+        if enable_prober:
+            self.prober = ChannelProber(
+                sim, self.session, **(prober_options or {})
+            )
 
     def send_message(self, size: int, payload: Any = None) -> Packet:
         packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
@@ -98,6 +128,16 @@ class SessionSocketSender:
 
     def _on_control(self, datagram: Any, src: IPAddress) -> None:
         self.session.on_control(datagram.payload)
+
+    def _on_stall(self, port_index: int) -> None:
+        self.session.exclude_channel(port_index)
+
+    def _on_reset_complete(self, epoch: int) -> None:
+        if self.health_monitor is not None:
+            # Re-arm the stall watch for every channel the new epoch
+            # carries (a rejoined channel must be watchable again).
+            for index in self.session.config.active_channels:
+                self.health_monitor.clear(index)
 
 
 class SessionSocketReceiver:

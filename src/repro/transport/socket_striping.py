@@ -108,6 +108,24 @@ class UdpChannelPort:
         route = stack.routing.lookup(self.dst)
         return route.interface.queue_length if route else 0
 
+    @property
+    def drained(self) -> int:
+        """Cumulative frames that left this port's egress queue.
+
+        The stall monitor's progress signal: at saturation the queue
+        length sits pinned at its limit even while frames flow, so queue
+        depth cannot distinguish a healthy saturated channel from a
+        wedged one — transmission completions can.  (Losses count as
+        drain: a lossy-but-transmitting link is the receiver-side
+        detector's problem, not a sender-side stall.)
+        """
+        stack = self.socket.layer.stack
+        route = stack.routing.lookup(self.dst)
+        channel = getattr(route.interface, "channel_out", None) if route else None
+        if channel is None:
+            return 0
+        return channel.stats.delivered_packets + channel.stats.lost_packets
+
 
 #: Backwards-compatible private alias (pre-endpoint-layer name).
 _UdpChannelPort = UdpChannelPort

@@ -15,9 +15,9 @@ class TestRegistry:
         expected = {
             "table1", "fig2_3", "fig5_6", "fig8_13", "fig15",
             "grr_worst", "sync_loss", "marker_freq", "marker_pos",
-            "credit_fc", "video", "fault_tolerance", "mtu", "multiflow",
-            "scalability", "tcp_channels", "cell_striping", "kernel_bench",
-            "sim_bench",
+            "credit_fc", "video", "fault_tolerance", "chaos", "mtu",
+            "multiflow", "scalability", "tcp_channels", "cell_striping",
+            "kernel_bench", "sim_bench",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -145,6 +145,22 @@ class TestExtensionShapes:
         )
         assert result.scaling_efficiency() > 0.9
         assert all(row.out_of_order == 0 for row in result.rows)
+
+    def test_chaos_recovers_and_counts_faults(self):
+        from repro.experiments.chaos import run_chaos
+
+        result = run_chaos(seeds=3, total_s=1.8)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row.faults_injected >= 0
+            assert row.delivered > 100
+            # back above 80% of the pre-fault baseline once faults cease
+            assert row.goodput_after > 0.8 * row.goodput_before
+            if "duplicate" not in row.kinds:
+                assert row.duplicates == 0
+        # at least one schedule actually perturbed traffic
+        assert any(row.faults_injected > 0 for row in result.rows)
+        assert "recovered" in result.render()
 
     def test_json_export(self, tmp_path, capsys):
         from repro.experiments.runner import main

@@ -1,0 +1,259 @@
+"""Chaos property tests: randomized fault schedules vs the protocol's claims.
+
+The executable form of Theorem 5.1 and section 5's reliability discussion.
+For every randomized :class:`~repro.sim.faults.FaultPlan` schedule whose
+faults cease (guaranteed by construction):
+
+* **exactly-once** — no application message is delivered twice (the
+  protocol adds no sequence numbers, so this is a machinery property);
+* **conservation** — every data packet that physically survives to the
+  receiver is eventually delivered (the striping machinery itself loses
+  nothing; in particular nothing sent on a fault-free surviving channel
+  is lost);
+* **quasi-FIFO resumption** — once every fault has ceased and one
+  worst-case one-way delay (propagation + a full transmit queue + the
+  largest injected delay spike) has elapsed, deliveries are in strictly
+  increasing sequence order again.
+
+``duplicate`` faults inherently violate exactly-once (the paper's headline
+constraint is *no extra headers*, hence no dedup), so they are exercised
+separately with a bounded-duplication assertion.
+
+The channel-revival acceptance test (failed channel rejoins via probe +
+RESET and carries its quantum share again) lives at the session layer in
+``tests/transport/test_lifecycle.py``.
+"""
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.packet import is_marker
+from repro.core.srr import SRR
+from repro.core.striper import MarkerPolicy
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    EXACTLY_ONCE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+)
+from repro.transport.endpoint import (
+    ChannelLifecycleManager,
+    StripeReceiverPipeline,
+    StripeSenderPipeline,
+)
+from repro.transport.fast_path import FastChannelPort
+
+N_CHANNELS = 3
+MESSAGE_BYTES = 500
+BANDWIDTH_BPS = 8e6
+PROP_DELAY = 0.5e-3
+QUEUE_LIMIT = 64
+CEASE_BY = 0.8
+#: upper bound of the delay_spike magnitude sampler in repro.sim.faults
+MAX_DELAY_SPIKE = 0.03
+
+
+def one_way_delay_bound() -> float:
+    """Worst-case one-way delay of a chaos-rig channel.
+
+    A packet admitted at fault-cease time can sit behind a full transmit
+    queue, then propagate, then suffer the largest injected delay spike;
+    everything in flight when the last fault ends has arrived this much
+    later (the "one one-way delay" of Theorem 5.1).
+    """
+    transmission = MESSAGE_BYTES * 8 / BANDWIDTH_BPS
+    return (QUEUE_LIMIT + 1) * transmission + PROP_DELAY + MAX_DELAY_SPIKE
+
+
+class ChaosRig:
+    """Striped endpoint pipelines over raw simulated channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_channels: int = N_CHANNELS,
+        detector: ChannelLifecycleManager = None,
+    ) -> None:
+        self.sim = sim
+        self.channels = [
+            Channel(
+                sim,
+                bandwidth_bps=BANDWIDTH_BPS,
+                prop_delay=PROP_DELAY,
+                queue_limit=QUEUE_LIMIT,
+                name=f"ch{i}",
+            )
+            for i in range(n_channels)
+        ]
+        self.ports = [FastChannelPort(ch) for ch in self.channels]
+        quanta = [float(MESSAGE_BYTES)] * n_channels
+        self.sender = StripeSenderPipeline(
+            self.ports,
+            SRR(quanta),
+            marker_policy=MarkerPolicy(interval_rounds=1),
+            sim=sim,
+            marker_keepalive_s=0.02,
+        )
+        self.deliveries: List[Tuple[float, int]] = []
+        self.receiver = StripeReceiverPipeline(
+            n_channels,
+            SRR(quanta),
+            mode="marker",
+            on_message=lambda p: self.deliveries.append((sim.now, p.seq)),
+            failure_detector=detector,
+            sim=sim,
+        )
+        #: data packets that physically survived to the receiver (recorded
+        #: downstream of any installed fault injector)
+        self.arrived: List[int] = []
+        for index, channel in enumerate(self.channels):
+            inner = self.receiver.channel_handler(index)
+
+            def handler(packet, inner=inner):
+                if not is_marker(packet):
+                    self.arrived.append(packet.seq)
+                inner(packet)
+
+            channel.on_deliver = handler
+            channel.on_space = self.sender._pump
+
+    def start_source(self, interval: float, stop_at: float) -> None:
+        sim = self.sim
+
+        def tick() -> None:
+            if sim.now >= stop_at:
+                return
+            self.sender.send_message(MESSAGE_BYTES)
+            sim.schedule(interval, tick)
+
+        sim.schedule_at(0.0, tick)
+
+    def delivered_seqs(self) -> List[int]:
+        return [seq for _, seq in self.deliveries]
+
+
+def run_chaos(sim: Simulator, schedule: FaultSchedule, seed: int) -> tuple:
+    rig = ChaosRig(sim)
+    settle_at = schedule.last_fault_end + one_way_delay_bound()
+    source_stop = settle_at + 0.1
+    # ~42% aggregate utilization: pauses and backlogs can always drain.
+    rig.start_source(interval=0.4e-3, stop_at=source_stop)
+    installed = schedule.install(sim, rig.channels, seed=seed)
+    sim.run(until=source_stop + 0.3)
+    return rig, installed, settle_at
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_chaos_exactly_once_invariants(sim, seed):
+    """>= 25 randomized schedules: no dup, no machinery loss, FIFO resumes."""
+    plan = FaultPlan(
+        n_channels=N_CHANNELS,
+        cease_by=CEASE_BY,
+        kinds=EXACTLY_ONCE_KINDS,
+        max_events=6,
+    )
+    schedule = plan.schedule(seed)
+    rig, installed, settle_at = run_chaos(sim, schedule, seed)
+
+    delivered = rig.delivered_seqs()
+    assert len(delivered) > 500, "chaos run barely delivered anything"
+
+    # Invariant 1: exactly-once — no duplicate delivery, ever.
+    assert len(delivered) == len(set(delivered)), (
+        f"duplicate deliveries under schedule {list(schedule)}"
+    )
+
+    # Invariant 2: conservation — everything that physically arrived was
+    # delivered (so nothing sent on a fault-free surviving channel is
+    # lost: those channels drop nothing by construction).
+    assert set(delivered) == set(rig.arrived)
+    assert rig.sender.backlog == 0
+
+    # Invariant 3 (Theorem 5.1): quasi-FIFO resumed within one one-way
+    # delay of the last fault ceasing.
+    tail = [seq for t, seq in rig.deliveries if t > settle_at]
+    assert len(tail) > 100, "no post-settle traffic to check FIFO against"
+    assert tail == sorted(tail), (
+        f"out-of-order delivery after faults ceased + one-way delay "
+        f"(schedule {list(schedule)})"
+    )
+    assert all(a < b for a, b in zip(tail, tail[1:]))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_chaos_bounded_duplication(sim, seed):
+    """Duplication faults: extra deliveries never exceed injected copies."""
+    plan = FaultPlan(
+        n_channels=N_CHANNELS,
+        cease_by=CEASE_BY,
+        kinds=("duplicate",),
+        max_events=4,
+    )
+    schedule = plan.schedule(seed)
+    rig, installed, settle_at = run_chaos(sim, schedule, seed)
+
+    delivered = rig.delivered_seqs()
+    excess = len(delivered) - len(set(delivered))
+    assert installed.duplicates_injected > 0
+    assert 0 < excess <= installed.duplicates_injected
+    # Conservation still holds as a set property.
+    assert set(delivered) == set(rig.arrived)
+    # And once the fault ceases, the tail is duplicate-free and ordered.
+    tail = [seq for t, seq in rig.deliveries if t > settle_at]
+    assert tail == sorted(set(tail))
+
+
+def test_chaos_mixed_kinds_all_channels(sim):
+    """A dense schedule hitting every channel with several kinds at once."""
+    events = [
+        FaultEvent(time=0.10, channel=0, kind="crash", duration=0.10),
+        FaultEvent(time=0.12, channel=1, kind="pause", duration=0.15),
+        FaultEvent(time=0.15, channel=2, kind="reorder", duration=0.10,
+                   magnitude=5.0),
+        FaultEvent(time=0.30, channel=0, kind="marker_loss", duration=0.20),
+        FaultEvent(time=0.35, channel=1, kind="delay_spike", duration=0.10,
+                   magnitude=0.02),
+        FaultEvent(time=0.40, channel=2, kind="corrupt", duration=0.10,
+                   magnitude=0.8),
+    ]
+    schedule = FaultSchedule(events)
+    rig, installed, settle_at = run_chaos(sim, schedule, seed=99)
+    assert installed.total_faulted > 0
+    delivered = rig.delivered_seqs()
+    assert len(delivered) == len(set(delivered))
+    assert set(delivered) == set(rig.arrived)
+    tail = [seq for t, seq in rig.deliveries if t > settle_at]
+    assert tail == sorted(tail) and len(tail) > 100
+
+
+def test_chaos_lifecycle_survives_permanent_death_then_revival(sim):
+    """A channel dies outright; the lifecycle detector writes it off, and
+    when it heals the revival path re-admits it without a session."""
+    detector = ChannelLifecycleManager(
+        sim, silence_threshold=0.1, check_interval=0.02,
+        revival_arrivals=2, min_down_time=0.05,
+    )
+    rig = ChaosRig(sim, detector=detector)
+    heal_at = 1.0
+    schedule = FaultSchedule(
+        [FaultEvent(time=0.3, channel=1, kind="crash", duration=heal_at - 0.3)]
+    )
+    rig.start_source(interval=0.4e-3, stop_at=1.6)
+    schedule.install(sim, rig.channels, seed=0)
+    sim.run(until=1.8)
+
+    assert detector.failures_reported == [1]
+    assert detector.revivals_reported == [1]
+    assert detector.channel_state(1) == detector.REVIVED
+    # Delivery kept flowing while channel 1 was dark...
+    mid = [seq for t, seq in rig.deliveries if 0.6 < t < 1.0]
+    assert len(mid) > 100
+    # ...and after revival the tail is in order and conservation holds.
+    tail = [seq for t, seq in rig.deliveries if t > heal_at + 0.2]
+    assert len(tail) > 100 and tail == sorted(tail)
+    delivered = rig.delivered_seqs()
+    assert len(delivered) == len(set(delivered))
+    assert set(delivered) == set(rig.arrived)

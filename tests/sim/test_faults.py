@@ -1,0 +1,322 @@
+"""Unit tests for the composable fault-injection layer."""
+
+import random
+
+import pytest
+
+from repro.core.packet import MarkerPacket, Packet
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    CONTROL_SIZE_MAX,
+    EXACTLY_ONCE_KINDS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+)
+from repro.sim.loss import BernoulliLoss
+
+
+def make_channel(sim, **kwargs):
+    defaults = dict(
+        bandwidth_bps=8e6, prop_delay=0.5e-3, queue_limit=64, name="ch"
+    )
+    defaults.update(kwargs)
+    return Channel(sim, **defaults)
+
+
+def drive(sim, channel, count, size=500, interval=0.001, start=0.0):
+    """Offer ``count`` packets to the channel on a fixed cadence."""
+    for i in range(count):
+        sim.schedule_at(
+            start + i * interval,
+            lambda seq=i: channel.send(Packet(size=size, seq=seq), force=True),
+        )
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(time=0.0, channel=0, kind="meteor")
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, channel=0, kind="crash")
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, channel=0, kind="crash", duration=-0.1)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, channel=-1, kind="crash")
+
+    def test_end_time(self):
+        event = FaultEvent(time=0.5, channel=0, kind="pause", duration=0.2)
+        assert event.end == pytest.approx(0.7)
+
+
+class TestCrash:
+    def test_crash_window_drops_then_heals(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.01, channel=0, kind="crash", duration=0.02)]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 40, interval=0.001)
+        sim.run()
+        assert installed.crash_drops > 0
+        # Channel stats count the injected losses (the wrapper rides the
+        # loss-model hook, not a side channel).
+        assert channel.stats.lost_packets == installed.crash_drops
+        assert len(arrived) == 40 - installed.crash_drops
+        # Packets after the window all survive, in order.
+        post = [p.seq for p in arrived if p.seq >= 31]
+        assert post == sorted(post) and len(post) == 9
+
+    def test_crash_composes_with_inner_loss(self, sim):
+        channel = make_channel(
+            sim, loss_model=BernoulliLoss(0.5, rng=random.Random(7))
+        )
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, channel=0, kind="crash", duration=0.01)]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 60, interval=0.001)
+        sim.run()
+        # During the crash everything drops; afterwards the inner Bernoulli
+        # model keeps drawing, so total losses exceed the crash drops.
+        assert installed.crash_drops == 10
+        assert channel.stats.lost_packets > installed.crash_drops
+        assert 0 < len(arrived) < 50
+
+
+class TestPause:
+    def test_pause_is_lossless_backpressure(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.005, channel=0, kind="pause", duration=0.05)]
+        )
+        schedule.install(sim, [channel])
+        drive(sim, channel, 30, interval=0.001)
+        sim.run()
+        assert channel.stats.lost_packets == 0
+        assert [p.seq for p in arrived] == list(range(30))
+        # Nothing (beyond the in-flight packet) is delivered mid-pause.
+        assert not channel.paused
+
+    def test_overlapping_pauses_resume_once(self, sim):
+        channel = make_channel(sim)
+        got = []
+        channel.on_deliver = got.append
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=0.00, channel=0, kind="pause", duration=0.04),
+                FaultEvent(time=0.02, channel=0, kind="pause", duration=0.04),
+            ]
+        )
+        schedule.install(sim, [channel])
+        drive(sim, channel, 5, interval=0.001)
+        sim.run(until=0.05)
+        assert channel.paused  # second pause still holds at t=0.05
+        sim.run()
+        assert not channel.paused
+        assert len(got) == 5
+
+
+class TestReceiveSideFaults:
+    def test_corrupt_discards_arrivals(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.0, channel=0, kind="corrupt",
+                    duration=0.02, magnitude=1.0,
+                )
+            ]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 30, interval=0.001)
+        sim.run()
+        assert installed.corrupt_drops > 0
+        assert len(arrived) == 30 - installed.corrupt_drops
+
+    def test_marker_loss_spares_data(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.0, channel=0, kind="marker_loss",
+                    duration=1.0, magnitude=1.0,
+                )
+            ]
+        )
+        installed = schedule.install(sim, [channel])
+        for i in range(10):
+            sim.schedule_at(
+                i * 0.001,
+                lambda seq=i: channel.send(
+                    Packet(size=500, seq=seq), force=True
+                ),
+            )
+            sim.schedule_at(
+                i * 0.001 + 0.0005,
+                lambda: channel.send(
+                    MarkerPacket(channel=0, round_number=1, deficit=0.0),
+                    force=True,
+                ),
+            )
+        sim.run()
+        assert installed.marker_drops == 10
+        assert [p.seq for p in arrived] == list(range(10))
+        assert all(p.size > CONTROL_SIZE_MAX for p in arrived)
+
+    def test_duplicate_injects_copies(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.0, channel=0, kind="duplicate",
+                    duration=0.02, magnitude=1.0,
+                )
+            ]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 30, interval=0.001)
+        sim.run()
+        assert installed.duplicates_injected > 0
+        assert len(arrived) == 30 + installed.duplicates_injected
+        # Duplicated or not, per-channel order is preserved.
+        seqs = [p.seq for p in arrived]
+        assert seqs == sorted(seqs)
+
+    def test_reorder_burst_scrambles_then_ceases(self, sim):
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.0, channel=0, kind="reorder",
+                    duration=0.0105, magnitude=4.0,
+                )
+            ]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 30, interval=0.001)
+        sim.run()
+        seqs = [p.seq for p in arrived]
+        assert sorted(seqs) == list(range(30))  # nothing lost
+        assert installed.reordered > 0
+        assert seqs != sorted(seqs)
+        # After the window the stream is in order again.
+        tail = seqs[-15:]
+        assert tail == sorted(tail)
+
+    def test_delay_spike_preserves_fifo(self, sim):
+        channel = make_channel(sim)
+        arrivals = []
+        channel.on_deliver = lambda p: arrivals.append((sim.now, p.seq))
+        schedule = FaultSchedule(
+            [
+                FaultEvent(
+                    time=0.004, channel=0, kind="delay_spike",
+                    duration=0.01, magnitude=0.02,
+                )
+            ]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 25, interval=0.001)
+        sim.run()
+        assert installed.injectors[0].delayed > 0
+        seqs = [seq for _, seq in arrivals]
+        assert seqs == list(range(25))  # FIFO survives the spike
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        # The spike actually delayed something beyond the base latency.
+        base = 500 * 8 / 8e6 + 0.5e-3
+        spiked = [t - (0.001 * seq + base) for t, seq in arrivals]
+        assert max(spiked) > 0.015
+
+
+class TestSchedule:
+    def test_install_rejects_out_of_range_channel(self, sim):
+        channel = make_channel(sim)
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, channel=3, kind="crash")]
+        )
+        with pytest.raises(ValueError, match="targets channel 3"):
+            schedule.install(sim, [channel])
+
+    def test_last_fault_end_and_kinds(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(time=0.1, channel=0, kind="crash", duration=0.5),
+                FaultEvent(time=0.3, channel=1, kind="pause", duration=0.1),
+            ]
+        )
+        assert schedule.last_fault_end == pytest.approx(0.6)
+        assert schedule.kinds_used() == ("crash", "pause")
+        assert len(schedule.for_channel(1)) == 1
+
+    def test_same_seed_replays_identically(self):
+        plan = FaultPlan(n_channels=3, cease_by=1.0)
+        a = plan.schedule(42)
+        b = plan.schedule(42)
+        assert a.events == b.events
+        assert plan.schedule(43).events != a.events
+
+    def test_plan_respects_cease_by(self):
+        plan = FaultPlan(n_channels=4, cease_by=0.7, start_after=0.1)
+        for seed in range(50):
+            schedule = plan.schedule(seed)
+            assert len(schedule) >= 1
+            for event in schedule:
+                assert event.time >= 0.1
+                assert event.end <= 0.7 + 1e-9
+                assert event.channel < 4
+
+    def test_plan_kind_subsets(self):
+        plan = FaultPlan(
+            n_channels=2, cease_by=1.0, kinds=EXACTLY_ONCE_KINDS
+        )
+        used = set()
+        for seed in range(40):
+            used.update(plan.schedule(seed).kinds_used())
+        assert "duplicate" not in used
+        assert used <= set(EXACTLY_ONCE_KINDS)
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultPlan(n_channels=2, cease_by=1.0, kinds=("quake",))
+
+    def test_exactly_once_kinds_is_all_but_duplicate(self):
+        assert set(EXACTLY_ONCE_KINDS) == set(FAULT_KINDS) - {"duplicate"}
+
+
+class TestChannelPauseResume:
+    def test_native_pause_resume(self, sim):
+        channel = make_channel(sim)
+        got = []
+        channel.on_deliver = got.append
+        channel.send(Packet(size=500, seq=0))
+        channel.pause()
+        channel.send(Packet(size=500, seq=1))
+        sim.run(until=0.05)
+        # Only the packet already in service at pause time got through.
+        assert [p.seq for p in got] == [0]
+        channel.resume()
+        sim.run()
+        assert [p.seq for p in got] == [0, 1]
+
+    def test_resume_without_pause_is_noop(self, sim):
+        channel = make_channel(sim)
+        channel.resume()
+        assert not channel.paused

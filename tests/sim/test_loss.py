@@ -139,3 +139,31 @@ class TestCorruption:
     def test_invalid_ber(self):
         with pytest.raises(ValueError):
             CorruptionModel(2.0)
+
+
+class TestSeededReset:
+    def test_bernoulli_reset_replays_drop_sequence(self):
+        model = BernoulliLoss(0.3, rng=random.Random(11))
+        first = [model.should_drop(i, 100) for i in range(200)]
+        model.reset()
+        replay = [model.should_drop(i, 100) for i in range(200)]
+        assert replay == first
+
+    def test_gilbert_elliott_reset_replays_state_walk(self):
+        model = GilbertElliottLoss(
+            p_g2b=0.1, p_b2g=0.3, rng=random.Random(7)
+        )
+        first = [model.should_drop(i, 100) for i in range(500)]
+        assert model.in_bad_state or True  # whatever state it landed in
+        model.reset()
+        assert not model.in_bad_state
+        replay = [model.should_drop(i, 100) for i in range(500)]
+        assert replay == first
+
+    def test_reset_makes_repeated_runs_comparable(self):
+        """Two experiment arms sharing one model see identical loss."""
+        model = BernoulliLoss(0.5, rng=random.Random(3))
+        arm_a = sum(model.should_drop(i, 100) for i in range(1000))
+        model.reset()
+        arm_b = sum(model.should_drop(i, 100) for i in range(1000))
+        assert arm_a == arm_b

@@ -359,3 +359,138 @@ class TestAdapterSurfaces:
         assert issubclass(StripedSocketReceiver, StripeReceiverPipeline)
         assert issubclass(FastStripedReceiver, StripeReceiverPipeline)
         assert issubclass(StripedTcpReceiver, StripeReceiverPipeline)
+
+
+class TestSenderPipelineClose:
+    def test_keepalive_stops_after_close(self, sim):
+        """A closed pipeline's pending keepalive tick must not fire
+        markers into ports that may already be torn down."""
+        ports = make_ports(2)
+        pipeline = StripeSenderPipeline(
+            ports, SRR([100.0, 100.0]),
+            marker_policy=MarkerPolicy(interval_rounds=1),
+            sim=sim, marker_keepalive_s=0.05,
+        )
+        pipeline.send_message(100)
+        sim.run(until=0.2)
+        idle_markers = sum(
+            1 for port in ports for p in port.sent if is_marker(p)
+        )
+        assert idle_markers > 2  # keepalives flowed while open
+        pipeline.close()
+        sim.run(until=1.0)
+        after = sum(
+            1 for port in ports for p in port.sent if is_marker(p)
+        )
+        assert after == idle_markers
+
+
+class TestDetectorBounds:
+    def test_note_arrival_out_of_range_raises(self, sim):
+        detector = ChannelFailureDetector(sim)
+        detector.bind(2, lambda channel: None)
+        with pytest.raises(ValueError, match="arrival on port 5"):
+            detector.note_arrival(5)
+        with pytest.raises(ValueError):
+            detector.note_arrival(-1)
+        with pytest.raises(ValueError, match="was bind"):
+            ChannelFailureDetector(sim).note_arrival(0)
+
+    def test_idle_sender_keepalive_prevents_false_failure(self, sim):
+        """The source stops but the channels are healthy: keepalive
+        markers must keep the silence watchdog quiet."""
+        from repro.sim.channel import Channel
+        from repro.transport.fast_path import FastChannelPort
+
+        channels = [
+            Channel(
+                sim, bandwidth_bps=8e6, prop_delay=0.5e-3,
+                queue_limit=16, name=f"ch{i}",
+            )
+            for i in range(2)
+        ]
+        ports = [FastChannelPort(ch) for ch in channels]
+        sender = StripeSenderPipeline(
+            ports, SRR([500.0, 500.0]),
+            marker_policy=MarkerPolicy(interval_rounds=1),
+            sim=sim, marker_keepalive_s=0.05,
+        )
+        detector = ChannelFailureDetector(
+            sim, silence_threshold=0.15, check_interval=0.02
+        )
+        receiver = StripeReceiverPipeline(
+            2, SRR([500.0, 500.0]), mode="marker",
+            failure_detector=detector, sim=sim,
+        )
+        for index, channel in enumerate(channels):
+            channel.on_deliver = receiver.channel_handler(index)
+            channel.on_space = sender._pump
+
+        def tick():
+            if sim.now < 0.2:  # the source stops at t=0.2
+                sender.send_message(500)
+                sim.schedule(0.001, tick)
+
+        sim.schedule_at(0.0, tick)
+        sim.run(until=1.5)
+        assert detector.failures_reported == []
+        assert len(receiver.delivered) == 200
+        # The watchdog stayed quiet because keepalives kept arriving,
+        # not because it never looked.
+        assert receiver.resequencer.stats.markers_received > 220
+
+
+class TestFailChannelAllModes:
+    """Satellite: ``fail_channel`` works on every factory path."""
+
+    @pytest.mark.parametrize(
+        "mode", ["marker", "plain", "none", "mppp", "bonding"]
+    )
+    def test_fail_then_revive_never_raises(self, mode):
+        algorithm = (
+            SRR([100.0, 100.0]) if mode in ("marker", "plain") else None
+        )
+        pipeline = StripeReceiverPipeline(2, algorithm, mode=mode)
+        assert pipeline.fail_channel(1) == []
+        assert pipeline.failed_channels == {1}
+        pipeline.revive_channel(1)
+        assert pipeline.failed_channels == set()
+
+    def test_marker_mode_survives_and_revives(self):
+        pipeline = StripeReceiverPipeline(
+            2, SRR([100.0, 100.0]), mode="marker"
+        )
+        # Strict alternation 0,1,0,1 with equal quanta.
+        for seq in range(4):
+            pipeline.push(seq % 2, Packet(size=100, seq=seq))
+        pipeline.fail_channel(1)
+        for seq in range(4, 10, 2):
+            pipeline.push(0, Packet(size=100, seq=seq))
+        delivered = [p.seq for p in pipeline.delivered]
+        assert set(range(4, 10, 2)) <= set(delivered)
+        # Revival re-enters the adoption path: the next marker resyncs.
+        pipeline.revive_channel(1)
+        resequencer = pipeline.resequencer
+        assert resequencer.sync_round[1] is None
+        assert resequencer.pending[1]
+
+    def test_mppp_mode_fail_skips_gap_and_flushes(self):
+        discipline = MpppDiscipline(2)
+        ports = make_ports(2)
+        sender = StripeSenderPipeline(ports, discipline)
+        for i in range(6):
+            sender.send_message(300)
+        fragments = sorted(
+            (f for port in ports for f in port.sent),
+            key=lambda f: f.sequence,
+        )
+        pipeline = StripeReceiverPipeline(2, mode="mppp")
+        pipeline.push(0, fragments[0])
+        pipeline.push(0, fragments[1])
+        # Fragment 2 is lost on the dying channel; 3..5 arrive and wait.
+        for fragment in fragments[3:]:
+            pipeline.push(1, fragment)
+        assert [p.seq for p in pipeline.delivered] == [0, 1]
+        released = pipeline.fail_channel(0)
+        assert [p.seq for p in released] == [3, 4, 5]
+        assert pipeline.resequencer.gaps_skipped == 1
