@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repo.
 
 .PHONY: install test bench experiments quick-experiments examples clean \
-	endpoints-smoke chaos-smoke lint-endpoints
+	endpoints-smoke chaos-smoke reliability-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,16 @@ chaos-smoke:
 		tests/transport/test_lifecycle.py \
 		tests/sim/test_faults.py
 	PYTHONPATH=src python -m repro.experiments.runner chaos --quick
+
+# Fast confidence check for the reliability layer: ARQ unit/e2e tests,
+# the marker/SACK codec, the persistent-loss chaos family, and a quick
+# pass of the best-effort-vs-reliable experiment.
+reliability-smoke:
+	PYTHONPATH=src pytest tests/transport/test_reliability.py \
+		tests/core/test_marker_codec.py
+	PYTHONPATH=src pytest tests/properties/test_chaos_invariants.py \
+		-k "persistent or duplicated"
+	PYTHONPATH=src python -m repro.experiments.runner reliability --quick
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.core.kernel import SRRKernel
-from repro.core.packet import MarkerPacket, is_marker
+from repro.core.packet import MarkerPacket, SackInfo, is_marker
 from repro.core.srr import SRR, SRRState
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -46,6 +46,7 @@ from repro.sim.trace import NULL_TRACER, Tracer
 #   magic     u16   0x5352 ("SR") — demux guard
 #   version   u8    codec version (1)
 #   flags     u8    bit 0: a piggybacked credit is present
+#                   bit 1: a SACK extension follows the base frame
 #   channel   u32   sender's channel number (condition C2)
 #   round     i64   round number r of the next data packet
 #   deficit   f64   deficit-counter value d of that packet
@@ -53,22 +54,63 @@ from repro.sim.trace import NULL_TRACER, Tracer
 #
 # 32 bytes total — exactly the default MarkerPacket.size, so simulated
 # wire timing and the real encoding agree.
+#
+# When bit 1 of flags is set, a SACK extension follows:
+#
+#   cum_ack   u64   lowest bundle rseq not yet received in order
+#   count     u8    number of SACK blocks (<= MAX_SACK_BLOCKS_WIRE)
+#   then count x:
+#     start   u32   block start, as an offset above cum_ack
+#     length  u32   block length in packets
+#
+# A marker with the full complement of piggybacked SACK blocks is
+# 32 + 9 + 2*8 = 57 bytes — still below the 64-byte control-packet
+# threshold of the fault layer, so SACK-bearing markers keep behaving as
+# control traffic everywhere.
 
 _MARKER_STRUCT = struct.Struct("!HBBIqdq")
+_SACK_HEAD_STRUCT = struct.Struct("!QB")
+_SACK_BLOCK_STRUCT = struct.Struct("!II")
 MARKER_MAGIC = 0x5352
 MARKER_CODEC_VERSION = 1
 MARKER_WIRE_BYTES = _MARKER_STRUCT.size
 _FLAG_CREDIT = 0x01
+_FLAG_SACK = 0x02
+#: most SACK blocks a piggybacked marker may carry (wire-size budget)
+MAX_SACK_BLOCKS_WIRE = 2
+
+
+class MarkerDecodeError(ValueError):
+    """A marker frame failed validation (truncated, oversized, corrupt).
+
+    Subclasses :class:`ValueError` so callers that predate the typed
+    error keep working; receivers catch this, bump a counter, and drop
+    the frame instead of surfacing raw :mod:`struct` errors.
+    """
+
+
+def marker_wire_size(sack: Optional[SackInfo]) -> int:
+    """Encoded size of a marker carrying ``sack`` (None → base frame)."""
+    if sack is None:
+        return MARKER_WIRE_BYTES
+    return (
+        MARKER_WIRE_BYTES
+        + _SACK_HEAD_STRUCT.size
+        + _SACK_BLOCK_STRUCT.size * len(sack.blocks)
+    )
 
 
 def encode_marker(marker: MarkerPacket) -> bytes:
-    """Serialize a marker to its canonical 32-byte wire form."""
+    """Serialize a marker to its canonical wire form (32 B + SACK ext)."""
     flags = 0
     credit = 0
     if marker.credit is not None:
         flags |= _FLAG_CREDIT
         credit = marker.credit
-    return _MARKER_STRUCT.pack(
+    sack = getattr(marker, "sack", None)
+    if sack is not None:
+        flags |= _FLAG_SACK
+    frame = _MARKER_STRUCT.pack(
         MARKER_MAGIC,
         MARKER_CODEC_VERSION,
         flags,
@@ -77,28 +119,94 @@ def encode_marker(marker: MarkerPacket) -> bytes:
         marker.deficit,
         credit,
     )
+    if sack is None:
+        return frame
+    if len(sack.blocks) > MAX_SACK_BLOCKS_WIRE:
+        raise ValueError(
+            f"marker SACK carries at most {MAX_SACK_BLOCKS_WIRE} blocks, "
+            f"got {len(sack.blocks)}"
+        )
+    parts = [frame, _SACK_HEAD_STRUCT.pack(sack.cum_ack, len(sack.blocks))]
+    for start, end in sack.blocks:
+        parts.append(
+            _SACK_BLOCK_STRUCT.pack(start - sack.cum_ack, end - start)
+        )
+    return b"".join(parts)
+
+
+def _decode_sack(data: bytes, offset: int) -> SackInfo:
+    """Parse the SACK extension starting at ``offset``; validates length."""
+    head_end = offset + _SACK_HEAD_STRUCT.size
+    if len(data) < head_end:
+        raise MarkerDecodeError(
+            f"marker SACK extension truncated at {len(data)} bytes"
+        )
+    cum_ack, count = _SACK_HEAD_STRUCT.unpack_from(data, offset)
+    expected = head_end + count * _SACK_BLOCK_STRUCT.size
+    if len(data) != expected:
+        raise MarkerDecodeError(
+            f"marker SACK extension with {count} blocks must be "
+            f"{expected} bytes total, got {len(data)}"
+        )
+    blocks = []
+    pos = head_end
+    for _ in range(count):
+        start_off, length = _SACK_BLOCK_STRUCT.unpack_from(data, pos)
+        pos += _SACK_BLOCK_STRUCT.size
+        if length == 0:
+            raise MarkerDecodeError("marker SACK block with zero length")
+        start = cum_ack + start_off
+        blocks.append((start, start + length))
+    return SackInfo(cum_ack=cum_ack, blocks=tuple(blocks))
 
 
 def decode_marker(data: bytes) -> MarkerPacket:
-    """Parse the canonical wire form back into a :class:`MarkerPacket`."""
-    if len(data) != MARKER_WIRE_BYTES:
-        raise ValueError(
-            f"marker frame must be {MARKER_WIRE_BYTES} bytes, got {len(data)}"
+    """Parse the canonical wire form back into a :class:`MarkerPacket`.
+
+    Raises :class:`MarkerDecodeError` (a :class:`ValueError`) on any
+    malformed input: truncated or oversized frames, bad magic, unknown
+    codec version, or an inconsistent SACK extension.
+    """
+    if len(data) < MARKER_WIRE_BYTES:
+        raise MarkerDecodeError(
+            f"marker frame must be at least {MARKER_WIRE_BYTES} bytes, "
+            f"got {len(data)}"
         )
     magic, version, flags, channel, round_number, deficit, credit = (
-        _MARKER_STRUCT.unpack(data)
+        _MARKER_STRUCT.unpack_from(data, 0)
     )
     if magic != MARKER_MAGIC:
-        raise ValueError(f"bad marker magic {magic:#06x}")
+        raise MarkerDecodeError(f"bad marker magic {magic:#06x}")
     if version != MARKER_CODEC_VERSION:
-        raise ValueError(f"unsupported marker codec version {version}")
+        raise MarkerDecodeError(f"unsupported marker codec version {version}")
+    sack: Optional[SackInfo] = None
+    if flags & _FLAG_SACK:
+        try:
+            sack = _decode_sack(data, MARKER_WIRE_BYTES)
+        except ValueError as exc:  # SackInfo validation → typed error
+            raise MarkerDecodeError(str(exc)) from None
+    elif len(data) != MARKER_WIRE_BYTES:
+        raise MarkerDecodeError(
+            f"marker frame must be {MARKER_WIRE_BYTES} bytes, got {len(data)}"
+        )
     return MarkerPacket(
         channel=channel,
         round_number=round_number,
         deficit=deficit,
-        size=MARKER_WIRE_BYTES,
+        size=len(data),
         credit=credit if flags & _FLAG_CREDIT else None,
+        sack=sack,
     )
+
+
+def attach_sack(marker: MarkerPacket, sack: SackInfo) -> None:
+    """Piggyback ``sack`` on ``marker``, updating its simulated size."""
+    if len(sack.blocks) > MAX_SACK_BLOCKS_WIRE:
+        sack = SackInfo(
+            cum_ack=sack.cum_ack, blocks=sack.blocks[:MAX_SACK_BLOCKS_WIRE]
+        )
+    marker.sack = sack
+    marker.size = marker_wire_size(sack)
 
 
 def piggybacked_credit(packet: Any) -> Optional[Tuple[int, int]]:
@@ -106,6 +214,14 @@ def piggybacked_credit(packet: Any) -> Optional[Tuple[int, int]]:
     marker (the §6.3 FCVC piggyback); None otherwise."""
     if is_marker(packet) and packet.credit is not None:
         return (packet.channel, packet.credit)
+    return None
+
+
+def piggybacked_sack(packet: Any) -> Optional[SackInfo]:
+    """The :class:`SackInfo` riding ``packet``, if it is a SACK-bearing
+    marker (the reliability-layer reverse path); None otherwise."""
+    if is_marker(packet):
+        return getattr(packet, "sack", None)
     return None
 
 
@@ -134,6 +250,11 @@ class SRRReceiverStats:
     delivered: int = 0
     markers_received: int = 0
     adoptions: int = 0
+    #: markers dropped because they repeated the last adopted ``(r, d)``
+    #: pair on their channel — a network-duplicated marker re-adopted
+    #: after data consumption would inflate the mirrored deficit and skip
+    #: rounds, so exact repeats are discarded (idempotent adoption)
+    duplicate_markers: int = 0
     channel_skips: int = 0
     #: visits abandoned because the deficit stayed non-positive even after
     #: adding a quantum — only possible when quantum < max packet size
@@ -196,6 +317,9 @@ class SRRReceiver:
         self.sync_round: List[Optional[int]] = [None] * n
         #: channels declared dead (see :meth:`fail_channel`)
         self.failed: set = set()
+        # Last adopted (round, deficit) per channel; implicit numbers are
+        # non-decreasing on a channel, so an exact repeat is a duplicate.
+        self._last_marker: List[Optional[Tuple[int, float]]] = [None] * n
 
     # ------------------------------------------------------------------ #
 
@@ -260,6 +384,9 @@ class SRRReceiver:
         self.dc[channel] = 0.0
         self.pending[channel] = True
         self.sync_round[channel] = None
+        # Forget the duplicate memo: the resync marker after revival may
+        # legitimately repeat the last pre-outage pair on an idle channel.
+        self._last_marker[channel] = None
 
     def _nominal_size(self, channel: int) -> int:
         """Assumed size of an unseen (lost) packet on a failed channel."""
@@ -323,6 +450,8 @@ class SRRReceiver:
             packet = buffer.popleft()
             self._buffered -= 1
             if is_marker(packet):
+                if self._is_duplicate_marker(c, packet):
+                    continue
                 self._adopt(c, packet)
                 if packet.round_number < self.round_number:
                     # The marker is stale: the scan has already passed the
@@ -347,6 +476,22 @@ class SRRReceiver:
                 self.pending[c] = True
                 self._advance()
 
+    def _is_duplicate_marker(self, channel: int, marker: MarkerPacket) -> bool:
+        """True if ``marker`` exactly repeats the last adoption on its channel.
+
+        Implicit numbers ``(r, d)`` are non-decreasing per channel, so a
+        marker matching the last adopted pair after any consumption is a
+        network duplicate (or an idle-channel keepalive repeat, for which
+        re-adoption would be a state no-op anyway).  Re-adopting it after
+        data was consumed would reinstall a stale deficit and skip rounds;
+        adoption must be idempotent, so exact repeats are dropped.
+        """
+        if self._last_marker[channel] != (marker.round_number, marker.deficit):
+            return False
+        self.stats.markers_received += 1
+        self.stats.duplicate_markers += 1
+        return True
+
     def _adopt(self, channel: int, marker: MarkerPacket) -> None:
         """Install the marker's ``(r, d)`` as channel state (section 5)."""
         self.stats.markers_received += 1
@@ -354,6 +499,7 @@ class SRRReceiver:
         self.dc[channel] = marker.deficit
         self.sync_round[channel] = marker.round_number
         self.pending[channel] = False
+        self._last_marker[channel] = (marker.round_number, marker.deficit)
         if self.tracer.enabled:
             self.tracer.emit(
                 self.clock(), "receiver", "marker",
@@ -387,6 +533,8 @@ class SRRReceiver:
             if buffer and is_marker(buffer[0]):
                 marker = buffer.popleft()
                 self._buffered -= 1
+                if self._is_duplicate_marker(channel, marker):
+                    continue
                 self._adopt(channel, marker)
                 if marker.round_number >= self.round_number:
                     return  # live edge (or C1 future; the scan handles it)
@@ -470,6 +618,7 @@ class SRRReceiver:
         self.dc = list(snapshot.dc)
         self.pending = list(snapshot.pending)
         self.sync_round = list(snapshot.sync_round)
+        self._last_marker = [None] * self.n_channels
 
     def adopt_snapshot(self, state: SRRState) -> List[Any]:
         """Adopt a *sender* kernel snapshot wholesale (all channels at once).
@@ -498,6 +647,7 @@ class SRRReceiver:
         self.pending = [True] * self.n_channels
         self.pending[state.ptr] = False
         self.sync_round = [None] * self.n_channels
+        self._last_marker = [None] * self.n_channels
         return self.drain()
 
     # ------------------------------------------------------------------ #

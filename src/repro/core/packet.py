@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 
 class Codepoint:
@@ -33,6 +33,28 @@ class Codepoint:
     DATA = "data"
     MARKER = "marker"
     CREDIT = "credit"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class SackInfo:
+    """Selective-acknowledgment state for the reliability layer.
+
+    ``cum_ack`` is the lowest bundle sequence number (``rseq``) not yet
+    received in order: every rseq below it has been delivered.  ``blocks``
+    are absolute ``[start, end)`` ranges of rseqs received out of order
+    above ``cum_ack`` (most recently touched first, per RFC 2018 custom).
+    """
+
+    cum_ack: int
+    blocks: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for start, end in self.blocks:
+            if not self.cum_ack <= start < end:
+                raise ValueError(
+                    f"bad SACK block [{start}, {end}) for cum {self.cum_ack}"
+                )
 
 
 _packet_ids = itertools.count()
@@ -62,6 +84,12 @@ class Packet:
     payload: Optional[Any] = None
     uid: int = field(default_factory=lambda: next(_packet_ids))
     codepoint: str = Codepoint.DATA
+    #: bundle sequence number assigned by the reliability layer
+    #: (:mod:`repro.transport.reliability`); None in best-effort and
+    #: quasi-FIFO modes.  Like ``seq`` it is end-to-end state above the
+    #: striper — the striping layer itself never reads it, preserving the
+    #: no-header-on-data property of section 2.1.
+    rseq: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -95,6 +123,9 @@ class MarkerPacket:
     deficit: float
     size: int = 32
     credit: Optional[int] = None
+    #: optional piggybacked selective acknowledgment (reverse-path SACK of
+    #: the reliability layer); rides the marker exactly like ``credit``.
+    sack: Optional[SackInfo] = None
     uid: int = field(default_factory=lambda: next(_packet_ids))
     codepoint: str = Codepoint.MARKER
 

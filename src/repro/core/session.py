@@ -203,6 +203,10 @@ class StripeSenderSession:
         self.on_reset_complete: Optional[Callable[[int], None]] = None
         #: routed ProbeAck packets (claimed by a ChannelProber)
         self.on_probe_ack: Optional[Callable[["ProbeAckPacket"], None]] = None
+        #: routed reliability acknowledgments (claimed by a reliable
+        #: sender stack); matched by codepoint so the session layer does
+        #: not depend on the transport-level AckPacket type
+        self.on_ack: Optional[Callable[[Any], None]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -295,7 +299,10 @@ class StripeSenderSession:
 
     def on_control(self, packet: Any) -> None:
         """Reverse-path control input (ACKs, reset requests, probe ACKs)."""
-        if isinstance(packet, ResetAckPacket):
+        if getattr(packet, "codepoint", None) == Codepoint.ACK:
+            if self.on_ack is not None:
+                self.on_ack(packet)
+        elif isinstance(packet, ResetAckPacket):
             if packet.epoch == self.epoch and self.state == self.RESETTING:
                 self._complete_reset()
         elif isinstance(packet, ProbeAckPacket):

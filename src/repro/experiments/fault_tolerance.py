@@ -76,6 +76,8 @@ def build_session_testbed(
     health_monitor: Optional[Any] = None,
     enable_prober: bool = False,
     prober_options: Optional[dict] = None,
+    reliability: str = "quasi_fifo",
+    reliability_options: Optional[dict] = None,
 ) -> SessionTestbed:
     """Two hosts, N links, session-managed striped UDP, closed-loop source."""
     link_mbps = list(link_mbps)
@@ -120,6 +122,7 @@ def build_session_testbed(
     config = StripeConfig(
         quanta=tuple(quanta) if quanta else tuple([float(message_bytes)] * n_channels)
     )
+    arq_options = reliability_options or {}
     sender = SessionSocketSender(
         sim, sender_stack, destinations, config,
         marker_policy=MarkerPolicy(interval_rounds=1),
@@ -127,6 +130,8 @@ def build_session_testbed(
         health_monitor=health_monitor,
         enable_prober=enable_prober,
         prober_options=prober_options,
+        reliability=reliability,
+        reliability_options=arq_options.get("sender"),
     )
     deliveries: List[Tuple[float, int]] = []
     receiver = SessionSocketReceiver(
@@ -137,11 +142,21 @@ def build_session_testbed(
         on_message=lambda p: deliveries.append((sim.now, p.seq)),
         checker=checker,
         failure_detector=failure_detector,
+        reliability=reliability,
+        reliability_options=arq_options.get("receiver"),
     )
+
+    def submit_backlog() -> int:
+        # A full ARQ window reads as "backlogged" so the closed-loop
+        # source honors the retransmission buffer's backpressure.
+        if not sender.can_submit():
+            return 1 << 30
+        return sender.backlog
+
     source = ClosedLoopSource(
         sim,
         submit=sender.submit_packet,
-        backlog_fn=lambda: sender.backlog,
+        backlog_fn=submit_backlog,
         size_fn=ConstantSizes(message_bytes),
         target=16,
     )
@@ -153,6 +168,8 @@ def build_session_testbed(
 
     for link in links:
         link.ab.on_space = wake
+    if sender.reliable is not None and sender.reliable.on_window_open is None:
+        sender.reliable.on_window_open = wake
 
     return SessionTestbed(
         sim=sim, sender=sender, receiver=receiver, source=source,

@@ -145,6 +145,12 @@ def _run_chaos(quick: bool = False):
     return run_chaos(quick=quick)
 
 
+def _run_reliability(quick: bool = False):
+    from repro.experiments.reliability import run_reliability
+
+    return run_reliability(quick=quick)
+
+
 def _run_mtu(quick: bool = False):
     from repro.experiments.mtu_fragmentation import run_mtu_fragmentation
 
@@ -264,6 +270,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Randomized fault schedules vs the channel lifecycle stack: "
             "degraded-mode throughput and recovery latency",
             _run_chaos,
+        ),
+        Experiment(
+            "reliability", "Section 7 (extension)",
+            "Best-effort vs selective-repeat ARQ under persistent loss: "
+            "completeness, ordering, and retransmission cost",
+            _run_reliability,
         ),
         Experiment(
             "mtu", "Section 6.2 (extension)",

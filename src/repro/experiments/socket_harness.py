@@ -34,6 +34,7 @@ from repro.workloads.generators import ClosedLoopSource, ConstantSizes
 
 BASE_PORT = 6000
 CREDIT_PORT = 6999
+ACK_PORT = 6998
 
 
 @dataclass
@@ -73,6 +74,12 @@ class SocketTestbedConfig:
     #: (:class:`repro.transport.endpoint.ChannelFailureDetector`);
     #: reference path only.
     failure_detector: Optional[object] = None
+    #: service level (``best_effort | quasi_fifo | reliable``); reliable
+    #: arms selective-repeat ARQ end to end, with acks on a dedicated
+    #: reverse UDP flow (``ACK_PORT``).  Reference path only.
+    reliability: str = "quasi_fifo"
+    #: ``{"sender": {...}, "receiver": {...}}`` forwarded to the ARQ halves
+    reliability_options: Optional[dict] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -85,6 +92,12 @@ class SocketTestbedConfig:
             setattr(self, name, tuple(values))
         if self.fast and self.use_credit:
             raise ValueError("credit flow control requires the reference path")
+        if self.fast and self.reliability == "reliable":
+            raise ValueError("reliable mode requires the reference path")
+        if self.reliability == "reliable" and self.discipline not in (
+            None, "srr",
+        ):
+            raise ValueError("reliable mode requires the SRR discipline")
 
 
 @dataclass
@@ -218,11 +231,16 @@ def build_socket_testbed(
             marker_policy=marker_policy,
         )
     else:
+        reliable = config.reliability == "reliable"
+        arq_options = config.reliability_options or {}
         sender = StripedSocketSender(
             sim, sender_stack, destinations, algorithm_s,
             marker_policy=marker_policy,
             credit=credit_sender,
             credit_port=CREDIT_PORT if config.use_credit else None,
+            reliability=config.reliability,
+            ack_port=ACK_PORT if reliable else None,
+            reliability_options=arq_options.get("sender"),
         )
 
     testbed_ref: List[SocketTestbed] = []
@@ -263,14 +281,28 @@ def build_socket_testbed(
             credit_to="10.10.0.1" if config.use_credit else None,
             credit_port=CREDIT_PORT if config.use_credit else None,
             failure_detector=config.failure_detector,
+            reliability=config.reliability,
+            ack_to="10.10.0.1" if config.reliability == "reliable" else None,
+            ack_port=ACK_PORT if config.reliability == "reliable" else None,
+            reliability_options=(config.reliability_options or {}).get(
+                "receiver"
+            ),
         )
+
+    def submit_backlog() -> int:
+        # A full ARQ window must read as "backlogged" to the closed-loop
+        # source: the retransmission buffer exerts backpressure instead
+        # of absorbing unbounded overflow.
+        if not sender.can_submit():
+            return 1 << 30
+        return sender.backlog
 
     source: Optional[ClosedLoopSource] = None
     if config.closed_loop:
         source = ClosedLoopSource(
             sim,
             submit=sender.submit_packet,
-            backlog_fn=lambda: sender.backlog,
+            backlog_fn=submit_backlog,
             size_fn=ConstantSizes(config.message_bytes),
             target=config.source_backlog,
         )
@@ -285,6 +317,9 @@ def build_socket_testbed(
 
     for link in links:
         link.ab.on_space = wake
+    reliable_sender = getattr(sender, "reliable", None)
+    if reliable_sender is not None and reliable_sender.on_window_open is None:
+        reliable_sender.on_window_open = wake
 
     testbed = SocketTestbed(
         sim=sim,

@@ -397,6 +397,40 @@ class FaultSchedule:
         return InstalledFaults(schedule=self, injectors=injectors)
 
 
+def persistent_loss_schedule(
+    n_channels: int,
+    p: float,
+    start: float = 0.0,
+    until: float = 1.0,
+) -> FaultSchedule:
+    """A schedule that drops each packet with probability ``p`` everywhere.
+
+    Unlike the ceasing faults of :class:`FaultPlan`, this models a channel
+    set that is *persistently* lossy for the whole window ``[start, until)``
+    — the regime where quasi-FIFO striping alone cannot deliver everything
+    and the reliability layer's retransmissions are load-bearing.  Built
+    from one long fractional ``crash`` event per channel so the existing
+    injector machinery (transmit-side drops, per-channel seeded RNG,
+    channel-local statistics) applies unchanged.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"loss probability must be in (0, 1], got {p}")
+    if until <= start:
+        raise ValueError("loss window must have positive duration")
+    return FaultSchedule(
+        [
+            FaultEvent(
+                time=start,
+                channel=channel,
+                kind="crash",
+                duration=until - start,
+                magnitude=p,
+            )
+            for channel in range(n_channels)
+        ]
+    )
+
+
 #: Per-kind magnitude samplers for randomized plans.
 _MAGNITUDES: dict = {
     "crash": lambda rng: 1.0,

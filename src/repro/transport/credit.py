@@ -65,6 +65,11 @@ class CreditSender:
         self.sent: List[int] = [0] * n_channels
         self.on_unblocked = on_unblocked
         self.stalls = 0
+        #: advertisements rejected because they would have *shrunk* the
+        #: window (a reordered CreditPacket overtaken by a newer
+        #: piggybacked credit); limits are monotone, so stale ones are
+        #: dropped rather than applied
+        self.stale_credits = 0
 
     def can_send(self, channel: int) -> bool:
         return self.sent[channel] < self.limits[channel]
@@ -75,10 +80,19 @@ class CreditSender:
         self.sent[channel] += 1
 
     def on_credit(self, channel: int, limit: int) -> None:
-        """A credit advertisement arrived (possibly stale — keep the max)."""
+        """A credit advertisement arrived (possibly stale — keep the max).
+
+        FCVC limits are cumulative (consumed + buffer), hence monotone
+        non-decreasing at the receiver; an advertisement at or below the
+        current limit is a reordered or duplicated stale one and must
+        not regress the window.  Stale arrivals are counted and ignored.
+        """
         was_blocked = not self.can_send(channel)
         if limit > self.limits[channel]:
             self.limits[channel] = limit
+        else:
+            self.stale_credits += 1
+            return
         if was_blocked and self.can_send(channel):
             if self.on_unblocked is not None:
                 self.on_unblocked()

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.markers import MAX_SACK_BLOCKS_WIRE, attach_sack
 from repro.core.packet import MarkerPacket, Packet
 from repro.core.striper import MarkerPolicy
 from repro.net.stack import Stack
@@ -68,6 +69,8 @@ def connect_duplex(
     base_port_a: int = 7000,
     base_port_b: int = 7100,
     advertise_every: int = 1,
+    reliability: str = "quasi_fifo",
+    reliability_options: Optional[dict] = None,
 ) -> Tuple[DuplexStripedEndpoint, DuplexStripedEndpoint]:
     """Build two endpoints with marker-piggybacked FCVC in both directions.
 
@@ -79,6 +82,13 @@ def connect_duplex(
         algorithm_factory: zero-arg callable building the (identical)
             SRR-family algorithm for each striper/resequencer instance.
         buffer_packets: per-channel receiver buffer (the FCVC bound).
+        reliability: ``"reliable"`` arms selective-repeat ARQ in *both*
+            directions, with SACKs piggybacked on the reverse markers
+            exactly like the credits (an ack-worthy event forces a
+            marker batch, so no standalone ack packets are sent at all).
+        reliability_options: forwarded to both ARQ halves (sender keys
+            are passed to the senders, receiver keys to the receivers —
+            use ``{"sender": {...}, "receiver": {...}}``).
     """
     if marker_policy is None:
         marker_policy = MarkerPolicy(interval_rounds=1)
@@ -88,15 +98,20 @@ def connect_duplex(
 
     credit_a = CreditSender(n, initial_credit=buffer_packets)  # A's data out
     credit_b = CreditSender(n, initial_credit=buffer_packets)  # B's data out
+    options = reliability_options or {}
+    sender_options = options.get("sender")
+    receiver_options = options.get("receiver")
 
     # Receivers first (their credit state feeds the marker decorators).
     receiver_a = StripedSocketReceiver(
         sim, stack_a, n, algorithm_factory(),
         base_port=base_port_a, buffer_packets=buffer_packets,
+        reliability=reliability, reliability_options=receiver_options,
     )
     receiver_b = StripedSocketReceiver(
         sim, stack_b, n, algorithm_factory(),
         base_port=base_port_b, buffer_packets=buffer_packets,
+        reliability=reliability, reliability_options=receiver_options,
     )
     # Manual credit accounting (no standalone advertisement sockets).
     from repro.transport.credit import CreditReceiver
@@ -111,19 +126,30 @@ def connect_duplex(
     def decorate_a(channel: int, marker: MarkerPacket) -> None:
         # A's marker on channel c grants B the right to push more B->A data.
         marker.credit = receiver_a.credit.piggyback_limit(channel)
+        if receiver_a.reliable is not None:
+            # ... and acknowledges the B->A data A has received so far.
+            attach_sack(
+                marker, receiver_a.reliable.sack_info(MAX_SACK_BLOCKS_WIRE)
+            )
 
     def decorate_b(channel: int, marker: MarkerPacket) -> None:
         marker.credit = receiver_b.credit.piggyback_limit(channel)
+        if receiver_b.reliable is not None:
+            attach_sack(
+                marker, receiver_b.reliable.sack_info(MAX_SACK_BLOCKS_WIRE)
+            )
 
     sender_a = StripedSocketSender(
         sim, stack_a, a_to_b, algorithm_factory(),
         marker_policy=marker_policy, credit=credit_a,
         marker_decorator=decorate_a, marker_keepalive_s=0.01,
+        reliability=reliability, reliability_options=sender_options,
     )
     sender_b = StripedSocketSender(
         sim, stack_b, b_to_a, algorithm_factory(),
         marker_policy=marker_policy, credit=credit_b,
         marker_decorator=decorate_b, marker_keepalive_s=0.01,
+        reliability=reliability, reliability_options=sender_options,
     )
 
     # Arriving piggybacked credits feed the co-located sender.
@@ -131,6 +157,21 @@ def connect_duplex(
     receiver_b.credit_sink = lambda ch, limit: credit_b.on_credit(ch, limit)
     credit_a.on_unblocked = sender_a.pump
     credit_b.on_unblocked = sender_b.pump
+
+    if reliability == "reliable":
+        # Arriving piggybacked SACKs feed the co-located sender's ARQ,
+        # and an ack-worthy event (out-of-order arrival, delayed-ack
+        # expiry) forces a marker batch out of the co-located sender so
+        # the fresh SACK travels immediately — zero standalone acks,
+        # mirroring the credit scheme.
+        receiver_a.sack_sink = sender_a.on_ack
+        receiver_b.sack_sink = sender_b.on_ack
+        receiver_a.reliable.send_ack = (
+            lambda sack: sender_a.striper.force_marker_batch()
+        )
+        receiver_b.reliable.send_ack = (
+            lambda sack: sender_b.striper.force_marker_batch()
+        )
 
     return (
         DuplexStripedEndpoint(sender=sender_a, receiver=receiver_a),

@@ -47,12 +47,22 @@ from typing import (
 )
 
 from repro.core.cfq import CausalFQ
-from repro.core.markers import piggybacked_credit
+from repro.core.markers import (
+    MarkerDecodeError,
+    decode_marker,
+    piggybacked_credit,
+    piggybacked_sack,
+)
 from repro.core.packet import Packet, is_marker
 from repro.core.resequencer import make_resequencer
 from repro.core.striper import MarkerPolicy, Striper
 from repro.core.transform import LoadSharer, TransformedLoadSharer
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.transport.reliability import (
+    RELIABILITY_MODES,
+    ReliableReceiver,
+    ReliableSender,
+)
 
 #: A value safely larger than any queue limit, used for unbounded queues.
 _UNBOUNDED = 1 << 30
@@ -354,6 +364,87 @@ class FastStriper(Striper):
         return sent_total
 
 
+class _RecordingPort:
+    """A :class:`ChannelPort` proxy reporting data transmissions.
+
+    Reliable mode needs to know *when* and *on which channel* each
+    sequenced packet actually left the striper (RTT sampling, per-channel
+    retransmission accounting, channel-suspect escalation).  The proxy
+    intercepts ``send`` and reports sequenced data packets to the
+    reliability layer; everything else forwards to the wrapped port, so
+    transports cannot tell the difference.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        index: int,
+        note_sent: Callable[[int, Any], None],
+    ) -> None:
+        self._inner = inner
+        self._index = index
+        self._note_sent = note_sent
+        #: cumulative data bytes actually transmitted through this port
+        #: (fairness-envelope accounting: includes retransmissions)
+        self.data_bytes_sent = 0
+
+    def send(self, packet: Any, force: bool = False) -> bool:
+        ok = self._inner.send(packet, force=force)
+        if ok and not is_marker(packet):
+            self.data_bytes_sent += packet.size
+            if getattr(packet, "rseq", None) is not None:
+                self._note_sent(self._index, packet)
+        return ok
+
+    def can_accept(self) -> bool:
+        return self._inner.can_accept()
+
+    @property
+    def queue_length(self) -> int:
+        return self._inner.queue_length
+
+    @property
+    def on_unblocked(self) -> Any:
+        # Forward the resume slot so the pipeline's slot-filling and the
+        # port's own stall hooks (ARP, credit) see one shared callback.
+        return self._inner.on_unblocked
+
+    @on_unblocked.setter
+    def on_unblocked(self, fn: Any) -> None:
+        self._inner.on_unblocked = fn
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class _RecordingBurstPort(_RecordingPort):
+    """Recording proxy for burst-capable ports (keeps the fast pump)."""
+
+    def send_burst(self, packets: Sequence[Any]) -> None:
+        for packet in packets:
+            if not is_marker(packet):
+                self.data_bytes_sent += packet.size
+                if getattr(packet, "rseq", None) is not None:
+                    self._note_sent(self._index, packet)
+        self._inner.send_burst(packets)
+
+    def free_capacity(self) -> int:
+        return self._inner.free_capacity()
+
+
+def _wrap_recording_ports(
+    ports: Sequence[Any], note_sent: Callable[[int, Any], None]
+) -> List[Any]:
+    return [
+        (
+            _RecordingBurstPort(port, i, note_sent)
+            if hasattr(port, "send_burst") and hasattr(port, "free_capacity")
+            else _RecordingPort(port, i, note_sent)
+        )
+        for i, port in enumerate(ports)
+    ]
+
+
 class StripeSenderPipeline:
     """The one striping send pump, over any transport's channel ports.
 
@@ -373,6 +464,15 @@ class StripeSenderPipeline:
         fast: force the batched (True) or per-packet (False) pump; by
             default the batched pump is used when every port supports
             ``send_burst``/``free_capacity``.
+        reliability: service level — ``"best_effort"`` / ``"quasi_fifo"``
+            (the default; both leave the submit path untouched) or
+            ``"reliable"``, which sequences every submitted packet
+            through a :class:`~repro.transport.reliability.ReliableSender`
+            (selective-repeat ARQ; requires ``sim``).
+        reliability_options: keyword arguments forwarded to
+            :class:`~repro.transport.reliability.ReliableSender`
+            (``window_packets``, ``max_retries``,
+            ``on_channel_suspect``, ...).
         discipline_options: forwarded to :func:`make_discipline` when
             ``discipline`` is a name.
     """
@@ -391,8 +491,17 @@ class StripeSenderPipeline:
         fast: Optional[bool] = None,
         tracer: Tracer = NULL_TRACER,
         clock: Optional[Callable[[], float]] = None,
+        reliability: str = "quasi_fifo",
+        reliability_options: Optional[Dict[str, Any]] = None,
         discipline_options: Optional[Dict[str, Any]] = None,
     ) -> None:
+        if reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"unknown reliability mode {reliability!r}; "
+                f"known: {RELIABILITY_MODES}"
+            )
+        self.reliability = reliability
+        self.reliable: Optional[ReliableSender] = None
         self.ports: List[Any] = list(ports)
         self.sim = sim
         sharer = resolve_discipline(
@@ -402,6 +511,22 @@ class StripeSenderPipeline:
         #: discipline-supplied packet transformation (MPPP headers,
         #: BONDING frames); None for the paper's no-modification schemes.
         self._wrap = getattr(sharer, "wrap_packet", None)
+        if reliability == "reliable":
+            if sim is None:
+                raise ValueError("reliable mode needs an event scheduler")
+            if self._wrap is not None:
+                raise ValueError(
+                    "reliable mode needs a non-transforming discipline "
+                    "(MPPP/BONDING fragment packets below the ARQ layer)"
+                )
+            # Recording proxies report actual transmissions (channel +
+            # time) back to the ARQ layer; the striper stays oblivious.
+            self.ports = _wrap_recording_ports(
+                self.ports, lambda c, p: self.reliable.note_sent(c, p)
+            )
+            self.reliable = ReliableSender(
+                self._stripe, sim, **(reliability_options or {})
+            )
         if fast is None:
             fast = all(
                 hasattr(port, "send_burst") and hasattr(port, "free_capacity")
@@ -453,11 +578,31 @@ class StripeSenderPipeline:
         self._submit(packet)
 
     def _submit(self, packet: Any) -> None:
+        if self.reliable is not None:
+            self.reliable.submit(packet)
+        else:
+            self._stripe(packet)
+
+    def _stripe(self, packet: Any) -> None:
         if self._wrap is not None:
             for unit in self._wrap(packet):
                 self.striper.submit(unit)
         else:
             self.striper.submit(packet)
+
+    def can_submit(self) -> bool:
+        """Backpressure signal: False while a reliable window is full."""
+        return self.reliable is None or self.reliable.can_submit()
+
+    def on_ack(self, ack: Any) -> None:
+        """Feed a reverse-path acknowledgment to the reliability layer.
+
+        Accepts an :class:`~repro.transport.reliability.AckPacket`, a
+        bare :class:`~repro.core.packet.SackInfo`, or anything carrying
+        a ``sack`` attribute (a SACK-bearing reverse marker).
+        """
+        if self.reliable is not None:
+            self.reliable.on_ack(ack)
 
     def flush(self) -> None:
         """Flush discipline-buffered residue (a partial BONDING frame)."""
@@ -594,6 +739,31 @@ class ChannelFailureDetector:
                     self.failures_reported.append(index)
                     self._on_failure(index)
         self.sim.schedule(self.check_interval, self._check)
+
+    def note_suspect(self, channel: int) -> None:
+        """An external signal suspects ``channel`` (ARQ max-retry
+        escalation: a packet that keeps dying on one channel looks
+        exactly like that channel dying).
+
+        Declares the channel failed through the same path a silence
+        detection would, once; lifecycle subclasses then run their
+        normal probing/revival machinery on it.
+        """
+        if self._on_failure is None:
+            raise ValueError(
+                f"suspect on channel {channel}, but the detector is not "
+                "bound (was bind() called?)"
+            )
+        if not 0 <= channel < len(self.last_arrival):
+            raise ValueError(
+                f"suspect on channel {channel}, but the detector watches "
+                f"{len(self.last_arrival)} channels"
+            )
+        if channel in self.failed:
+            return
+        self.failed.add(channel)
+        self.failures_reported.append(channel)
+        self._on_failure(channel)
 
 
 class ChannelLifecycleManager(ChannelFailureDetector):
@@ -895,6 +1065,14 @@ class StripeReceiverPipeline:
             instead of stalling forever).
         sim: event scheduler, used for the marker-receiver clock and the
             MPPP gap timeout.
+        reliability: service level — ``"best_effort"`` / ``"quasi_fifo"``
+            deliver the resequencer output as-is (the default);
+            ``"reliable"`` runs it through a
+            :class:`~repro.transport.reliability.ReliableReceiver`
+            (exactly-once, in-order, acks on the reverse path).
+        send_ack: reliable mode's ack transmitter, ``fn(SackInfo)``.
+        reliability_options: keyword arguments forwarded to
+            :class:`~repro.transport.reliability.ReliableReceiver`.
     """
 
     def __init__(
@@ -909,7 +1087,15 @@ class StripeReceiverPipeline:
         failure_detector: Optional[ChannelFailureDetector] = None,
         clock: Optional[Callable[[], float]] = None,
         sim: Any = None,
+        reliability: str = "quasi_fifo",
+        send_ack: Optional[Callable[[Any], None]] = None,
+        reliability_options: Optional[Dict[str, Any]] = None,
     ) -> None:
+        if reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"unknown reliability mode {reliability!r}; "
+                f"known: {RELIABILITY_MODES}"
+            )
         self.n_channels = n_channels
         self.sim = sim
         self.on_message = on_message
@@ -919,6 +1105,20 @@ class StripeReceiverPipeline:
         #: invoked as fn(channel, credit) when a piggybacked credit rides
         #: an arriving marker (the reverse direction's flow-control state).
         self.credit_sink: Optional[Callable[[int, int], None]] = None
+        #: invoked as fn(SackInfo) when a piggybacked SACK rides an
+        #: arriving marker (acks for the reverse direction's sender).
+        self.sack_sink: Optional[Callable[[Any], None]] = None
+        #: undecodable marker frames dropped by :meth:`push_wire`
+        self.marker_decode_errors = 0
+        self.reliability = reliability
+        self.reliable: Optional[ReliableReceiver] = None
+        if reliability == "reliable":
+            self.reliable = ReliableReceiver(
+                self._deliver_final,
+                send_ack=send_ack,
+                sim=sim,
+                **(reliability_options or {}),
+            )
         self.credit = credit
         if clock is None and sim is not None:
             clock = lambda: sim.now  # noqa: E731
@@ -962,10 +1162,28 @@ class StripeReceiverPipeline:
             piggyback = piggybacked_credit(packet)
             if piggyback is not None and self.credit_sink is not None:
                 self.credit_sink(*piggyback)
+            sack = piggybacked_sack(packet)
+            if sack is not None and self.sack_sink is not None:
+                self.sack_sink(sack)
         out = self.resequencer.push(channel, packet)
         if self.credit is not None:
             self._issue_credits()
         return out
+
+    def push_wire(self, channel: int, data: bytes) -> List[Any]:
+        """Physical arrival of an *encoded marker frame* on ``channel``.
+
+        Decodes via :func:`~repro.core.markers.decode_marker`; malformed
+        frames (truncated, oversized, corrupt) are counted in
+        :attr:`marker_decode_errors` and dropped instead of surfacing
+        struct errors into the arrival path.
+        """
+        try:
+            marker = decode_marker(data)
+        except MarkerDecodeError:
+            self.marker_decode_errors += 1
+            return []
+        return self.push(channel, marker)
 
     def channel_handler(self, index: int) -> Callable[[Any], None]:
         """A per-channel arrival callback (for transports that demux)."""
@@ -973,6 +1191,8 @@ class StripeReceiverPipeline:
             self.buffer_packets is None
             and self.credit is None
             and self.failure_detector is None
+            and self.reliable is None
+            and self.sack_sink is None
         ):
             # Hot path (the fast transport): no drop rule, no credits, no
             # watchdog — skip their per-packet checks entirely.
@@ -1040,6 +1260,13 @@ class StripeReceiverPipeline:
                 credit.on_consumed(index)
 
     def _deliver(self, packet: Any) -> None:
+        """Resequencer output: quasi-FIFO stream (still with loss gaps)."""
+        if self.reliable is not None:
+            self.reliable.push(packet)
+        else:
+            self._deliver_final(packet)
+
+    def _deliver_final(self, packet: Any) -> None:
         self.delivered.append(packet)
         if self.on_message is not None:
             self.on_message(packet)

@@ -1,0 +1,560 @@
+"""Selective-repeat ARQ over the striped bundle (the "Reliable" in the
+paper's title, taken end to end).
+
+Markers make delivery *quasi-FIFO*: Theorem 5.1 restores order after a
+loss, but the lost payload itself is gone.  This layer adds end-to-end
+recovery **above** the striper, preserving the paper's headline
+constraint (section 2.1: data packets are never modified):
+
+* The sender assigns each submitted packet a bundle sequence number
+  ``rseq`` — carried on the :class:`~repro.core.packet.Packet` object,
+  not in any on-wire header the striping layer would have to add.  A
+  real deployment would place it in the application framing above the
+  stripe, exactly where the harness ``seq`` lives.
+* The receiver acknowledges with a cumulative ack plus SACK blocks
+  (RFC 2018 style).  Acks ride the existing reverse control path:
+  piggybacked on markers travelling the other way (like §6.3 FCVC
+  credits) or as standalone :class:`AckPacket` control messages for
+  marker-quiet periods.
+* Retransmissions are resubmitted through the same SRR kernel as new
+  data, so recovery traffic is striped under the Theorem 3.2 fairness
+  bound instead of hammering one channel.
+* The retransmission buffer is bounded (``window_packets``); a full
+  window exerts backpressure on the submit path, composing with the
+  FCVC credit layer (credits bound per-channel receiver buffers, the
+  window bounds end-to-end recovery state).
+* Loss detection is adaptive: SRTT/RTTVAR with Karn's algorithm and
+  exponential backoff (RFC 6298 shape), plus SACK-hole fast retransmit.
+  A packet that exhausts ``max_retries`` escalates the channel it last
+  used to the channel-lifecycle machinery (``on_channel_suspect``) —
+  persistent per-channel loss looks exactly like a dying channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.core.packet import Codepoint, SackInfo
+
+#: the per-session reliability service levels (endpoint ``reliability=``)
+RELIABILITY_MODES = ("best_effort", "quasi_fifo", "reliable")
+
+#: SACK holes are retransmitted after this many ack arrivals reported
+#: newer data while the hole stayed open (TCP's dupthresh).
+FAST_RETRANSMIT_HINTS = 3
+
+_ack_ids = itertools.count(1)
+
+
+@dataclass
+class AckPacket:
+    """A standalone reliability acknowledgment (control packet).
+
+    Carries the same :class:`~repro.core.packet.SackInfo` a marker
+    piggyback would; used on reverse paths with no marker traffic (or
+    between markers, when acks must not wait for the next round).
+    Sized like the other control packets (16 B header + 8 B per SACK
+    block) and kept under the 64-byte control threshold of the fault
+    layer.
+    """
+
+    sack: SackInfo
+    size: int = 0
+    uid: int = field(default_factory=lambda: next(_ack_ids))
+    codepoint: str = Codepoint.ACK
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            self.size = 16 + 8 * len(self.sack.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"AckPacket(cum={self.sack.cum_ack}, "
+            f"blocks={list(self.sack.blocks)})"
+        )
+
+
+class RtoEstimator:
+    """RFC 6298-shaped retransmission timeout estimator.
+
+    ``sample`` feeds one RTT measurement (Karn's rule — only from
+    packets transmitted exactly once — is the caller's job);
+    ``backoff`` doubles the timeout after a retransmission timeout,
+    capped at ``max_rto``.  The next valid sample collapses the backoff.
+    """
+
+    ALPHA = 0.125
+    BETA = 0.25
+    K = 4.0
+
+    def __init__(
+        self,
+        initial_rto: float = 0.2,
+        min_rto: float = 0.02,
+        max_rto: float = 2.0,
+    ) -> None:
+        if not 0 < min_rto <= initial_rto <= max_rto:
+            raise ValueError("need 0 < min_rto <= initial_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = initial_rto
+        self.samples = 0
+        self.backoffs = 0
+
+    def sample(self, rtt: float) -> None:
+        """Feed one round-trip measurement (seconds)."""
+        if rtt < 0:
+            return
+        self.samples += 1
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (
+                (1 - self.BETA) * self.rttvar
+                + self.BETA * abs(self.srtt - rtt)
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.rto = self._clamp(self.srtt + self.K * self.rttvar)
+
+    def backoff(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self.backoffs += 1
+        self.rto = self._clamp(self.rto * 2.0)
+
+    def _clamp(self, value: float) -> float:
+        return min(self.max_rto, max(self.min_rto, value))
+
+
+@dataclass
+class _TxRecord:
+    """Sender-side state for one unacknowledged packet."""
+
+    packet: Any
+    size: int
+    first_sent: float = -1.0
+    last_sent: float = -1.0
+    transmissions: int = 0
+    last_channel: int = -1
+    sacked: bool = False
+    #: resubmitted to the striper but not yet actually transmitted
+    rtx_pending: bool = False
+    #: ack arrivals that reported newer data while this stayed unacked
+    dup_hints: int = 0
+    escalated: bool = False
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters for one reliable sender."""
+
+    submitted: int = 0
+    acked: int = 0
+    retransmissions: int = 0
+    fast_retransmissions: int = 0
+    timeouts: int = 0
+    rtt_samples: int = 0
+    escalations: int = 0
+    #: submits parked in the overflow queue because the window was full
+    backpressure_stalls: int = 0
+
+
+class ReliableSender:
+    """Selective-repeat ARQ sender half, above any striping pipeline.
+
+    Args:
+        submit: ``fn(packet)`` handing a packet to the striper (both
+            first transmissions and retransmissions go through it, so
+            recovery traffic obeys the SRR fairness bound).
+        sim: event scheduler (``now`` / ``schedule`` returning a
+            cancellable event) for the retransmission timer.
+        window_packets: retransmission-buffer bound; submits beyond it
+            are parked and replayed as acks open the window
+            (``can_submit`` lets sources implement backpressure).
+        max_retries: retransmissions of one packet before its last
+            channel is reported via ``on_channel_suspect`` (reliability
+            itself keeps retrying — escalation feeds the lifecycle
+            machinery, it does not abandon data).
+        on_channel_suspect: ``fn(channel_index)`` lifecycle escalation.
+        on_window_open: called when a full window drains below the
+            bound (sources resume submitting).
+        rto: optional pre-built :class:`RtoEstimator`.
+    """
+
+    def __init__(
+        self,
+        submit: Callable[[Any], None],
+        sim: Any,
+        *,
+        window_packets: int = 64,
+        max_retries: int = 8,
+        on_channel_suspect: Optional[Callable[[int], None]] = None,
+        on_window_open: Optional[Callable[[], None]] = None,
+        rto: Optional[RtoEstimator] = None,
+    ) -> None:
+        if window_packets < 1:
+            raise ValueError("window must hold at least one packet")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self._submit = submit
+        self.sim = sim
+        self.window_packets = window_packets
+        self.max_retries = max_retries
+        self.on_channel_suspect = on_channel_suspect
+        self.on_window_open = on_window_open
+        self.rto = rto if rto is not None else RtoEstimator()
+        self.stats = ReliabilityStats()
+        self.next_rseq = 0
+        #: unacked records in rseq (insertion) order
+        self.unacked: Dict[int, _TxRecord] = {}
+        self._overflow: Deque[Any] = deque()
+        self._timer: Any = None
+        #: per-channel bytes retransmitted (fairness-envelope accounting)
+        self.retransmitted_bytes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # submit path (backpressure)
+
+    def can_submit(self) -> bool:
+        """True while the retransmission window has room for a submit."""
+        return not self._overflow and len(self.unacked) < self.window_packets
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.unacked)
+
+    @property
+    def backlog(self) -> int:
+        """Submitted packets parked behind a full window."""
+        return len(self._overflow)
+
+    def submit(self, packet: Any) -> None:
+        """Register ``packet`` in the window and stripe it.
+
+        A full window parks the packet instead (bounded-buffer
+        backpressure); it is replayed in order as acks open the window.
+        """
+        packet.rseq = self.next_rseq
+        self.next_rseq += 1
+        self.stats.submitted += 1
+        if self._overflow or len(self.unacked) >= self.window_packets:
+            self.stats.backpressure_stalls += 1
+            self._overflow.append(packet)
+            return
+        self._launch(packet)
+
+    def _launch(self, packet: Any) -> None:
+        self.unacked[packet.rseq] = _TxRecord(packet=packet, size=packet.size)
+        self._submit(packet)
+
+    def note_sent(self, channel: int, packet: Any) -> None:
+        """A recording port transmitted ``packet`` on ``channel``.
+
+        First transmissions and retransmissions are distinguished here —
+        the striper is oblivious to the difference, which is exactly how
+        retransmissions inherit its fairness properties.
+        """
+        record = self.unacked.get(packet.rseq)
+        if record is None:
+            return  # acked while queued inside the striper
+        now = self.sim.now
+        record.transmissions += 1
+        record.last_sent = now
+        record.last_channel = channel
+        record.rtx_pending = False
+        if record.transmissions == 1:
+            record.first_sent = now
+        else:
+            self.stats.retransmissions += 1
+            self.retransmitted_bytes[channel] = (
+                self.retransmitted_bytes.get(channel, 0) + record.size
+            )
+        self._ensure_timer()
+
+    # ------------------------------------------------------------------ #
+    # ack path
+
+    def on_ack(self, ack: Any) -> None:
+        """Process a :class:`SackInfo` (or anything carrying one)."""
+        sack: SackInfo = getattr(ack, "sack", ack)
+        opened = self._absorb_cum_ack(sack.cum_ack)
+        newest = sack.cum_ack - 1
+        for start, end in sack.blocks:
+            newest = max(newest, end - 1)
+            for rseq in range(start, end):
+                record = self.unacked.get(rseq)
+                if record is not None and not record.sacked:
+                    record.sacked = True
+                    self._maybe_sample(record)
+        self._fast_retransmit(newest)
+        opened = self._refill() or opened
+        self._ensure_timer()
+        if opened and self.on_window_open is not None:
+            self.on_window_open()
+
+    def _absorb_cum_ack(self, cum_ack: int) -> bool:
+        """Retire every record below ``cum_ack``; True if window opened."""
+        was_full = len(self.unacked) >= self.window_packets
+        retired = 0
+        for rseq in list(self.unacked):
+            if rseq >= cum_ack:
+                break  # insertion order == rseq order
+            record = self.unacked.pop(rseq)
+            retired += 1
+            if not record.sacked:
+                self._maybe_sample(record)
+        self.stats.acked += retired
+        return was_full and retired > 0
+
+    def _maybe_sample(self, record: _TxRecord) -> None:
+        """Karn's rule: RTT only from packets transmitted exactly once."""
+        if record.transmissions == 1 and record.last_sent >= 0:
+            self.stats.rtt_samples += 1
+            self.rto.sample(self.sim.now - record.last_sent)
+
+    def _fast_retransmit(self, newest_acked: int) -> None:
+        """Retransmit holes the SACK scoreboard has repeatedly exposed."""
+        srtt = self.rto.srtt or 0.0
+        now = self.sim.now
+        for rseq, record in self.unacked.items():
+            if rseq >= newest_acked:
+                break
+            if record.sacked or record.transmissions == 0:
+                continue
+            if now - record.last_sent < srtt:
+                # The last copy has not had a round trip yet — acks of
+                # newer data say nothing about it (prevents retransmit
+                # storms while a repair is still in flight).
+                continue
+            record.dup_hints += 1
+            if record.dup_hints >= FAST_RETRANSMIT_HINTS and (
+                not record.rtx_pending
+            ):
+                record.dup_hints = 0
+                self.stats.fast_retransmissions += 1
+                self._retransmit(record)
+
+    def _refill(self) -> bool:
+        """Launch parked submits into freed window slots."""
+        launched = False
+        while self._overflow and len(self.unacked) < self.window_packets:
+            self._launch(self._overflow.popleft())
+            launched = True
+        return launched and not self._overflow
+
+    def _retransmit(self, record: _TxRecord) -> None:
+        record.rtx_pending = True
+        self._submit(record.packet)
+
+    # ------------------------------------------------------------------ #
+    # retransmission timer (single timer for the oldest outstanding)
+
+    def _oldest_outstanding(self) -> Optional[_TxRecord]:
+        for record in self.unacked.values():
+            if not record.sacked and record.transmissions > 0:
+                return record
+        return None
+
+    def _ensure_timer(self) -> None:
+        if self._timer is not None and not self._timer.cancelled:
+            return
+        record = self._oldest_outstanding()
+        if record is None:
+            return
+        due = record.last_sent + self.rto.rto
+        self._timer = self.sim.schedule_at(
+            max(due, self.sim.now), self._on_timeout
+        )
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        record = self._oldest_outstanding()
+        if record is None:
+            return
+        due = record.last_sent + self.rto.rto
+        now = self.sim.now
+        if now < due:
+            self._timer = self.sim.schedule_at(due, self._on_timeout)
+            return
+        self.stats.timeouts += 1
+        self.rto.backoff()
+        record.dup_hints = 0
+        if record.transmissions > self.max_retries and not record.escalated:
+            record.escalated = True
+            self.stats.escalations += 1
+            if self.on_channel_suspect is not None and record.last_channel >= 0:
+                self.on_channel_suspect(record.last_channel)
+        if not record.rtx_pending:
+            self._retransmit(record)
+        # A synchronous resend already re-armed via note_sent; otherwise
+        # arm against the backed-off timeout ourselves.
+        if self._timer is None or self._timer.cancelled:
+            self._timer = self.sim.schedule_at(
+                now + self.rto.rto, self._on_timeout
+            )
+
+
+@dataclass
+class ReceiverReliabilityStats:
+    """Counters for one reliable receiver."""
+
+    received: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    out_of_order: int = 0
+    window_drops: int = 0
+    acks_sent: int = 0
+
+
+class ReliableReceiver:
+    """Selective-repeat ARQ receiver half.
+
+    Sits *behind* logical reception: the resequencer hands it the
+    quasi-FIFO stream (post marker resync), and it upgrades that to
+    exactly-once in-order delivery — duplicates dropped, gaps held back
+    until retransmissions fill them.
+
+    Acks are emitted through ``send_ack(SackInfo)``: immediately on any
+    out-of-order or duplicate arrival (the loss signal must not wait),
+    every ``ack_every`` in-order packets, and otherwise after
+    ``ack_delay_s`` (delayed ack).  :meth:`sack_info` exposes the same
+    state for marker piggybacking on the reverse path.
+    """
+
+    def __init__(
+        self,
+        on_deliver: Callable[[Any], None],
+        *,
+        window_packets: int = 1024,
+        send_ack: Optional[Callable[[SackInfo], None]] = None,
+        sim: Any = None,
+        ack_every: int = 2,
+        ack_delay_s: float = 0.005,
+        max_sack_blocks: int = 4,
+    ) -> None:
+        if window_packets < 1:
+            raise ValueError("window must hold at least one packet")
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self.on_deliver = on_deliver
+        self.window_packets = window_packets
+        self.send_ack = send_ack
+        self.sim = sim
+        self.ack_every = ack_every
+        self.ack_delay_s = ack_delay_s
+        self.max_sack_blocks = max_sack_blocks
+        self.stats = ReceiverReliabilityStats()
+        self.next_expected = 0
+        self._ooo: Dict[int, Any] = {}
+        self._unacked_deliveries = 0
+        self._ack_timer: Any = None
+        self._last_ooo: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    def push(self, packet: Any) -> None:
+        """One packet out of logical reception (quasi-FIFO order)."""
+        rseq = getattr(packet, "rseq", None)
+        if rseq is None:
+            # Not sequenced (mode mismatch or control residue): pass it
+            # through rather than wedging the stream.
+            self.on_deliver(packet)
+            return
+        self.stats.received += 1
+        if rseq < self.next_expected or rseq in self._ooo:
+            self.stats.duplicates += 1
+            self._ack_now()
+            return
+        if rseq >= self.next_expected + self.window_packets:
+            self.stats.window_drops += 1
+            self._ack_now()
+            return
+        if rseq == self.next_expected:
+            self._deliver_run(packet)
+            self._ack_progress()
+            return
+        self.stats.out_of_order += 1
+        self._ooo[rseq] = packet
+        self._last_ooo = rseq
+        self._ack_now()
+
+    def _deliver_run(self, packet: Any) -> None:
+        """Deliver ``packet`` plus any now-contiguous buffered followers."""
+        self._deliver(packet)
+        while self.next_expected in self._ooo:
+            self._deliver(self._ooo.pop(self.next_expected))
+
+    def _deliver(self, packet: Any) -> None:
+        self.next_expected += 1
+        self.stats.delivered += 1
+        self._unacked_deliveries += 1
+        self.on_deliver(packet)
+
+    # ------------------------------------------------------------------ #
+    # ack generation
+
+    def sack_info(self, max_blocks: Optional[int] = None) -> SackInfo:
+        """Current cumulative-ack + SACK-block state.
+
+        Blocks are coalesced from the out-of-order buffer; the block
+        containing the most recent out-of-order arrival is reported
+        first (RFC 2018 custom), then the rest newest-edge first, so a
+        truncated piggyback still carries the freshest information.
+        """
+        if max_blocks is None:
+            max_blocks = self.max_sack_blocks
+        blocks = self._coalesced_blocks()
+        if len(blocks) > 1 and self._last_ooo is not None:
+            for i, (start, end) in enumerate(blocks):
+                if start <= self._last_ooo < end:
+                    blocks.insert(0, blocks.pop(i))
+                    break
+        return SackInfo(
+            cum_ack=self.next_expected, blocks=tuple(blocks[:max_blocks])
+        )
+
+    def _coalesced_blocks(self) -> List[Tuple[int, int]]:
+        blocks: List[Tuple[int, int]] = []
+        for rseq in sorted(self._ooo):
+            if blocks and rseq == blocks[-1][1]:
+                blocks[-1] = (blocks[-1][0], rseq + 1)
+            else:
+                blocks.append((rseq, rseq + 1))
+        # Newest-edge first: the highest blocks describe the live edge.
+        blocks.reverse()
+        return blocks
+
+    def _ack_progress(self) -> None:
+        """In-order delivery: ack every Nth packet, else delay-ack."""
+        if self.send_ack is None:
+            return
+        if self._unacked_deliveries >= self.ack_every:
+            self._ack_now()
+            return
+        if self.sim is not None and (
+            self._ack_timer is None or self._ack_timer.cancelled
+        ):
+            self._ack_timer = self.sim.schedule(
+                self.ack_delay_s, self._delayed_ack
+            )
+
+    def _delayed_ack(self) -> None:
+        self._ack_timer = None
+        if self._unacked_deliveries > 0:
+            self._ack_now()
+
+    def _ack_now(self) -> None:
+        if self.send_ack is None:
+            return
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._unacked_deliveries = 0
+        self.stats.acks_sent += 1
+        self.send_ack(self.sack_info())

@@ -31,6 +31,13 @@ from repro.transport.endpoint import (
     ChannelFailureDetector,
     ChannelLifecycleManager,
     SenderHealthMonitor,
+    _wrap_recording_ports,
+)
+from repro.transport.reliability import (
+    RELIABILITY_MODES,
+    AckPacket,
+    ReliableReceiver,
+    ReliableSender,
 )
 from repro.transport.socket_striping import UdpChannelPort, _udp_layer_for
 
@@ -74,11 +81,13 @@ class SessionSocketSender:
         health_monitor: Optional[SenderHealthMonitor] = None,
         enable_prober: bool = False,
         prober_options: Optional[dict] = None,
+        reliability: str = "quasi_fifo",
+        reliability_options: Optional[dict] = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
         self.udp = _udp_layer_for(stack)
-        self.ports: List[UdpChannelPort] = []
+        self.ports: List[Any] = []
         for index, (dst_ip, dst_port) in enumerate(destinations):
             socket = self.udp.bind()
             self.ports.append(
@@ -87,9 +96,30 @@ class SessionSocketSender:
                     src_ip=None, channel_index=index, credit_sender=None,
                 )
             )
+        if reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"unknown reliability mode {reliability!r}; "
+                f"known: {RELIABILITY_MODES}"
+            )
+        self.reliability = reliability
+        self.reliable: Optional[ReliableSender] = None
+        if reliability == "reliable":
+            # Recording proxies keep their *full-set* index, which is the
+            # channel id resets and exclusions speak — escalation maps a
+            # suspect packet straight onto session.exclude_channel.
+            self.ports = _wrap_recording_ports(
+                self.ports, lambda c, p: self.reliable.note_sent(c, p)
+            )
         self.session = StripeSenderSession(
             sim, self.ports, config, marker_policy=marker_policy
         )
+        if reliability == "reliable":
+            options = dict(reliability_options or {})
+            options.setdefault("on_channel_suspect", self._on_suspect)
+            self.reliable = ReliableSender(
+                self.session.submit, sim, **options
+            )
+            self.session.on_ack = self.reliable.on_ack
         for port in self.ports:
             port.on_unblocked = self.pump
         self.udp.bind(control_port, on_datagram=self._on_control)
@@ -109,13 +139,27 @@ class SessionSocketSender:
 
     def send_message(self, size: int, payload: Any = None) -> Packet:
         packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
-        self.messages_submitted += 1
-        self.session.submit(packet)
+        self.submit_packet(packet)
         return packet
 
     def submit_packet(self, packet: Packet) -> None:
         self.messages_submitted += 1
-        self.session.submit(packet)
+        if self.reliable is not None:
+            self.reliable.submit(packet)
+        else:
+            self.session.submit(packet)
+
+    def can_submit(self) -> bool:
+        """Backpressure signal: False while a reliable window is full."""
+        return self.reliable is None or self.reliable.can_submit()
+
+    def _on_suspect(self, port_index: int) -> None:
+        """ARQ escalation: a packet kept dying on this channel.
+
+        ``exclude_channel`` itself declines non-actionable requests
+        (already resetting, inactive, or the last surviving channel).
+        """
+        self.session.exclude_channel(port_index)
 
     @property
     def backlog(self) -> int:
@@ -164,7 +208,14 @@ class SessionSocketReceiver:
         on_message: Optional[Callable[[Packet], None]] = None,
         checker: Optional[LocalChecker] = None,
         failure_detector: Optional[ChannelFailureDetector] = None,
+        reliability: str = "quasi_fifo",
+        reliability_options: Optional[dict] = None,
     ) -> None:
+        if reliability not in RELIABILITY_MODES:
+            raise ValueError(
+                f"unknown reliability mode {reliability!r}; "
+                f"known: {RELIABILITY_MODES}"
+            )
         self.sim = sim
         self.stack = stack
         self.udp = _udp_layer_for(stack)
@@ -174,6 +225,17 @@ class SessionSocketReceiver:
         self._control_to = IPAddress.parse(control_to)
         self._control_port = control_port
         self._control_socket = self.udp.bind()
+        self.reliability = reliability
+        self.reliable: Optional[ReliableReceiver] = None
+        if reliability == "reliable":
+            # Acks ride the existing reverse control flow (the RESET/ACK
+            # path), so reliable mode needs no extra socket plumbing.
+            self.reliable = ReliableReceiver(
+                self._deliver_final,
+                send_ack=self._send_ack,
+                sim=sim,
+                **(reliability_options or {}),
+            )
 
         self.session = StripeReceiverSession(
             sim, n_ports, config,
@@ -200,9 +262,19 @@ class SessionSocketReceiver:
         return handle
 
     def _deliver(self, packet: Packet) -> None:
+        """Session output: quasi-FIFO stream (still with loss gaps)."""
+        if self.reliable is not None:
+            self.reliable.push(packet)
+        else:
+            self._deliver_final(packet)
+
+    def _deliver_final(self, packet: Packet) -> None:
         self.delivered.append(packet)
         if self.on_message is not None:
             self.on_message(packet)
+
+    def _send_ack(self, sack: Any) -> None:
+        self._send_control(AckPacket(sack=sack))
 
     def _send_control(self, packet: Any) -> None:
         self._control_socket.sendto(

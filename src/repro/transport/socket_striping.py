@@ -36,6 +36,7 @@ from repro.transport.endpoint import (
     StripeReceiverPipeline,
     StripeSenderPipeline,
 )
+from repro.transport.reliability import AckPacket
 from repro.transport.udp import UdpLayer, UdpSocket
 
 
@@ -144,6 +145,11 @@ class StripedSocketSender(StripeSenderPipeline):
         source_ips: optional per-channel source address (multihomed hosts).
         credit: optional :class:`CreditSender` for FCVC flow control.
         credit_port: local port on which credit advertisements arrive.
+        reliability: service level (``best_effort | quasi_fifo |
+            reliable``); see the endpoint pipeline.
+        ack_port: local port on which reliability acknowledgments
+            (:class:`~repro.transport.reliability.AckPacket`) arrive.
+        reliability_options: forwarded to the ARQ sender.
     """
 
     def __init__(
@@ -158,6 +164,9 @@ class StripedSocketSender(StripeSenderPipeline):
         credit_port: Optional[int] = None,
         marker_decorator=None,
         marker_keepalive_s: Optional[float] = None,
+        reliability: str = "quasi_fifo",
+        ack_port: Optional[int] = None,
+        reliability_options: Optional[dict] = None,
     ) -> None:
         self.stack = stack
         self.udp = _udp_layer_for(stack)
@@ -180,9 +189,13 @@ class StripedSocketSender(StripeSenderPipeline):
             credit=credit,
             sim=sim,
             marker_keepalive_s=marker_keepalive_s,
+            reliability=reliability,
+            reliability_options=reliability_options,
         )
         if credit_port is not None:
             self.udp.bind(credit_port, on_datagram=self._on_credit_datagram)
+        if ack_port is not None:
+            self.udp.bind(ack_port, on_datagram=self._on_ack_datagram)
 
     def _on_credit_datagram(self, datagram: Any, src: IPAddress) -> None:
         payload = datagram.payload
@@ -195,6 +208,11 @@ class StripedSocketSender(StripeSenderPipeline):
             piggyback = piggybacked_credit(payload)
             if piggyback is not None:
                 self.credit.on_credit(*piggyback)
+
+    def _on_ack_datagram(self, datagram: Any, src: IPAddress) -> None:
+        payload = datagram.payload
+        if getattr(payload, "sack", None) is not None:
+            self.on_ack(payload)
 
 
 class StripedSocketReceiver(StripeReceiverPipeline):
@@ -216,6 +234,12 @@ class StripedSocketReceiver(StripeReceiverPipeline):
         advertise_every: batch credit advertisements (1 = per packet).
         failure_detector: optional dead-channel watchdog; see
             :class:`~repro.transport.endpoint.ChannelFailureDetector`.
+        reliability: service level (``best_effort | quasi_fifo |
+            reliable``); see the endpoint pipeline.
+        ack_to / ack_port: where reliability acknowledgments are sent
+            (required in reliable mode; a dedicated reverse UDP flow
+            like the credit one).
+        reliability_options: forwarded to the ARQ receiver.
     """
 
     def __init__(
@@ -232,6 +256,10 @@ class StripedSocketReceiver(StripeReceiverPipeline):
         credit_port: Optional[int] = None,
         advertise_every: int = 1,
         failure_detector=None,
+        reliability: str = "quasi_fifo",
+        ack_to: Optional[IPAddress | str] = None,
+        ack_port: Optional[int] = None,
+        reliability_options: Optional[dict] = None,
     ) -> None:
         self.stack = stack
         self.udp = _udp_layer_for(stack)
@@ -251,6 +279,20 @@ class StripedSocketReceiver(StripeReceiverPipeline):
                 send_credit=self._send_credit,
                 advertise_every=advertise_every,
             )
+        self._ack_to: Optional[IPAddress] = None
+        self._ack_port: Optional[int] = None
+        self._ack_socket: Optional[UdpSocket] = None
+        send_ack = None
+        if (ack_to is None) != (ack_port is None):
+            raise ValueError("ack_to and ack_port go together")
+        if reliability == "reliable" and ack_to is not None:
+            # Standalone ack flow; without it acks must ride the reverse
+            # direction's markers (duplex piggyback — the caller wires
+            # ``reliable.send_ack`` / the reverse ``sack_sink``).
+            self._ack_to = IPAddress.parse(ack_to)
+            self._ack_port = ack_port
+            self._ack_socket = self.udp.bind()
+            send_ack = self._send_ack
         super().__init__(
             n_channels,
             algorithm,
@@ -260,6 +302,9 @@ class StripedSocketReceiver(StripeReceiverPipeline):
             credit=credit,
             failure_detector=failure_detector,
             sim=sim,
+            reliability=reliability,
+            send_ack=send_ack,
+            reliability_options=reliability_options,
         )
         self.sockets: List[UdpSocket] = []
         for index in range(n_channels):
@@ -284,6 +329,14 @@ class StripedSocketReceiver(StripeReceiverPipeline):
         credit = CreditPacket(channel=channel, limit=limit)
         self._credit_socket.sendto(
             credit, credit.size, self._credit_to, self._credit_port
+        )
+
+    def _send_ack(self, sack: Any) -> None:
+        assert self._ack_socket is not None
+        assert self._ack_to is not None and self._ack_port is not None
+        ack = AckPacket(sack=sack)
+        self._ack_socket.sendto(
+            ack, ack.size, self._ack_to, self._ack_port, force=True
         )
 
 

@@ -1,15 +1,22 @@
 """The canonical marker wire codec (one encoder for every transport)."""
 
+import random
+
 import pytest
 
 from repro.core.markers import (
     MARKER_CODEC_VERSION,
     MARKER_WIRE_BYTES,
+    MAX_SACK_BLOCKS_WIRE,
+    MarkerDecodeError,
+    attach_sack,
     decode_marker,
     encode_marker,
+    marker_wire_size,
     piggybacked_credit,
+    piggybacked_sack,
 )
-from repro.core.packet import MarkerPacket, Packet
+from repro.core.packet import MarkerPacket, Packet, SackInfo
 
 
 class TestRoundTrip:
@@ -43,10 +50,128 @@ class TestRoundTrip:
         assert MarkerPacket(channel=0, round_number=0, deficit=0.0).size == 32
 
 
+class TestSackExtension:
+    def make(self, cum, *blocks):
+        marker = MarkerPacket(
+            channel=1, round_number=4, deficit=12.0, credit=7
+        )
+        attach_sack(marker, SackInfo(cum_ack=cum, blocks=tuple(blocks)))
+        return marker
+
+    def test_cum_only_roundtrip(self):
+        marker = self.make(19)
+        wire = encode_marker(marker)
+        assert len(wire) == marker_wire_size(marker.sack) == marker.size
+        back = decode_marker(wire)
+        assert back.sack == SackInfo(cum_ack=19)
+        assert back.credit == 7  # credit and SACK coexist
+
+    def test_blocks_roundtrip(self):
+        marker = self.make(10, (12, 15), (40, 41))
+        back = decode_marker(encode_marker(marker))
+        assert back.sack == SackInfo(
+            cum_ack=10, blocks=((12, 15), (40, 41))
+        )
+        assert back.size == len(encode_marker(marker))
+
+    def test_full_marker_stays_control_sized(self):
+        """SACK-bearing markers must stay under the 64-byte control
+        threshold of the fault layer (marker_loss targeting)."""
+        marker = self.make(10, (12, 15), (40, 41))
+        assert len(encode_marker(marker)) == 57 <= 64
+
+    def test_attach_sack_truncates_to_wire_budget(self):
+        marker = MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        attach_sack(
+            marker,
+            SackInfo(cum_ack=0, blocks=((2, 3), (5, 6), (8, 9))),
+        )
+        assert len(marker.sack.blocks) == MAX_SACK_BLOCKS_WIRE
+        # Truncation keeps the leading blocks — the receiver reports
+        # freshest-first, so these are the most informative ones.
+        assert marker.sack.blocks == ((2, 3), (5, 6))
+        decode_marker(encode_marker(marker))  # still encodable
+
+    def test_encode_rejects_oversized_sack(self):
+        marker = MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        marker.sack = SackInfo(
+            cum_ack=0, blocks=((2, 3), (5, 6), (8, 9))
+        )
+        with pytest.raises(ValueError, match="at most"):
+            encode_marker(marker)
+
+
 class TestRejection:
     def test_wrong_length(self):
         with pytest.raises(ValueError, match="32 bytes"):
             decode_marker(b"\x00" * 31)
+
+    def test_typed_error_is_a_value_error(self):
+        """Pre-existing except ValueError handlers keep working."""
+        assert issubclass(MarkerDecodeError, ValueError)
+        with pytest.raises(MarkerDecodeError):
+            decode_marker(b"")
+
+    def test_oversized_frame_without_sack_flag(self):
+        wire = encode_marker(
+            MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        )
+        with pytest.raises(MarkerDecodeError, match="32 bytes"):
+            decode_marker(wire + b"\x00")
+
+    def test_truncated_sack_extension(self):
+        marker = MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        attach_sack(marker, SackInfo(cum_ack=5, blocks=((7, 9),)))
+        wire = encode_marker(marker)
+        for cut in range(MARKER_WIRE_BYTES, len(wire)):
+            with pytest.raises(MarkerDecodeError):
+                decode_marker(wire[:cut])
+
+    def test_sack_block_count_mismatch(self):
+        marker = MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        attach_sack(marker, SackInfo(cum_ack=5, blocks=((7, 9),)))
+        wire = bytearray(encode_marker(marker))
+        wire[MARKER_WIRE_BYTES + 8] = 2  # claim two blocks, carry one
+        with pytest.raises(MarkerDecodeError, match="blocks"):
+            decode_marker(bytes(wire))
+
+    def test_zero_length_sack_block(self):
+        marker = MarkerPacket(channel=0, round_number=0, deficit=0.0)
+        attach_sack(marker, SackInfo(cum_ack=5, blocks=((7, 9),)))
+        wire = bytearray(encode_marker(marker))
+        wire[-4:] = b"\x00\x00\x00\x00"  # length field of the only block
+        with pytest.raises(MarkerDecodeError):
+            decode_marker(bytes(wire))
+
+
+class TestFuzz:
+    def test_random_bytes_never_escape_the_typed_error(self):
+        """decode_marker on arbitrary input either parses or raises
+        MarkerDecodeError — never struct.error or a crash."""
+        rng = random.Random(0xC0DEC)
+        for _ in range(2000):
+            blob = rng.randbytes(rng.randrange(0, 80))
+            try:
+                decode_marker(blob)
+            except MarkerDecodeError:
+                pass
+
+    def test_corrupted_valid_frames(self):
+        """Every single-byte corruption of a real frame is either still
+        decodable or rejected with the typed error."""
+        rng = random.Random(7)
+        marker = MarkerPacket(
+            channel=2, round_number=9, deficit=100.0, credit=3
+        )
+        attach_sack(marker, SackInfo(cum_ack=4, blocks=((6, 8), (11, 12))))
+        wire = encode_marker(marker)
+        for position in range(len(wire)):
+            corrupted = bytearray(wire)
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try:
+                decode_marker(bytes(corrupted))
+            except MarkerDecodeError:
+                pass
 
     def test_bad_magic(self):
         wire = bytearray(
@@ -76,3 +201,14 @@ class TestPiggyback:
     def test_credit_marker_yields_channel_and_credit(self):
         marker = MarkerPacket(channel=2, round_number=1, deficit=0.0, credit=5)
         assert piggybacked_credit(marker) == (2, 5)
+
+    def test_sackless_marker_carries_no_sack(self):
+        marker = MarkerPacket(channel=0, round_number=1, deficit=2.0)
+        assert piggybacked_sack(marker) is None
+        assert piggybacked_sack(Packet(size=100, seq=0)) is None
+
+    def test_sack_marker_yields_sack(self):
+        marker = MarkerPacket(channel=0, round_number=1, deficit=2.0)
+        info = SackInfo(cum_ack=3, blocks=((5, 7),))
+        attach_sack(marker, info)
+        assert piggybacked_sack(marker) == info

@@ -15,9 +15,9 @@ class TestRegistry:
         expected = {
             "table1", "fig2_3", "fig5_6", "fig8_13", "fig15",
             "grr_worst", "sync_loss", "marker_freq", "marker_pos",
-            "credit_fc", "video", "fault_tolerance", "chaos", "mtu",
-            "multiflow", "scalability", "tcp_channels", "cell_striping",
-            "kernel_bench", "sim_bench",
+            "credit_fc", "video", "fault_tolerance", "chaos", "reliability",
+            "mtu", "multiflow", "scalability", "tcp_channels",
+            "cell_striping", "kernel_bench", "sim_bench",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -65,6 +65,25 @@ class TestLossRecoveryShape:
         )
         row = result.rows[0]
         assert row.ooo_total > 0  # reordering seen during the lossy phase
+
+
+class TestReliabilityShape:
+    def test_reliable_complete_where_best_effort_loses(self):
+        from repro.experiments.reliability import run_reliability
+
+        result = run_reliability(quick=True)
+        reliable = [r for r in result.rows if r.mode == "reliable"]
+        lossy_best_effort = [
+            r for r in result.rows
+            if r.mode == "best_effort" and r.loss_rate > 0
+        ]
+        assert all(
+            r.completeness == 1.0 and r.in_order and r.duplicates == 0
+            and r.drained
+            for r in reliable
+        )
+        assert all(r.completeness < 1.0 for r in lossy_best_effort)
+        assert any(r.retransmissions > 0 for r in reliable)
 
 
 class TestMarkerFrequencyShape:

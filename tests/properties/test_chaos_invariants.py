@@ -38,6 +38,7 @@ from repro.sim.faults import (
     FaultEvent,
     FaultPlan,
     FaultSchedule,
+    persistent_loss_schedule,
 )
 from repro.transport.endpoint import (
     ChannelLifecycleManager,
@@ -76,6 +77,7 @@ class ChaosRig:
         sim: Simulator,
         n_channels: int = N_CHANNELS,
         detector: ChannelLifecycleManager = None,
+        reliability: str = "quasi_fifo",
     ) -> None:
         self.sim = sim
         self.channels = [
@@ -96,6 +98,7 @@ class ChaosRig:
             marker_policy=MarkerPolicy(interval_rounds=1),
             sim=sim,
             marker_keepalive_s=0.02,
+            reliability=reliability,
         )
         self.deliveries: List[Tuple[float, int]] = []
         self.receiver = StripeReceiverPipeline(
@@ -105,6 +108,13 @@ class ChaosRig:
             on_message=lambda p: self.deliveries.append((sim.now, p.seq)),
             failure_detector=detector,
             sim=sim,
+            reliability=reliability,
+            # The reverse ack path: one propagation delay back to the
+            # sender (loss-free — forward-path loss is the hard part;
+            # ack loss only delays recovery).
+            send_ack=lambda sack: sim.schedule(
+                PROP_DELAY, self.sender.on_ack, sack
+            ),
         )
         #: data packets that physically survived to the receiver (recorded
         #: downstream of any installed fault injector)
@@ -126,7 +136,10 @@ class ChaosRig:
         def tick() -> None:
             if sim.now >= stop_at:
                 return
-            self.sender.send_message(MESSAGE_BYTES)
+            # Closed loop: honor the ARQ window's backpressure (a no-op
+            # in the default modes, where can_submit is always True).
+            if self.sender.can_submit():
+                self.sender.send_message(MESSAGE_BYTES)
             sim.schedule(interval, tick)
 
         sim.schedule_at(0.0, tick)
@@ -227,6 +240,120 @@ def test_chaos_mixed_kinds_all_channels(sim):
     assert set(delivered) == set(rig.arrived)
     tail = [seq for t, seq in rig.deliveries if t > settle_at]
     assert tail == sorted(tail) and len(tail) > 100
+
+
+# ---------------------------------------------------------------------- #
+# persistent loss: the regime where retransmission is load-bearing
+
+PERSISTENT_P = 0.10
+#: Theorem 3.2 envelope for equal quanta: any two channels' transmitted
+#: byte counts differ by at most Max + 2 * Quantum over any interval.
+FAIRNESS_ENVELOPE = MESSAGE_BYTES + 2 * MESSAGE_BYTES
+
+
+def run_persistent_loss(sim, *, reliability: str, seed: int, p=PERSISTENT_P):
+    """10% loss on every channel for the whole send window (never ceases
+    while data flows, unlike the FaultPlan schedules)."""
+    rig = ChaosRig(sim, reliability=reliability)
+    stop_at = 0.8
+    rig.start_source(interval=0.4e-3, stop_at=stop_at)
+    schedule = persistent_loss_schedule(
+        N_CHANNELS, p, start=0.0, until=stop_at
+    )
+    installed = schedule.install(sim, rig.channels, seed=seed)
+    # Long drain: retransmissions of late losses need several RTOs.
+    sim.run(until=stop_at + 2.0)
+    return rig, installed
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_persistent_loss_reliable_exactly_once_in_order(sim, seed):
+    """Reliable mode: every submitted packet arrives exactly once, in FIFO
+    order, despite 10% forward loss that never stops during the run —
+    and retransmission load stays inside the SRR fairness envelope."""
+    rig, installed = run_persistent_loss(sim, reliability="reliable",
+                                         seed=seed)
+    assert installed.crash_drops > 50, "the loss regime never materialized"
+
+    submitted = rig.sender.messages_submitted
+    delivered = rig.delivered_seqs()
+    assert submitted > 1000
+    assert delivered == sorted(set(delivered)), "not exactly-once in order"
+    assert set(delivered) == set(range(submitted)), (
+        f"lost {submitted - len(set(delivered))} of {submitted} messages"
+    )
+    arq = rig.sender.reliable
+    assert arq.stats.retransmissions > 0
+    assert not arq.unacked and not arq.backlog
+
+    # Theorem 3.2, with recovery traffic included: total per-channel data
+    # bytes (first transmissions + retransmissions, recorded at the
+    # ports) stay within Max + 2*Quantum of each other, so ARQ repair
+    # cannot silently unbalance the bundle.
+    per_channel = [port.data_bytes_sent for port in rig.sender.ports]
+    assert max(per_channel) - min(per_channel) <= FAIRNESS_ENVELOPE, (
+        f"retransmissions broke striping fairness: {per_channel}"
+    )
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_persistent_loss_best_effort_conservation(sim, seed):
+    """Best-effort mode under the same schedule: losses are real (no
+    recovery), but the machinery still never duplicates or invents
+    packets, and everything that physically arrived is delivered."""
+    rig, installed = run_persistent_loss(sim, reliability="best_effort",
+                                         seed=seed)
+    assert installed.crash_drops > 50
+
+    submitted = rig.sender.messages_submitted
+    delivered = rig.delivered_seqs()
+    assert len(delivered) == len(set(delivered)), "duplicate delivery"
+    assert set(delivered) == set(rig.arrived), "machinery lost an arrival"
+    assert set(delivered) <= set(range(submitted))
+    assert len(delivered) < submitted, "loss did not materialize"
+
+
+def test_persistent_loss_reliable_rejoins_fifo_after_loss_ceases(sim):
+    """Loss for the first half of the run only: the reliable stream is
+    seamless across the transition (no gap, no reordering artifacts)."""
+    rig = ChaosRig(sim, reliability="reliable")
+    rig.start_source(interval=0.4e-3, stop_at=1.0)
+    schedule = persistent_loss_schedule(N_CHANNELS, 0.15, until=0.5)
+    schedule.install(sim, rig.channels, seed=1)
+    sim.run(until=2.5)
+    delivered = rig.delivered_seqs()
+    assert delivered == list(range(rig.sender.messages_submitted))
+
+
+# ---------------------------------------------------------------------- #
+# duplicated markers (satellite of the reliability PR: idempotent
+# marker adoption, driven through the fault injector)
+
+
+def test_duplicated_markers_are_adopted_once(sim):
+    """A duplication window covering all traffic: every re-delivered
+    marker is dropped by the receiver's (round, deficit) memo, and the
+    stream stays exactly-once / conservative / quasi-FIFO."""
+    schedule = FaultSchedule(
+        [
+            FaultEvent(time=0.1, channel=c, kind="duplicate",
+                       duration=0.3, magnitude=1.0)
+            for c in range(N_CHANNELS)
+        ]
+    )
+    rig, installed, settle_at = run_chaos(sim, schedule, seed=5)
+    assert installed.duplicates_injected > 100
+
+    stats = rig.receiver.resequencer.stats
+    assert stats.duplicate_markers > 0, "no duplicated marker was dropped"
+    # Markers were deduplicated; duplicated *data* is still delivered
+    # twice (best-effort mode has no sequence numbers, by design).
+    delivered = rig.delivered_seqs()
+    excess = len(delivered) - len(set(delivered))
+    assert excess <= installed.duplicates_injected
+    assert set(delivered) == set(rig.arrived)
+    tail = [seq for t, seq in rig.deliveries if t > settle_at]
+    assert tail == sorted(set(tail))
 
 
 def test_chaos_lifecycle_survives_permanent_death_then_revival(sim):

@@ -31,6 +31,41 @@ class TestCreditSender:
         sender.on_credit(0, limit=3)  # lower than current: keep max
         assert sender.limits[0] == 10
 
+    def test_regressing_limit_never_shrinks_window(self):
+        """A reordered CreditPacket overtaken by a newer piggybacked
+        credit must not claw back already-granted sending rights."""
+        sender = CreditSender(1, initial_credit=2)
+        sender.on_credit(0, limit=8)
+        for _ in range(5):
+            sender.on_send(0)
+        sender.on_credit(0, limit=4)  # stale: below what we already used
+        assert sender.limits[0] == 8
+        assert sender.can_send(0)  # 5 < 8: still allowed to send
+        assert sender.stale_credits == 1
+
+    def test_duplicate_advertisement_counted_not_applied(self):
+        sender = CreditSender(1, initial_credit=2)
+        sender.on_credit(0, limit=6)
+        sender.on_credit(0, limit=6)  # keepalive re-advertisement
+        assert sender.limits[0] == 6
+        assert sender.stale_credits == 1
+
+    def test_stale_credit_never_fires_unblock(self):
+        """A stale advertisement cannot unblock a sender: limits did not
+        move, so firing the pump would be a spurious wakeup at best and
+        mask a real deadlock at worst."""
+        fired = []
+        sender = CreditSender(1, initial_credit=1,
+                              on_unblocked=lambda: fired.append(1))
+        sender.on_send(0)  # blocked at limit 1
+        sender.on_credit(0, limit=1)
+        sender.on_credit(0, limit=0)
+        assert fired == []
+        assert not sender.can_send(0)
+        assert sender.stale_credits == 2
+        sender.on_credit(0, limit=2)  # a real advertisement
+        assert fired == [1]
+
     def test_unblock_callback(self):
         fired = []
         sender = CreditSender(1, initial_credit=1,

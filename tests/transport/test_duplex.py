@@ -10,8 +10,25 @@ from repro.workloads.generators import ClosedLoopSource, ConstantSizes
 
 
 def build_duplex(sim, link_mbps=(10.0, 10.0), buffer_packets=16,
-                 message_bytes=1000):
-    """Two hosts, two bidirectional links, duplex striped session."""
+                 message_bytes=1000, reliability="quasi_fifo",
+                 data_loss=(0.0, 0.0)):
+    """Two hosts, two bidirectional links, duplex striped session.
+
+    ``data_loss`` installs per-direction Bernoulli loss on data-sized
+    frames only (markers — and the credits/SACKs they carry — survive),
+    the regime where piggybacked-ack recovery is observable in isolation.
+    """
+    import random
+
+    from repro.sim.loss import BernoulliLoss, SizeGatedLoss
+
+    def gated(p, seed):
+        if p <= 0.0:
+            return None
+        return SizeGatedLoss(
+            BernoulliLoss(p, rng=random.Random(seed)), min_size=500
+        )
+
     a = Stack(sim, "A")
     b = Stack(sim, "B")
     a_targets = []
@@ -26,6 +43,8 @@ def build_duplex(sim, link_mbps=(10.0, 10.0), buffer_packets=16,
             sim, ia, ib,
             bandwidth_bps=link_mbps[index] * 1e6, prop_delay=0.5e-3,
             queue_limit=40, name=f"duplex{index}",
+            loss_ab=gated(data_loss[0], 100 + index),
+            loss_ba=gated(data_loss[1], 200 + index),
         ))
         a.routing.add(f"10.{50+index}.0.2", 24, ia)
         b.routing.add(f"10.{50+index}.0.1", 24, ib)
@@ -37,14 +56,24 @@ def build_duplex(sim, link_mbps=(10.0, 10.0), buffer_packets=16,
         sim, a, b, a_targets, b_targets,
         algorithm_factory=lambda: SRR([float(message_bytes)] * 2),
         buffer_packets=buffer_packets,
+        reliability=reliability,
     )
+
     # Closed-loop sources both ways; wake on link drain both directions.
+    def backlog_fn(endpoint):
+        def backlog():
+            if not endpoint.sender.can_submit():
+                return 1 << 30  # ARQ window full: read as backlogged
+            return endpoint.sender.backlog
+
+        return backlog
+
     src_a = ClosedLoopSource(
-        sim, end_a.submit_packet, lambda: end_a.sender.backlog,
+        sim, end_a.submit_packet, backlog_fn(end_a),
         ConstantSizes(message_bytes), target=8,
     )
     src_b = ClosedLoopSource(
-        sim, end_b.submit_packet, lambda: end_b.sender.backlog,
+        sim, end_b.submit_packet, backlog_fn(end_b),
         ConstantSizes(message_bytes), target=8,
     )
     src_a.start()
@@ -84,6 +113,52 @@ class TestDuplexCredits:
         assert end_b.receiver.buffer_drops == 0
         assert end_a.sender.credit.stalls > 0  # throttling happened
 
+class TestDuplexReliable:
+    def test_exactly_once_both_directions_under_loss(self, sim):
+        """Reliable duplex: both directions survive data loss with
+        exactly-once in-order delivery, acks riding markers only."""
+        end_a, end_b, _ = build_duplex(
+            sim, reliability="reliable", data_loss=(0.08, 0.08)
+        )
+        sim.run(until=2.0)
+        # Stop the sources so the windows can drain, then let the
+        # retransmission machinery finish.
+        end_a.sender.reliable.on_window_open = None
+        end_b.sender.reliable.on_window_open = None
+        sim.run(until=4.0)
+        for endpoint, peer in ((end_a, end_b), (end_b, end_a)):
+            seqs = [p.seq for p in endpoint.delivered]
+            assert len(seqs) > 100
+            assert seqs == sorted(seqs)  # in order
+            assert len(seqs) == len(set(seqs))  # exactly once
+            # Losses were real and repaired.
+            assert peer.sender.reliable.stats.retransmissions > 0
+
+    def test_acks_ride_markers_only(self, sim):
+        """Duplex mode has no standalone ack path at all: every SACK
+        that reached a sender was piggybacked on a reverse marker."""
+        end_a, end_b, _ = build_duplex(
+            sim, reliability="reliable", data_loss=(0.05, 0.05)
+        )
+        sim.run(until=1.0)
+        for endpoint in (end_a, end_b):
+            assert endpoint.receiver._credit_socket is None
+            # The senders did consume acks (the windows move)...
+            assert endpoint.sender.reliable.stats.acked > 100
+            # ...which only markers could have carried.
+            assert endpoint.receiver.reliable.stats.acks_sent > 0
+
+    def test_quasi_fifo_duplex_unaffected(self, sim):
+        """Default mode builds no ARQ state on either side."""
+        end_a, end_b, _ = build_duplex(sim)
+        sim.run(until=0.5)
+        for endpoint in (end_a, end_b):
+            assert endpoint.sender.reliable is None
+            assert endpoint.receiver.reliable is None
+            assert len(endpoint.delivered) > 50
+
+
+class TestValidation:
     def test_channel_count_mismatch_rejected(self, sim):
         a = Stack(sim, "A")
         b = Stack(sim, "B")

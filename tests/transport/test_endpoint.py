@@ -248,6 +248,38 @@ class TestReceiverPipeline:
         self.feed(pipeline, SRR([100.0, 100.0]), n_packets=8)
         assert sorted(credit.consumed) == [0] * 4 + [1] * 4
 
+    def test_piggybacked_sack_reaches_sink(self):
+        from repro.core.markers import attach_sack
+        from repro.core.packet import SackInfo
+
+        pipeline = StripeReceiverPipeline(2, SRR([100.0, 100.0]))
+        seen = []
+        pipeline.sack_sink = seen.append
+        marker = MarkerPacket(channel=0, round_number=0, deficit=100.0)
+        attach_sack(marker, SackInfo(cum_ack=5, blocks=((7, 9),)))
+        pipeline.push(0, marker)
+        assert seen == [SackInfo(cum_ack=5, blocks=((7, 9),))]
+
+    def test_push_wire_decodes_markers(self):
+        from repro.core.markers import encode_marker
+
+        pipeline = StripeReceiverPipeline(2, SRR([100.0, 100.0]))
+        wire = encode_marker(
+            MarkerPacket(channel=0, round_number=1, deficit=100.0, credit=3)
+        )
+        seen = []
+        pipeline.credit_sink = lambda ch, credit: seen.append((ch, credit))
+        pipeline.push_wire(0, wire)
+        assert seen == [(0, 3)]
+        assert pipeline.marker_decode_errors == 0
+
+    def test_push_wire_counts_and_drops_malformed_frames(self):
+        pipeline = StripeReceiverPipeline(2, SRR([100.0, 100.0]))
+        for blob in (b"", b"\x00" * 31, b"\xff" * 32, b"\x00" * 40):
+            assert pipeline.push_wire(0, blob) == []
+        assert pipeline.marker_decode_errors == 4
+        assert pipeline.resequencer.stats.markers_received == 0
+
     def test_mppp_mode_strips_headers(self):
         discipline = MpppDiscipline(2)
         pipeline = StripeReceiverPipeline(2, mode="mppp")

@@ -1,0 +1,574 @@
+"""Selective-repeat ARQ over the bundle: unit and end-to-end tests.
+
+Unit layers: the RFC 6298-shaped :class:`RtoEstimator`, the
+:class:`ReliableSender` window/ack/timer machinery (backpressure, Karn's
+rule, SACK fast retransmit, escalation), and the
+:class:`ReliableReceiver` resequencing/ack generation.
+
+End to end: under seeded 10% *persistent* loss (the regime quasi-FIFO
+striping alone cannot survive), ``reliability="reliable"`` delivers every
+submitted message exactly once in FIFO order on both the socket stack and
+the session stack, and the sender's retransmission state fully drains.
+"""
+
+import pytest
+
+from repro.core.packet import Packet, SackInfo
+from repro.sim.engine import Simulator
+from repro.transport.reliability import (
+    FAST_RETRANSMIT_HINTS,
+    AckPacket,
+    ReliableReceiver,
+    ReliableSender,
+    RtoEstimator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def sack(cum, *blocks):
+    return SackInfo(cum_ack=cum, blocks=tuple(blocks))
+
+
+# ---------------------------------------------------------------------- #
+# RTO estimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto_used_before_any_sample(self):
+        rto = RtoEstimator(initial_rto=0.3)
+        assert rto.rto == 0.3
+        assert rto.srtt is None
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_rto=0.01, min_rto=0.02)
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_rto=3.0, max_rto=2.0)
+
+    def test_first_sample_seeds_srtt_and_var(self):
+        rto = RtoEstimator()
+        rto.sample(0.1)
+        assert rto.srtt == pytest.approx(0.1)
+        assert rto.rttvar == pytest.approx(0.05)
+        # RFC 6298: RTO = SRTT + K * RTTVAR
+        assert rto.rto == pytest.approx(0.1 + 4.0 * 0.05)
+
+    def test_ewma_update(self):
+        rto = RtoEstimator()
+        rto.sample(0.1)
+        rto.sample(0.2)
+        assert rto.rttvar == pytest.approx(0.75 * 0.05 + 0.25 * 0.1)
+        assert rto.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+        assert rto.samples == 2
+
+    def test_min_clamp(self):
+        rto = RtoEstimator(min_rto=0.02)
+        rto.sample(1e-4)
+        assert rto.rto == 0.02
+
+    def test_backoff_doubles_and_caps(self):
+        rto = RtoEstimator(initial_rto=0.8, max_rto=2.0)
+        rto.backoff()
+        assert rto.rto == pytest.approx(1.6)
+        rto.backoff()
+        assert rto.rto == 2.0  # capped
+        assert rto.backoffs == 2
+
+    def test_sample_collapses_backoff(self):
+        rto = RtoEstimator(initial_rto=0.2, max_rto=2.0)
+        rto.backoff()
+        rto.backoff()
+        rto.sample(0.01)
+        assert rto.rto == pytest.approx(0.01 + 4.0 * 0.005)
+
+    def test_negative_sample_ignored(self):
+        rto = RtoEstimator()
+        rto.sample(-1.0)
+        assert rto.samples == 0
+        assert rto.srtt is None
+
+
+# ---------------------------------------------------------------------- #
+# sender harness: "striping" = record the packet, then report the
+# transmission back like a recording port would.
+
+
+class SenderHarness:
+    """A ReliableSender whose stripe path transmits instantly on channel 0.
+
+    ``auto_send=False`` models a striper that queued the packet but has
+    not transmitted it yet (``note_sent`` never fires).
+    """
+
+    def __init__(self, sim, auto_send=True, channel=0, **options):
+        self.sent = []
+        self.auto_send = auto_send
+        self.channel = channel
+        self.suspects = []
+        self.window_opens = 0
+        options.setdefault("on_channel_suspect", self.suspects.append)
+        options.setdefault(
+            "on_window_open",
+            lambda: setattr(self, "window_opens", self.window_opens + 1),
+        )
+        self.sender = ReliableSender(self._stripe, sim, **options)
+
+    def _stripe(self, packet):
+        self.sent.append(packet)
+        if self.auto_send:
+            self.sender.note_sent(self.channel, packet)
+
+    def submit(self, n, size=100):
+        return [
+            self.sender.submit(Packet(size=size, seq=i)) for i in range(n)
+        ]
+
+
+class TestSenderWindow:
+    def test_rseq_assigned_in_submit_order(self, sim):
+        h = SenderHarness(sim)
+        h.submit(3)
+        assert [p.rseq for p in h.sent] == [0, 1, 2]
+        assert h.sender.next_rseq == 3
+
+    def test_window_full_parks_submits(self, sim):
+        h = SenderHarness(sim, window_packets=2)
+        h.submit(5)
+        assert len(h.sent) == 2  # only the window's worth was striped
+        assert h.sender.backlog == 3
+        assert not h.sender.can_submit()
+        assert h.sender.stats.backpressure_stalls == 3
+
+    def test_ack_refills_window_in_order(self, sim):
+        h = SenderHarness(sim, window_packets=2)
+        h.submit(5)
+        h.sender.on_ack(sack(2))  # rseq 0, 1 retired
+        assert [p.rseq for p in h.sent] == [0, 1, 2, 3]
+        assert h.sender.backlog == 1
+        h.sender.on_ack(sack(4))
+        assert [p.rseq for p in h.sent] == [0, 1, 2, 3, 4]
+        assert h.sender.can_submit()
+
+    def test_window_open_fires_once_drained(self, sim):
+        h = SenderHarness(sim, window_packets=2)
+        h.submit(3)
+        assert h.window_opens == 0
+        h.sender.on_ack(sack(2))
+        # overflow replayed and there is room again
+        assert h.window_opens == 1
+        assert h.sender.stats.acked == 2
+
+    def test_ack_packet_and_bare_sack_both_accepted(self, sim):
+        h = SenderHarness(sim)
+        h.submit(2)
+        h.sender.on_ack(AckPacket(sack=sack(1)))
+        h.sender.on_ack(sack(2))
+        assert not h.sender.unacked
+
+    def test_stale_cum_ack_is_harmless(self, sim):
+        h = SenderHarness(sim)
+        h.submit(2)
+        h.sender.on_ack(sack(2))
+        h.sender.on_ack(sack(1))  # reordered older ack
+        assert h.sender.stats.acked == 2
+        assert not h.sender.unacked
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            ReliableSender(lambda p: None, sim, window_packets=0)
+        with pytest.raises(ValueError):
+            ReliableSender(lambda p: None, sim, max_retries=0)
+
+
+class TestKarnSampling:
+    def test_single_transmission_sampled(self, sim):
+        h = SenderHarness(sim)
+        h.submit(1)
+        sim.schedule_at(0.05, lambda: h.sender.on_ack(sack(1)))
+        sim.run(until=0.1)
+        assert h.sender.stats.rtt_samples == 1
+        assert h.sender.rto.srtt == pytest.approx(0.05)
+
+    def test_retransmitted_packet_not_sampled(self, sim):
+        h = SenderHarness(sim, rto=RtoEstimator(initial_rto=0.05))
+        h.submit(1)
+        sim.run(until=0.2)  # RTO fires, packet retransmitted
+        assert h.sender.stats.timeouts >= 1
+        h.sender.on_ack(sack(1))
+        assert h.sender.stats.rtt_samples == 0  # Karn's rule
+
+    def test_sacked_packet_sampled_once(self, sim):
+        h = SenderHarness(sim)
+        h.submit(3)
+        sim.schedule_at(
+            0.02, lambda: h.sender.on_ack(sack(0, (2, 3)))
+        )
+        sim.schedule_at(0.03, lambda: h.sender.on_ack(sack(3)))
+        sim.run(until=0.1)
+        # one sample per packet: 2 at cum-ack time, 1 at sack time
+        assert h.sender.stats.rtt_samples == 3
+
+
+class TestFastRetransmit:
+    def test_hole_retransmitted_after_dupthresh_hints(self, sim):
+        h = SenderHarness(sim)
+        h.submit(6)
+        # rseq 0 is lost; SACKs report ever newer data behind it.  The
+        # SRTT gate needs a round trip of silence per hint, so space the
+        # acks a full (seeded) SRTT apart.
+        h.sender.rto.sample(0.001)
+        for i in range(FAST_RETRANSMIT_HINTS):
+            sim.schedule_at(
+                0.01 * (i + 1),
+                lambda i=i: h.sender.on_ack(sack(0, (1, 2 + i))),
+            )
+        sim.run(until=0.01 * FAST_RETRANSMIT_HINTS + 0.001)
+        assert h.sender.stats.fast_retransmissions == 1
+        assert [p.rseq for p in h.sent].count(0) == 2
+
+    def test_no_retransmit_while_repair_in_flight(self, sim):
+        h = SenderHarness(sim)
+        h.submit(6)
+        h.sender.rto.sample(0.05)  # srtt 50 ms
+        # Same-instant ack burst: only the first hint can accrue.
+        for i in range(5):
+            h.sender.on_ack(sack(0, (1, 2 + i)))
+        assert h.sender.stats.fast_retransmissions == 0
+
+    def test_sacked_records_not_retransmitted(self, sim):
+        h = SenderHarness(sim)
+        h.submit(4)
+        h.sender.rto.sample(0.001)
+        for i in range(FAST_RETRANSMIT_HINTS + 1):
+            sim.schedule_at(
+                0.01 * (i + 1),
+                lambda: h.sender.on_ack(sack(0, (1, 4))),
+            )
+        sim.run(until=0.1)
+        # Only the hole (rseq 0) ever went out twice.
+        counts = {r: [p.rseq for p in h.sent].count(r) for r in range(4)}
+        assert counts[0] == 2
+        assert counts[1] == counts[2] == counts[3] == 1
+
+
+class TestTimerAndEscalation:
+    def test_timeout_retransmits_and_backs_off(self, sim):
+        h = SenderHarness(sim, rto=RtoEstimator(initial_rto=0.1))
+        h.submit(1)
+        sim.run(until=0.35)  # 0.1 then backed-off 0.2
+        assert h.sender.stats.timeouts == 2
+        assert h.sender.rto.backoffs == 2
+        assert len(h.sent) == 3
+        assert h.sender.stats.retransmissions == 2
+
+    def test_timer_quiesces_when_all_acked(self, sim):
+        h = SenderHarness(sim, rto=RtoEstimator(initial_rto=0.1))
+        h.submit(2)
+        h.sender.on_ack(sack(2))
+        sim.run(until=1.0)
+        assert h.sender.stats.timeouts == 0
+        assert not h.sent[3:]
+
+    def test_unsent_packet_not_retransmitted(self, sim):
+        # The striper accepted the packet but never transmitted it (all
+        # channels wedged): there is nothing to time out yet.
+        h = SenderHarness(sim, auto_send=False,
+                          rto=RtoEstimator(initial_rto=0.05))
+        h.submit(1)
+        sim.run(until=0.5)
+        assert h.sender.stats.timeouts == 0
+        assert len(h.sent) == 1
+
+    def test_escalation_reports_last_channel_once(self, sim):
+        h = SenderHarness(
+            sim, channel=2, max_retries=3,
+            rto=RtoEstimator(initial_rto=0.02, min_rto=0.02, max_rto=0.04),
+        )
+        h.submit(1)
+        sim.run(until=2.0)
+        assert h.sender.stats.escalations == 1
+        assert h.suspects == [2]
+        # Escalation does not abandon the data: retries continue.
+        assert h.sender.stats.retransmissions > 3
+        # Late ack still retires it.
+        h.sender.on_ack(sack(1))
+        assert not h.sender.unacked
+
+    def test_retransmissions_tracked_per_channel(self, sim):
+        h = SenderHarness(sim, rto=RtoEstimator(initial_rto=0.05))
+        h.submit(1, size=123)
+        sim.run(until=0.2)  # two timeouts (t=0.05, then backed-off t=0.15)
+        assert h.sender.retransmitted_bytes == {0: 2 * 123}
+
+
+# ---------------------------------------------------------------------- #
+# receiver
+
+
+class ReceiverHarness:
+    def __init__(self, sim=None, **options):
+        self.delivered = []
+        self.acks = []
+        options.setdefault("send_ack", self.acks.append)
+        self.receiver = ReliableReceiver(
+            self.delivered.append, sim=sim, **options
+        )
+
+    def push(self, rseq, seq=None):
+        packet = Packet(size=100, seq=seq if seq is not None else rseq)
+        packet.rseq = rseq
+        self.receiver.push(packet)
+        return packet
+
+
+class TestReceiverOrdering:
+    def test_in_order_stream_delivered(self):
+        h = ReceiverHarness()
+        for i in range(5):
+            h.push(i)
+        assert [p.rseq for p in h.delivered] == [0, 1, 2, 3, 4]
+        assert h.receiver.stats.out_of_order == 0
+
+    def test_gap_held_back_until_filled(self):
+        h = ReceiverHarness()
+        h.push(0)
+        h.push(2)
+        h.push(3)
+        assert [p.rseq for p in h.delivered] == [0]
+        h.push(1)  # retransmission arrives
+        assert [p.rseq for p in h.delivered] == [0, 1, 2, 3]
+
+    def test_duplicates_dropped(self):
+        h = ReceiverHarness()
+        h.push(0)
+        h.push(0)          # below cum
+        h.push(2)
+        h.push(2)          # already buffered
+        assert h.receiver.stats.duplicates == 2
+        assert [p.rseq for p in h.delivered] == [0]
+
+    def test_beyond_window_dropped(self):
+        h = ReceiverHarness(window_packets=4)
+        h.push(0)
+        h.push(100)
+        assert h.receiver.stats.window_drops == 1
+        h.push(1)
+        assert [p.rseq for p in h.delivered] == [0, 1]
+
+    def test_unsequenced_packet_passes_through(self):
+        h = ReceiverHarness()
+        packet = Packet(size=100, seq=7)  # rseq is None
+        h.receiver.push(packet)
+        assert h.delivered == [packet]
+        assert h.receiver.stats.received == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliableReceiver(lambda p: None, window_packets=0)
+        with pytest.raises(ValueError):
+            ReliableReceiver(lambda p: None, ack_every=0)
+
+
+class TestReceiverAcks:
+    def test_every_nth_in_order_delivery_acked(self):
+        h = ReceiverHarness(ack_every=2)
+        h.push(0)
+        assert len(h.acks) == 0
+        h.push(1)
+        assert len(h.acks) == 1
+        assert h.acks[-1] == SackInfo(cum_ack=2)
+
+    def test_out_of_order_acks_immediately(self):
+        h = ReceiverHarness(ack_every=100)
+        h.push(0)
+        h.push(2)
+        assert len(h.acks) == 1
+        assert h.acks[-1] == SackInfo(cum_ack=1, blocks=((2, 3),))
+
+    def test_duplicate_acks_immediately(self):
+        h = ReceiverHarness(ack_every=100)
+        h.push(0)
+        h.push(0)
+        assert len(h.acks) == 1  # the loss signal must not wait
+
+    def test_delayed_ack_fires(self, sim):
+        h = ReceiverHarness(sim=sim, ack_every=10, ack_delay_s=0.005)
+        h.push(0)
+        assert len(h.acks) == 0
+        sim.run(until=0.01)
+        assert len(h.acks) == 1
+        assert h.acks[-1].cum_ack == 1
+        # and does not re-fire with nothing new to ack
+        sim.run(until=0.05)
+        assert len(h.acks) == 1
+
+    def test_sack_blocks_coalesced_newest_edge_first(self):
+        h = ReceiverHarness()
+        for rseq in (2, 3, 6, 5):
+            h.push(rseq)
+        info = h.receiver.sack_info()
+        # {2,3} and {5,6} coalesce; 5 was the most recent out-of-order
+        # arrival, so its block is reported first.
+        assert info.cum_ack == 0
+        assert info.blocks == ((5, 7), (2, 4))
+
+    def test_sack_truncation_keeps_freshest(self):
+        h = ReceiverHarness()
+        for rseq in (2, 5, 8):
+            h.push(rseq)
+        info = h.receiver.sack_info(max_blocks=2)
+        # newest arrival (8) first, then newest edge of the rest
+        assert info.blocks == ((8, 9), (5, 6))
+
+
+# ---------------------------------------------------------------------- #
+# loopback: sender and receiver glued through a lossy "bundle"
+
+
+class TestLoopback:
+    def run_loopback(self, sim, lose, n=50, delay=0.002):
+        """Stripe sender->receiver with per-copy drop decisions."""
+        h = SenderHarness(sim, auto_send=False)
+        hr = ReceiverHarness(
+            sim=sim, ack_every=2, ack_delay_s=0.004,
+        )
+        copies = iter(range(1 << 20))
+
+        def stripe(packet):
+            h.sent.append(packet)
+            h.sender.note_sent(0, packet)
+            if not lose(next(copies)):
+                sim.schedule(delay, hr.receiver.push, packet)
+
+        h.sender._submit = stripe
+        hr.receiver.send_ack = lambda info: sim.schedule(
+            delay, h.sender.on_ack, info
+        )
+        for i in range(n):
+            h.sender.submit(Packet(size=100, seq=i))
+        sim.run(until=5.0)
+        return h, hr
+
+    def test_lossless_loopback(self, sim):
+        h, hr = self.run_loopback(sim, lose=lambda i: False)
+        assert [p.seq for p in hr.delivered] == list(range(50))
+        assert not h.sender.unacked
+        assert h.sender.stats.retransmissions == 0
+
+    def test_every_fifth_copy_lost_still_exactly_once(self, sim):
+        h, hr = self.run_loopback(sim, lose=lambda i: i % 5 == 0)
+        assert [p.seq for p in hr.delivered] == list(range(50))
+        assert not h.sender.unacked
+        assert h.sender.stats.retransmissions > 0
+
+
+# ---------------------------------------------------------------------- #
+# end to end on the real stacks, under persistent loss
+
+
+def drain(sim, testbed, until, settle):
+    sim.run(until=until)
+    testbed.source.stop()
+    sim.run(until=until + settle)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_socket_stack_reliable_under_persistent_loss(seed):
+    from repro.experiments.socket_harness import (
+        SocketTestbedConfig,
+        build_socket_testbed,
+    )
+
+    sim = Simulator()
+    testbed = build_socket_testbed(
+        sim,
+        SocketTestbedConfig(
+            n_channels=3, link_mbps=(10.0,), prop_delay_s=(0.5e-3,),
+            loss_rates=(0.1,),  # persistent: never switched off
+            reliability="reliable", seed=seed,
+        ),
+    )
+    drain(sim, testbed, until=1.0, settle=2.0)
+
+    seqs = testbed.delivered_seqs()
+    generated = testbed.source.generated
+    assert generated > 1000
+    assert seqs == sorted(set(seqs)), "not exactly-once in order"
+    assert set(seqs) == set(range(generated)), "a submitted message was lost"
+    arq = testbed.sender.reliable
+    assert not arq.unacked and not arq.backlog
+    assert arq.stats.retransmissions > 0
+
+
+def test_socket_stack_quasi_fifo_unchanged_by_default():
+    """The default mode has no ARQ state and loses packets under loss."""
+    from repro.experiments.socket_harness import (
+        SocketTestbedConfig,
+        build_socket_testbed,
+    )
+
+    sim = Simulator()
+    testbed = build_socket_testbed(
+        sim,
+        SocketTestbedConfig(
+            n_channels=3, link_mbps=(10.0,), prop_delay_s=(0.5e-3,),
+            loss_rates=(0.1,), seed=3,
+        ),
+    )
+    assert testbed.sender.reliable is None
+    assert testbed.receiver.reliable is None
+    drain(sim, testbed, until=1.0, settle=1.0)
+    seqs = testbed.delivered_seqs()
+    assert len(seqs) == len(set(seqs))
+    assert len(seqs) < testbed.source.generated  # loss is real
+
+
+@pytest.mark.parametrize("seed", [0])
+def test_session_stack_reliable_under_persistent_loss(seed):
+    from repro.experiments.fault_tolerance import build_session_testbed
+
+    sim = Simulator()
+    testbed = build_session_testbed(
+        sim, n_channels=3, link_mbps=(10.0,), loss_rates=(0.1,),
+        seed=seed, reliability="reliable",
+    )
+    drain(sim, testbed, until=1.0, settle=2.0)
+
+    seqs = [seq for _, seq in testbed.deliveries]
+    generated = testbed.source.generated
+    assert generated > 1000
+    assert seqs == sorted(set(seqs)), "not exactly-once in order"
+    assert set(seqs) == set(range(generated)), "a submitted message was lost"
+    arq = testbed.sender.reliable
+    assert not arq.unacked and not arq.backlog
+    assert arq.stats.retransmissions > 0
+
+
+def test_session_stack_escalation_excludes_dead_channel():
+    """A channel that goes fully dark: ARQ escalation feeds the session's
+    exclusion machinery, and the stream still delivers everything."""
+    from repro.experiments.fault_tolerance import build_session_testbed
+
+    sim = Simulator()
+    testbed = build_session_testbed(
+        sim, n_channels=3, link_mbps=(10.0,), loss_rates=(0.0,),
+        reliability="reliable",
+        reliability_options={"sender": {"max_retries": 3}},
+    )
+    sim.schedule_at(
+        0.3, lambda: setattr(testbed.loss_models[1], "p", 1.0)
+    )
+    drain(sim, testbed, until=1.2, settle=2.0)
+
+    arq = testbed.sender.reliable
+    assert arq.stats.escalations >= 1
+    assert testbed.sender.session.resets_completed >= 1
+    assert 1 not in testbed.sender.session.config.active_channels
+    seqs = [seq for _, seq in testbed.deliveries]
+    assert seqs == sorted(set(seqs))
+    assert set(seqs) == set(range(testbed.source.generated))
+    assert not arq.unacked and not arq.backlog
