@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction repo.
 
 .PHONY: install test bench experiments quick-experiments examples clean \
-	endpoints-smoke chaos-smoke reliability-smoke lint-endpoints
+	endpoints-smoke chaos-smoke reliability-smoke fabric-smoke \
+	lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -37,6 +38,15 @@ reliability-smoke:
 	PYTHONPATH=src pytest tests/properties/test_chaos_invariants.py \
 		-k "persistent or duplicated"
 	PYTHONPATH=src python -m repro.experiments.runner reliability --quick
+
+# Fast confidence check for the multi-tenant session fabric: flow-table /
+# scheduler unit tests (incl. the reliable-mode interop regression), the
+# composed FQ x SRR fairness invariants, and the 512-flow quick fairness
+# run (Jain >= 0.95 per tenant, weighted shares within 10%).
+fabric-smoke:
+	PYTHONPATH=src pytest tests/transport/test_fabric.py \
+		tests/properties/test_fabric_invariants.py
+	PYTHONPATH=src python -m repro.experiments.runner fabric --quick
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

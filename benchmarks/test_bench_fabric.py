@@ -1,0 +1,87 @@
+"""The 10k-flow fabric scalability benchmark (ISSUE 6 acceptance run).
+
+One striped bundle carries ``FABRIC_BENCH_FLOWS`` concurrent flows across
+three tenants with 4:2:1 weights, scheduled by the weighted-DRR
+:class:`~repro.transport.fabric.FabricScheduler` above the unchanged SRR
+striper.  Acceptance bars asserted here:
+
+* >= 10,000 concurrent flows sustained in one run;
+* Jain's fairness >= 0.95 across the equal-weight flows of every tenant
+  (sampled mid-run while all flows are backlogged);
+* per-unit-weight tenant shares within 10% of the configured weights;
+* every submitted packet delivered (the flow layer loses nothing).
+
+p99 delivery latency and aggregate goodput are reported alongside.
+Results are written to ``BENCH_fabric.json`` at the repo root so the
+numbers are tracked across PRs.
+
+Environment knobs (for the CI smoke job and local quick runs):
+
+* ``FABRIC_BENCH_FLOWS`` — concurrent flows (default 10000).
+* ``FABRIC_BENCH_MIN_JAIN`` — required per-tenant Jain (default 0.95).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.fabric import TENANT_WEIGHTS, run_fabric
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+
+N_FLOWS = int(os.environ.get("FABRIC_BENCH_FLOWS", "10000"))
+MIN_JAIN = float(os.environ.get("FABRIC_BENCH_MIN_JAIN", "0.95"))
+MAX_SHARE_ERROR = 0.10
+
+
+def test_bench_fabric_10k_flows():
+    """10k weighted flows through one bundle: fairness bars + JSON."""
+    started = time.perf_counter()
+    result = run_fabric(n_flows=N_FLOWS)
+    wall_s = time.perf_counter() - started
+
+    assert result.n_flows >= N_FLOWS
+    assert result.delivered_packets == result.total_packets, (
+        f"flow layer lost packets: {result.delivered_packets}"
+        f"/{result.total_packets}"
+    )
+    assert result.jain_min >= MIN_JAIN, (
+        f"per-tenant Jain {result.jain_per_tenant} below {MIN_JAIN}:\n"
+        + result.render()
+    )
+    assert result.max_share_error <= MAX_SHARE_ERROR, (
+        f"tenant shares {result.tenant_shares} deviate more than "
+        f"{MAX_SHARE_ERROR:.0%} from weights:\n" + result.render()
+    )
+
+    report = {
+        "workload": {
+            "n_flows": result.n_flows,
+            "n_channels": result.n_channels,
+            "tenant_weights": dict(TENANT_WEIGHTS),
+            "total_packets": result.total_packets,
+            "scheduler": "FabricScheduler weighted DRR x SRR striper",
+        },
+        "results": {
+            "aggregate_goodput_mbps": result.aggregate_goodput_mbps,
+            "jain_per_tenant": result.jain_per_tenant,
+            "jain_min": result.jain_min,
+            "tenant_shares": result.tenant_shares,
+            "max_share_error": result.max_share_error,
+            "p50_latency_s": result.p50_latency_s,
+            "p99_latency_s": result.p99_latency_s,
+            "sim_duration_s": result.duration_s,
+            "wall_clock_s": wall_s,
+        },
+        "acceptance": {
+            "min_flows": N_FLOWS,
+            "min_jain": MIN_JAIN,
+            "max_share_error": MAX_SHARE_ERROR,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(result.render())

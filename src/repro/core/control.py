@@ -1,0 +1,161 @@
+"""Control-plane vocabulary of the session layer.
+
+Split out of :mod:`repro.core.session` so the configuration and in-band
+control packet types can be shared (transport adapters, the fabric layer,
+wire codecs) without dragging in the session state machines.
+
+* :class:`StripeConfig` — the ``(channels, quanta)`` agreement both ends
+  install at an epoch boundary.  Carries a cached position index so
+  per-packet membership tests and channel-to-position mapping are O(1)
+  at fabric scale (a 10k-flow bundle cannot afford a linear scan per
+  arrival or per reset event).
+* The reset / probe packet family — epoch separators and the liveness
+  probes of the channel-revival path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Optional, Tuple
+
+from repro.core.kernel import SRRKernel
+from repro.core.srr import SRR, SRRState
+
+_control_ids = itertools.count(1)
+
+CODEPOINT_RESET = "reset"
+CODEPOINT_RESET_ACK = "reset_ack"
+CODEPOINT_RESET_REQUEST = "reset_request"
+CODEPOINT_PROBE = "probe"
+CODEPOINT_PROBE_ACK = "probe_ack"
+
+
+@dataclass(frozen=True)
+class StripeConfig:
+    """The striping parameters both ends must agree on."""
+
+    quanta: Tuple[float, ...]
+    count_packets: bool = False
+    #: indices into the *original* port list that are active this epoch
+    active_channels: Optional[Tuple[int, ...]] = None
+
+    def algorithm(self) -> SRR:
+        return SRR(list(self.quanta), count_packets=self.count_packets)
+
+    def kernel(self) -> SRRKernel:
+        """A fresh scheduler kernel at this configuration's initial state."""
+        return SRRKernel(self.algorithm())
+
+    def initial_snapshot(self) -> SRRState:
+        """The epoch-initial kernel state both ends install at a reset."""
+        return self.algorithm().initial_state()
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.quanta)
+
+    @cached_property
+    def _positions(self) -> Dict[int, int]:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; the config is immutable so the cache is safe.
+        if self.active_channels is None:
+            return {}
+        return {
+            channel: position
+            for position, channel in enumerate(self.active_channels)
+        }
+
+    def position_of(self, port_index: int) -> Optional[int]:
+        """Position of an original port index among the active channels,
+        or None when the channel is not active this epoch.  O(1)."""
+        return self._positions.get(port_index)
+
+    def is_active(self, port_index: int) -> bool:
+        return port_index in self._positions
+
+    def quantum_of(self, port_index: int) -> Optional[float]:
+        """The active channel's quantum by original port index.  O(1)."""
+        position = self._positions.get(port_index)
+        return None if position is None else self.quanta[position]
+
+
+@dataclass
+class ResetPacket:
+    """In-band epoch separator, sent on every active channel."""
+
+    epoch: int
+    config: StripeConfig
+    size: int = 40
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET
+
+    def __repr__(self) -> str:
+        return f"Reset(epoch={self.epoch}, {self.config.n_channels}ch)"
+
+
+@dataclass
+class ResetAckPacket:
+    """Reverse-path acknowledgement: all channels switched to ``epoch``."""
+
+    epoch: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET_ACK
+
+
+@dataclass
+class ResetRequestPacket:
+    """Reverse-path plea from the receiver (reboot, corruption, dead link).
+
+    ``exclude_channel`` (an *original* port index) asks the sender to
+    reconfigure without that channel — the link-failure path.
+    """
+
+    reason: str
+    exclude_channel: Optional[int] = None
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESET_REQUEST
+
+
+@dataclass
+class ProbePacket:
+    """Forward-path liveness probe on an excluded (possibly dead) channel.
+
+    ``channel`` is the *original* port index being probed; ``seq`` lets
+    the prober tell fresh acknowledgements from stale ones.
+    """
+
+    channel: int
+    seq: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_PROBE
+
+
+@dataclass
+class ProbeAckPacket:
+    """Reverse-path acknowledgement: the probed channel delivered again."""
+
+    channel: int
+    seq: int
+    size: int = 16
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_PROBE_ACK
+
+
+__all__ = [
+    "CODEPOINT_PROBE",
+    "CODEPOINT_PROBE_ACK",
+    "CODEPOINT_RESET",
+    "CODEPOINT_RESET_ACK",
+    "CODEPOINT_RESET_REQUEST",
+    "ProbeAckPacket",
+    "ProbePacket",
+    "ResetAckPacket",
+    "ResetPacket",
+    "ResetRequestPacket",
+    "StripeConfig",
+]

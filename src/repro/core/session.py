@@ -1,13 +1,23 @@
-"""Session control: reset, reconfiguration, and self-stabilization.
+"""Session control: reset, reconfiguration, and multi-flow striping.
 
-Section 5 of the paper sketches what this module implements in full:
+Section 5 of the paper sketches what this package-of-three implements:
 
     "It is also possible to make the marker algorithm self-stabilizing
     (i.e., robust against any error in the state) by periodically running
     a snapshot [CL85] and then doing a reset [Var93].  We deal with sender
     or receiver node crashes by doing a reset."
 
-Three pieces:
+The session layer is split across three modules:
+
+* :mod:`repro.core.control` — the control-plane vocabulary:
+  :class:`StripeConfig` (with O(1) channel-position lookups) and the
+  RESET / PROBE packet family.  Re-exported here for compatibility.
+* :mod:`repro.core.stabilize` — the self-stabilization companions:
+  :class:`ChannelProber` (channel revival) and :class:`LocalChecker`
+  ([Var93] local checking).  Re-exported here for compatibility.
+* this module — the two session state machines.
+
+Three protocol pieces live in the state machines:
 
 * **Reset protocol** — an epoch-numbered, per-channel in-band RESET
   exchange that reinitializes both ends of a striped channel group.  A
@@ -23,130 +33,58 @@ Three pieces:
   dead channel is a single reset round trip: both ends atomically agree on
   the new `(channels, quanta)` at the epoch boundary.
 
-* **Self-stabilization by local checking** — in the spirit of [Var93]
-  (local checking and correction): the sender periodically stamps markers
-  as *checkpoints* carrying its global round number.  In-flight data is
-  bounded (by channel queues / credits), so a synchronized receiver's
-  round lags the sender's by at most a computable window.  A checkpoint
-  whose round is outside that window proves the receiver's state is
-  corrupt (bit flip, bug, crash-restore) — correction is a reset request.
-  Ordinary marker adoption already repairs per-channel ``(r, d)`` drift;
-  the checkpoint check catches the global-round corruption that markers
-  alone cannot (a receiver whose ``G`` runs far ahead never skips, so C1
-  silently dies).
+* **Multi-flow fabric consumption** — the sender session no longer owns a
+  single implicit flow: :meth:`StripeSenderSession.attach_fabric` mounts a
+  :class:`~repro.transport.fabric.FabricScheduler` (weighted DRR across
+  flows) above the striper, and :meth:`StripeSenderSession.submit` accepts
+  ``flow_id`` so upper layers address flows, not the bundle.  The fabric
+  drains into the striper only while the session is RUNNING and the
+  striper's input queue is short, so per-flow queues — not the shared
+  epoch replay buffer — absorb multi-tenant backlog across resets.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.core.kernel import SRRKernel
+from repro.core.control import (
+    CODEPOINT_PROBE,
+    CODEPOINT_PROBE_ACK,
+    CODEPOINT_RESET,
+    CODEPOINT_RESET_ACK,
+    CODEPOINT_RESET_REQUEST,
+    ProbeAckPacket,
+    ProbePacket,
+    ResetAckPacket,
+    ResetPacket,
+    ResetRequestPacket,
+    StripeConfig,
+)
 from repro.core.markers import SRRReceiver
 from repro.core.packet import Codepoint, MarkerPacket
-from repro.core.srr import SRR, SRRState
+from repro.core.stabilize import ChannelProber, LocalChecker
 from repro.core.striper import ChannelPort, MarkerPolicy, Striper
 from repro.core.transform import TransformedLoadSharer
 from repro.sim.engine import Event, Simulator
 
-_control_ids = itertools.count(1)
-
-CODEPOINT_RESET = "reset"
-CODEPOINT_RESET_ACK = "reset_ack"
-CODEPOINT_RESET_REQUEST = "reset_request"
-CODEPOINT_PROBE = "probe"
-CODEPOINT_PROBE_ACK = "probe_ack"
-
-
-@dataclass(frozen=True)
-class StripeConfig:
-    """The striping parameters both ends must agree on."""
-
-    quanta: Tuple[float, ...]
-    count_packets: bool = False
-    #: indices into the *original* port list that are active this epoch
-    active_channels: Optional[Tuple[int, ...]] = None
-
-    def algorithm(self) -> SRR:
-        return SRR(list(self.quanta), count_packets=self.count_packets)
-
-    def kernel(self) -> SRRKernel:
-        """A fresh scheduler kernel at this configuration's initial state."""
-        return SRRKernel(self.algorithm())
-
-    def initial_snapshot(self) -> SRRState:
-        """The epoch-initial kernel state both ends install at a reset."""
-        return self.algorithm().initial_state()
-
-    @property
-    def n_channels(self) -> int:
-        return len(self.quanta)
-
-
-@dataclass
-class ResetPacket:
-    """In-band epoch separator, sent on every active channel."""
-
-    epoch: int
-    config: StripeConfig
-    size: int = 40
-    uid: int = field(default_factory=lambda: next(_control_ids))
-    codepoint: str = CODEPOINT_RESET
-
-    def __repr__(self) -> str:
-        return f"Reset(epoch={self.epoch}, {self.config.n_channels}ch)"
-
-
-@dataclass
-class ResetAckPacket:
-    """Reverse-path acknowledgement: all channels switched to ``epoch``."""
-
-    epoch: int
-    size: int = 16
-    uid: int = field(default_factory=lambda: next(_control_ids))
-    codepoint: str = CODEPOINT_RESET_ACK
-
-
-@dataclass
-class ResetRequestPacket:
-    """Reverse-path plea from the receiver (reboot, corruption, dead link).
-
-    ``exclude_channel`` (an *original* port index) asks the sender to
-    reconfigure without that channel — the link-failure path.
-    """
-
-    reason: str
-    exclude_channel: Optional[int] = None
-    size: int = 16
-    uid: int = field(default_factory=lambda: next(_control_ids))
-    codepoint: str = CODEPOINT_RESET_REQUEST
-
-
-@dataclass
-class ProbePacket:
-    """Forward-path liveness probe on an excluded (possibly dead) channel.
-
-    ``channel`` is the *original* port index being probed; ``seq`` lets
-    the prober tell fresh acknowledgements from stale ones.
-    """
-
-    channel: int
-    seq: int
-    size: int = 16
-    uid: int = field(default_factory=lambda: next(_control_ids))
-    codepoint: str = CODEPOINT_PROBE
-
-
-@dataclass
-class ProbeAckPacket:
-    """Reverse-path acknowledgement: the probed channel delivered again."""
-
-    channel: int
-    seq: int
-    size: int = 16
-    uid: int = field(default_factory=lambda: next(_control_ids))
-    codepoint: str = CODEPOINT_PROBE_ACK
+__all__ = [
+    "CODEPOINT_PROBE",
+    "CODEPOINT_PROBE_ACK",
+    "CODEPOINT_RESET",
+    "CODEPOINT_RESET_ACK",
+    "CODEPOINT_RESET_REQUEST",
+    "ChannelProber",
+    "LocalChecker",
+    "ProbeAckPacket",
+    "ProbePacket",
+    "ResetAckPacket",
+    "ResetPacket",
+    "ResetRequestPacket",
+    "StripeConfig",
+    "StripeReceiverSession",
+    "StripeSenderSession",
+]
 
 
 class StripeSenderSession:
@@ -163,7 +101,9 @@ class StripeSenderSession:
         retry_timeout: seconds before an unacked RESET is retransmitted.
 
     Upper layers call :meth:`submit`; during a reset, packets queue and are
-    replayed into the new epoch's striper.
+    replayed into the new epoch's striper.  With a fabric attached
+    (:meth:`attach_fabric`), ``submit(packet, flow_id=...)`` routes through
+    per-flow weighted-DRR queues instead.
     """
 
     RUNNING = "running"
@@ -207,6 +147,10 @@ class StripeSenderSession:
         #: sender stack); matched by codepoint so the session layer does
         #: not depend on the transport-level AckPacket type
         self.on_ack: Optional[Callable[[Any], None]] = None
+        #: optional FabricScheduler mounted by :meth:`attach_fabric`
+        self.fabric: Optional[Any] = None
+        self._fabric_backlog_limit = 0
+        self._fabric_extra_ready: Optional[Callable[[], bool]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -222,16 +166,83 @@ class StripeSenderSession:
     def active_ports(self) -> List[ChannelPort]:
         return [self.all_ports[i] for i in self.config.active_channels]
 
-    def submit(self, packet: Any) -> None:
-        """Send a data packet (queued while a reset is in flight)."""
+    def attach_fabric(
+        self,
+        fabric: Any,
+        *,
+        downstream: Optional[Callable[[Any], None]] = None,
+        backlog_limit: Optional[int] = None,
+        extra_ready: Optional[Callable[[], bool]] = None,
+    ) -> Any:
+        """Mount a flow-layer scheduler (FQ across flows) above the striper.
+
+        ``fabric`` is duck-typed (anything with ``bind``/``submit``/
+        ``can_submit``/``pump``), normally a
+        :class:`~repro.transport.fabric.FabricScheduler`.  The fabric
+        drains into ``downstream`` (default: :meth:`submit`, i.e. the
+        striper) but only while :meth:`_fabric_ready` holds: session
+        RUNNING, striper input queue below ``backlog_limit`` (default
+        ``4 × n_ports``), and any caller-supplied ``extra_ready`` gate
+        (e.g. a reliable sender's window check).  Backlog therefore sits
+        in per-flow queues where the DRR can arbitrate it, not in the
+        shared FIFO below.
+        """
+        if backlog_limit is None:
+            backlog_limit = 4 * len(self.all_ports)
+        self.fabric = fabric
+        self._fabric_backlog_limit = backlog_limit
+        self._fabric_extra_ready = extra_ready
+        fabric.bind(downstream or self._stripe_one, ready=self._fabric_ready)
+        return fabric
+
+    def _stripe_one(self, packet: Any) -> None:
+        """Fabric downstream: one scheduled packet into the striper."""
         if self.state == self.RESETTING:
             self._pending_during_reset.append(packet)
             return
         self.striper.submit(packet)
 
+    def _fabric_ready(self) -> bool:
+        if self.state != self.RUNNING:
+            return False
+        if self.striper.backlog >= self._fabric_backlog_limit:
+            return False
+        if self._fabric_extra_ready is not None:
+            return bool(self._fabric_extra_ready())
+        return True
+
+    def submit(self, packet: Any, flow_id: Optional[Any] = None) -> None:
+        """Send a data packet (queued while a reset is in flight).
+
+        With ``flow_id`` the packet enters that flow's fabric queue and is
+        scheduled by weighted DRR; requires a prior :meth:`attach_fabric`.
+        """
+        if flow_id is not None:
+            if self.fabric is None:
+                raise RuntimeError(
+                    "flow-addressed submit requires attach_fabric()"
+                )
+            self.fabric.submit(flow_id, packet)
+            return
+        self._stripe_one(packet)
+
+    def can_submit(self, flow_id: Optional[Any] = None) -> bool:
+        """Per-flow backpressure: False only when that flow's queue is full.
+
+        Without ``flow_id`` the session-level queue is unbounded (epoch
+        replay semantics), so this is always True.
+        """
+        if flow_id is None:
+            return True
+        if self.fabric is None:
+            return False
+        return self.fabric.can_submit(flow_id)
+
     def pump(self) -> int:
         if self.state == self.RESETTING:
             return 0
+        if self.fabric is not None:
+            self.fabric.pump()
         return self.striper.pump()
 
     # ------------------------------------------------------------------ #
@@ -313,7 +324,7 @@ class StripeSenderSession:
                 return
             if (
                 packet.exclude_channel is not None
-                and packet.exclude_channel in self.config.active_channels
+                and self.config.is_active(packet.exclude_channel)
                 and len(self.config.active_channels) > 1
             ):
                 self.initiate_reset(self.config_without(packet.exclude_channel))
@@ -329,26 +340,27 @@ class StripeSenderSession:
         self._pending_during_reset = []
         for packet in pending:
             self.striper.submit(packet)
+        if self.fabric is not None:
+            # The new epoch's striper is empty: let the DRR refill it from
+            # the per-flow queues that absorbed the reset window.
+            self.fabric.pump()
         if self.on_reset_complete is not None:
             self.on_reset_complete(self.epoch)
 
     def config_without(self, port_index: int) -> StripeConfig:
-        """The current configuration minus one (failed) channel."""
-        if port_index not in self.config.active_channels:
+        """The current configuration minus one (failed) channel.  O(n) in
+        the rebuilt tuples, O(1) in lookups — no per-channel scan."""
+        position = self.config.position_of(port_index)
+        if position is None:
             raise ValueError(f"channel {port_index} is not active")
         if len(self.config.active_channels) <= 1:
             raise ValueError("cannot drop the last active channel")
-        keep = [
-            (channel, quantum)
-            for channel, quantum in zip(
-                self.config.active_channels, self.config.quanta
-            )
-            if channel != port_index
-        ]
+        channels = self.config.active_channels
+        quanta = self.config.quanta
         return StripeConfig(
-            quanta=tuple(q for _, q in keep),
+            quanta=quanta[:position] + quanta[position + 1 :],
             count_packets=self.config.count_packets,
-            active_channels=tuple(c for c, _ in keep),
+            active_channels=channels[:position] + channels[position + 1 :],
         )
 
     def config_with(
@@ -359,22 +371,23 @@ class StripeSenderSession:
         ``quantum`` defaults to the mean of the active quanta — a neutral
         share for a channel whose pre-failure quantum is unknown.
         """
-        if port_index in self.config.active_channels:
+        if self.config.is_active(port_index):
             raise ValueError(f"channel {port_index} is already active")
         if not 0 <= port_index < len(self.all_ports):
             raise ValueError(f"channel {port_index} out of range")
         if quantum is None:
             quantum = sum(self.config.quanta) / len(self.config.quanta)
-        merged = sorted(
-            zip(
-                self.config.active_channels + (port_index,),
-                self.config.quanta + (float(quantum),),
-            )
-        )
+        channels = self.config.active_channels
+        quanta = self.config.quanta
+        # active_channels is sorted by construction, so the insertion
+        # point comes from a binary search rather than a re-sort.
+        position = bisect_left(channels, port_index)
         return StripeConfig(
-            quanta=tuple(q for _, q in merged),
+            quanta=quanta[:position] + (float(quantum),) + quanta[position:],
             count_packets=self.config.count_packets,
-            active_channels=tuple(c for c, _ in merged),
+            active_channels=(
+                channels[:position] + (port_index,) + channels[position:]
+            ),
         )
 
     def exclude_channel(self, port_index: int) -> bool:
@@ -386,7 +399,7 @@ class StripeSenderSession:
         """
         if self.state != self.RUNNING:
             return False
-        if port_index not in self.config.active_channels:
+        if not self.config.is_active(port_index):
             return False
         if len(self.config.active_channels) <= 1:
             return False
@@ -485,9 +498,8 @@ class StripeReceiverSession:
             # channel's RESET): not part of the current stream.
             self.reset_discards += 1
             return
-        try:
-            channel = self.config.active_channels.index(port_index)
-        except ValueError:
+        channel = self.config.position_of(port_index)
+        if channel is None:
             self.reset_discards += 1
             return
         if self.checker is not None and isinstance(packet, MarkerPacket):
@@ -540,207 +552,3 @@ class StripeReceiverSession:
     def request_reset(self, reason: str) -> None:
         """Ask the sender for a reset (reboot, detected corruption)."""
         self.send_control(ResetRequestPacket(reason=reason))
-
-
-class ChannelProber:
-    """Sender-side revival: probe excluded channels, rejoin on an ACK.
-
-    The receiver cannot transmit on a failed *forward* channel, so revival
-    detection is the sender's job.  Every channel excluded from the bundle
-    is probed with exponentially backed-off :class:`ProbePacket` sends
-    (forced past the queue limit, so a wedged queue cannot mask a probe).
-    A probe that gets through elicits a :class:`ProbeAckPacket` on the
-    reverse control path — gated by the receiver's lifecycle manager's
-    hold-down — and the prober then re-admits the channel via a
-    reconfiguration RESET carrying its pre-failure quantum: the paper's
-    reset machinery doubles as the rejoin path, so the revived channel
-    re-enters with fresh epoch-initial striping state.
-
-    Flap damping mirrors the receiver's: a channel that fails again within
-    ``flap_window`` seconds of rejoining must sit out a hold-down that
-    doubles per flap (``flap_penalty``, ``flap_factor``, capped at
-    ``max_hold_down``) before the next rejoin.
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        session: StripeSenderSession,
-        *,
-        initial_interval: float = 0.05,
-        backoff: float = 2.0,
-        max_interval: float = 1.0,
-        max_probes: int = 200,
-        min_hold_down: float = 0.0,
-        flap_penalty: float = 0.2,
-        flap_window: float = 2.0,
-        flap_factor: float = 2.0,
-        max_hold_down: float = 4.0,
-    ) -> None:
-        if backoff < 1.0:
-            raise ValueError("backoff must be >= 1")
-        self.sim = sim
-        self.session = session
-        self.initial_interval = initial_interval
-        self.backoff = backoff
-        self.max_interval = max_interval
-        self.max_probes = max_probes
-        self.min_hold_down = min_hold_down
-        self.flap_penalty = flap_penalty
-        self.flap_window = flap_window
-        self.flap_factor = flap_factor
-        self.max_hold_down = max_hold_down
-        self.probes_sent = 0
-        self.rejoins = 0
-        #: channels given up on after ``max_probes`` unanswered probes
-        self.abandoned: List[int] = []
-        self._probing: dict = {}
-        self._quantum: dict = {}
-        self._hold_down: dict = {}
-        self._down_at: dict = {}
-        self._rejoined_at: dict = {}
-        self._probe_seq = 0
-        session.on_probe_ack = self._on_probe_ack
-        self._chained_on_reset = session.on_reset_complete
-        session.on_reset_complete = self._on_reset_complete
-        self._sync()
-
-    @property
-    def probing_channels(self) -> List[int]:
-        """Original port indices currently under probe, sorted."""
-        return sorted(self._probing)
-
-    def hold_down(self, channel: int) -> float:
-        """Current flap-damped rejoin hold-down of ``channel``."""
-        return self._hold_down.get(channel, self.min_hold_down)
-
-    # ------------------------------------------------------------------ #
-
-    def _on_reset_complete(self, epoch: int) -> None:
-        if self._chained_on_reset is not None:
-            self._chained_on_reset(epoch)
-        self._sync()
-
-    def _sync(self) -> None:
-        """Reconcile probing state with the session's active-channel set."""
-        config = self.session.config
-        active = set(config.active_channels)
-        for channel, quantum in zip(config.active_channels, config.quanta):
-            # Remember each channel's quantum while it is healthy, so a
-            # later rejoin restores its pre-failure share.
-            self._quantum[channel] = quantum
-        for channel in range(len(self.session.all_ports)):
-            if channel in active:
-                if channel in self._probing:
-                    self._stop(channel)
-            elif channel not in self._probing:
-                self._start(channel)
-
-    def _start(self, channel: int) -> None:
-        now = self.sim.now
-        rejoined = self._rejoined_at.get(channel)
-        if rejoined is not None and now - rejoined < self.flap_window:
-            previous = self._hold_down.get(channel, 0.0)
-            self._hold_down[channel] = min(
-                max(previous * self.flap_factor, self.flap_penalty),
-                self.max_hold_down,
-            )
-        else:
-            self._hold_down[channel] = self.min_hold_down
-        self._down_at[channel] = now
-        state = {"interval": self.initial_interval, "sent": 0, "event": None}
-        self._probing[channel] = state
-        state["event"] = self.sim.schedule(
-            state["interval"], self._probe, channel
-        )
-
-    def _stop(self, channel: int) -> None:
-        state = self._probing.pop(channel, None)
-        if state is not None and state["event"] is not None:
-            state["event"].cancel()
-
-    def _probe(self, channel: int) -> None:
-        state = self._probing.get(channel)
-        if state is None:
-            return
-        state["event"] = None
-        if state["sent"] >= self.max_probes:
-            self.abandoned.append(channel)
-            del self._probing[channel]
-            return
-        state["sent"] += 1
-        self.probes_sent += 1
-        self._probe_seq += 1
-        self.session.all_ports[channel].send(
-            ProbePacket(channel=channel, seq=self._probe_seq), force=True
-        )
-        state["interval"] = min(
-            state["interval"] * self.backoff, self.max_interval
-        )
-        state["event"] = self.sim.schedule(
-            state["interval"], self._probe, channel
-        )
-
-    def _on_probe_ack(self, packet: ProbeAckPacket) -> None:
-        channel = packet.channel
-        if channel not in self._probing:
-            return
-        now = self.sim.now
-        if now - self._down_at[channel] < self._hold_down[channel]:
-            return  # flap-damped: not willing to rejoin yet
-        session = self.session
-        if session.state != session.RUNNING:
-            return  # a reset is in flight; _sync re-evaluates after it
-        if channel in session.config.active_channels:
-            self._stop(channel)
-            return
-        self._stop(channel)
-        self.rejoins += 1
-        self._rejoined_at[channel] = now
-        session.initiate_reset(
-            session.config_with(channel, self._quantum.get(channel))
-        )
-
-
-class LocalChecker:
-    """Self-stabilization by local checking ([Var93]) and correction.
-
-    The sender's markers each carry the sender round number ``r`` for the
-    channel they ride; with bounded in-flight data the receiver's global
-    round ``G`` must satisfy ``r - window <= G <= r + window`` whenever a
-    marker is *observed on arrival* (no blocking involved).  A violation
-    proves state corruption; the correction is a reset request.
-
-    Args:
-        window_rounds: tolerated |marker round − receiver round| slack;
-            choose ≥ the worst-case in-flight rounds (channel queue depth /
-            packets-per-round) plus the marker interval.
-    """
-
-    def __init__(self, window_rounds: int = 50) -> None:
-        if window_rounds < 1:
-            raise ValueError("window must be >= 1 round")
-        self.window_rounds = window_rounds
-        self.session: Optional[StripeReceiverSession] = None
-        self.violations = 0
-        self.resets_requested = 0
-        self._requested_this_epoch = False
-
-    def attach(self, session: StripeReceiverSession) -> None:
-        self.session = session
-
-    def on_reset(self, epoch: int) -> None:
-        self._requested_this_epoch = False
-
-    def observe_marker(self, marker: MarkerPacket) -> None:
-        assert self.session is not None
-        receiver_round = self.session.receiver.round_number
-        if abs(marker.round_number - receiver_round) > self.window_rounds:
-            self.violations += 1
-            if not self._requested_this_epoch:
-                self._requested_this_epoch = True
-                self.resets_requested += 1
-                self.session.request_reset(
-                    f"round divergence {marker.round_number} vs "
-                    f"{receiver_round}"
-                )

@@ -49,7 +49,7 @@ class SessionTestbed:
     sim: Simulator
     sender: SessionSocketSender
     receiver: SessionSocketReceiver
-    source: ClosedLoopSource
+    source: Optional[ClosedLoopSource]
     links: List[Link]
     loss_models: List[BernoulliLoss]
     deliveries: List[Tuple[float, int]] = field(default_factory=list)
@@ -78,8 +78,13 @@ def build_session_testbed(
     prober_options: Optional[dict] = None,
     reliability: str = "quasi_fifo",
     reliability_options: Optional[dict] = None,
+    closed_loop: bool = True,
 ) -> SessionTestbed:
-    """Two hosts, N links, session-managed striped UDP, closed-loop source."""
+    """Two hosts, N links, session-managed striped UDP, closed-loop source.
+
+    With ``closed_loop=False`` no source is created; the caller paces
+    submissions (e.g. through an attached fabric).
+    """
     link_mbps = list(link_mbps)
     loss_rates = list(loss_rates)
     if len(link_mbps) == 1:
@@ -153,18 +158,21 @@ def build_session_testbed(
             return 1 << 30
         return sender.backlog
 
-    source = ClosedLoopSource(
-        sim,
-        submit=sender.submit_packet,
-        backlog_fn=submit_backlog,
-        size_fn=ConstantSizes(message_bytes),
-        target=16,
-    )
-    source.start()
+    source: Optional[ClosedLoopSource] = None
+    if closed_loop:
+        source = ClosedLoopSource(
+            sim,
+            submit=sender.submit_packet,
+            backlog_fn=submit_backlog,
+            size_fn=ConstantSizes(message_bytes),
+            target=16,
+        )
+        source.start()
 
     def wake() -> None:
         sender.pump()
-        source.poke()
+        if source is not None:
+            source.poke()
 
     for link in links:
         link.ab.on_space = wake

@@ -39,8 +39,21 @@ class MultiflowResult:
     retransmits: List[int]
 
     @property
+    def fairness(self) -> float:
+        """Jain's fairness index over per-flow goodput (1.0 = perfect).
+
+        Shared with the fabric experiment via
+        :func:`repro.core.fairness.jain_fairness_index`; unlike the old
+        min/max ratio it degrades gracefully — one slow flow among many
+        fast ones costs ~1/n, not the whole score.
+        """
+        from repro.core.fairness import jain_fairness_index
+
+        return jain_fairness_index(self.per_flow_mbps)
+
+    @property
     def fairness_ratio(self) -> float:
-        """min/max per-flow goodput (1.0 = perfectly fair)."""
+        """min/max per-flow goodput (legacy metric; see :attr:`fairness`)."""
         if not self.per_flow_mbps or max(self.per_flow_mbps) == 0:
             return 0.0
         return min(self.per_flow_mbps) / max(self.per_flow_mbps)
@@ -53,7 +66,8 @@ class MultiflowResult:
                 f"  per-flow goodput (Mbps): {flows}",
                 f"  aggregate: {self.aggregate_mbps:.2f} Mbps "
                 f"(single flow alone: {self.single_flow_mbps:.2f})",
-                f"  fairness (min/max): {self.fairness_ratio:.2f}",
+                f"  fairness (Jain): {self.fairness:.3f} "
+                f"(min/max: {self.fairness_ratio:.2f})",
             ]
         )
 

@@ -167,6 +167,14 @@ def _run_multiflow(quick: bool = False):
     return run_multiflow()
 
 
+def _run_fabric(quick: bool = False):
+    from repro.experiments.fabric import run_fabric
+
+    if quick:
+        return run_fabric(n_flows=512)
+    return run_fabric()
+
+
 def _run_scalability(quick: bool = False, fast: bool = False):
     from repro.experiments.scalability import run_scalability
 
@@ -284,6 +292,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "multiflow", "Adoption (extension)",
             "Multiple TCP flows sharing one strIPe bundle", _run_multiflow,
+        ),
+        Experiment(
+            "fabric", "Multi-tenant fabric (extension)",
+            "10k weighted flows through one bundle (FQ x SRR)", _run_fabric,
         ),
         Experiment(
             "scalability", "Title claim (extension)",

@@ -42,8 +42,13 @@ def build_tcp_striped(
     message_sizes: Sequence[int] = (200, 1000, 1460),
     seed: int = 0,
     failure_detector=None,
+    closed_loop: bool = True,
 ) -> Tuple[StripedTcpSender, StripedTcpReceiver, list]:
-    """Two hosts, one link per TCP channel, closed-loop striped stream."""
+    """Two hosts, one link per TCP channel, closed-loop striped stream.
+
+    With ``closed_loop=False`` no source is created; the caller paces
+    submissions (e.g. through an attached fabric).
+    """
     s = Stack(sim, "S")
     r = Stack(sim, "R")
     dst_ips = []
@@ -77,11 +82,13 @@ def build_tcp_striped(
         dst_ips=dst_ips,
     )
     sender.start()
-    sizes = RandomMixSizes(message_sizes, rng=random.Random(seed))
-    source = ClosedLoopSource(
-        sim, sender.submit_packet, lambda: sender.backlog, sizes, target=12,
-    )
-    source.start()
+    if closed_loop:
+        sizes = RandomMixSizes(message_sizes, rng=random.Random(seed))
+        source = ClosedLoopSource(
+            sim, sender.submit_packet, lambda: sender.backlog, sizes,
+            target=12,
+        )
+        source.start()
     return sender, receiver, links
 
 

@@ -11,6 +11,9 @@
   discipline registry, and the dead-channel watchdog.
 * :mod:`repro.transport.socket_striping` — striping across UDP sockets at
   the transport layer (section 6.3's experimental harness).
+* :mod:`repro.transport.fabric` — the multi-tenant session fabric: a
+  flow table plus a weighted-DRR scheduler mounted above any sender
+  pipeline (FQ across flows x SRR across channels).
 """
 
 from repro.transport.endpoint import (
@@ -49,6 +52,11 @@ from repro.transport.fast_path import (
     wire_size,
 )
 from repro.transport.duplex import DuplexStripedEndpoint, connect_duplex
+from repro.transport.fabric import (
+    FabricScheduler,
+    FlowTable,
+    logarithmic_tenant_weights,
+)
 from repro.transport.tcp_striping import (
     StripedTcpReceiver,
     StripedTcpSender,
@@ -88,6 +96,9 @@ __all__ = [
     "ChannelFailureDetector",
     "DuplexStripedEndpoint",
     "connect_duplex",
+    "FlowTable",
+    "FabricScheduler",
+    "logarithmic_tenant_weights",
     "StripedTcpSender",
     "StripedTcpReceiver",
     "TcpChannelPort",

@@ -46,11 +46,22 @@ class DuplexStripedEndpoint:
     sender: StripedSocketSender
     receiver: StripedSocketReceiver
 
-    def send_message(self, size: int, payload=None) -> Packet:
-        return self.sender.send_message(size, payload)
+    def send_message(self, size: int, payload=None, flow_id=None) -> Packet:
+        return self.sender.send_message(size, payload, flow_id=flow_id)
 
-    def submit_packet(self, packet: Packet) -> None:
-        self.sender.submit_packet(packet)
+    def submit_packet(self, packet: Packet, flow_id=None) -> None:
+        self.sender.submit_packet(packet, flow_id=flow_id)
+
+    def submit(self, flow_id, packet: Packet) -> bool:
+        """Flow-addressed submission through this side's sender fabric."""
+        return self.sender.submit(flow_id, packet)
+
+    def attach_fabric(self, fabric, *, backlog_limit=None):
+        """Mount a flow-layer scheduler on this side's sender pipeline."""
+        return self.sender.attach_fabric(fabric, backlog_limit=backlog_limit)
+
+    def can_submit(self, flow_id=None) -> bool:
+        return self.sender.can_submit(flow_id)
 
     @property
     def delivered(self) -> List[Packet]:

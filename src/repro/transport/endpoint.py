@@ -475,6 +475,11 @@ class StripeSenderPipeline:
             ``on_channel_suspect``, ...).
         discipline_options: forwarded to :func:`make_discipline` when
             ``discipline`` is a name.
+        fabric: optional :class:`~repro.transport.fabric.FabricScheduler`
+            mounted above the submit path (equivalent to calling
+            :meth:`attach_fabric` after construction): flow-addressed
+            submission (``submit(flow_id, packet)``) with per-flow
+            weighted-DRR scheduling and per-flow backpressure.
     """
 
     def __init__(
@@ -494,6 +499,7 @@ class StripeSenderPipeline:
         reliability: str = "quasi_fifo",
         reliability_options: Optional[Dict[str, Any]] = None,
         discipline_options: Optional[Dict[str, Any]] = None,
+        fabric: Any = None,
     ) -> None:
         if reliability not in RELIABILITY_MODES:
             raise ValueError(
@@ -554,6 +560,10 @@ class StripeSenderPipeline:
                 port.on_unblocked = self._pump
         self.messages_submitted = 0
         self._closed = False
+        self.fabric: Any = None
+        self._fabric_backlog_limit = 0
+        if fabric is not None:
+            self.attach_fabric(fabric)
         self._keepalive_s = marker_keepalive_s
         self._markers_at_last_tick = 0
         if marker_keepalive_s is not None:
@@ -564,16 +574,79 @@ class StripeSenderPipeline:
             sim.schedule(marker_keepalive_s, self._keepalive_tick)
 
     # ------------------------------------------------------------------ #
+    # multi-flow fabric mount
 
-    def send_message(self, size: int, payload: Any = None) -> Packet:
+    def attach_fabric(
+        self, fabric: Any, *, backlog_limit: Optional[int] = None
+    ) -> Any:
+        """Mount a flow-layer scheduler (FQ across flows) on this pipeline.
+
+        ``fabric`` is duck-typed (``bind``/``submit``/``can_submit``/
+        ``pump``), normally a
+        :class:`~repro.transport.fabric.FabricScheduler`.  It drains into
+        the pipeline's ordinary submit path — through the ARQ layer in
+        reliable mode — but only while the pipeline is ready: reliable
+        window open and striper input queue below ``backlog_limit``
+        (default ``4 × n_channels``).  Backlog therefore waits in
+        per-flow queues where the weighted DRR arbitrates it, instead of
+        congealing into the shared FIFO below, and every transport
+        adapter built on this pipeline gets multi-flow submission with
+        no adapter-side flow logic.
+        """
+        if backlog_limit is None:
+            backlog_limit = 4 * len(self.ports)
+        self.fabric = fabric
+        self._fabric_backlog_limit = backlog_limit
+        fabric.bind(self._submit, ready=self._fabric_ready)
+        if self.reliable is not None:
+            # A draining ARQ window reopens the fabric gate: chain the
+            # fabric pump behind any callback the owner already installed.
+            chained = self.reliable.on_window_open
+
+            def _window_open() -> None:
+                if chained is not None:
+                    chained()
+                fabric.pump()
+
+            self.reliable.on_window_open = _window_open
+        return fabric
+
+    def _fabric_ready(self) -> bool:
+        if self.reliable is not None and not self.reliable.can_submit():
+            return False
+        return self.striper.backlog < self._fabric_backlog_limit
+
+    def submit(self, flow_id: Any, packet: Packet) -> bool:
+        """Flow-addressed submission: queue ``packet`` on ``flow_id``.
+
+        Requires a mounted fabric (``fabric=`` or :meth:`attach_fabric`).
+        Returns False when the flow's bounded queue refused the packet.
+        """
+        if self.fabric is None:
+            raise RuntimeError(
+                "flow-addressed submit requires a fabric "
+                "(pass fabric= or call attach_fabric())"
+            )
+        self.messages_submitted += 1
+        return self.fabric.submit(flow_id, packet)
+
+    def send_message(
+        self, size: int, payload: Any = None, flow_id: Any = None
+    ) -> Packet:
         """Submit one application message of ``size`` bytes for striping."""
         packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
+        if flow_id is not None:
+            self.submit(flow_id, packet)
+            return packet
         self.messages_submitted += 1
         self._submit(packet)
         return packet
 
-    def submit_packet(self, packet: Packet) -> None:
+    def submit_packet(self, packet: Packet, flow_id: Any = None) -> None:
         """Submit a caller-constructed packet (e.g. video trace packets)."""
+        if flow_id is not None:
+            self.submit(flow_id, packet)
+            return
         self.messages_submitted += 1
         self._submit(packet)
 
@@ -590,8 +663,17 @@ class StripeSenderPipeline:
         else:
             self.striper.submit(packet)
 
-    def can_submit(self) -> bool:
-        """Backpressure signal: False while a reliable window is full."""
+    def can_submit(self, flow_id: Any = None) -> bool:
+        """Backpressure signal: False while a reliable window is full.
+
+        With ``flow_id``, per-flow backpressure instead: False only while
+        that flow's bounded fabric queue is full (a stalled sibling flow
+        or a full shared window does not show through).
+        """
+        if flow_id is not None:
+            if self.fabric is None:
+                return False
+            return self.fabric.can_submit(flow_id)
         return self.reliable is None or self.reliable.can_submit()
 
     def on_ack(self, ack: Any) -> None:
@@ -618,10 +700,17 @@ class StripeSenderPipeline:
         return self.striper.backlog
 
     def pump(self) -> int:
-        return self.striper.pump()
+        sent = self.striper.pump()
+        if self.fabric is not None:
+            self.fabric.pump()
+        return sent
 
     def _pump(self) -> None:
         self.striper.pump()
+        if self.fabric is not None:
+            # Freed port/credit capacity may have reopened the fabric
+            # gate; refill the striper from the per-flow queues.
+            self.fabric.pump()
 
     def close(self) -> None:
         self._closed = True

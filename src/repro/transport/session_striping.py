@@ -83,6 +83,7 @@ class SessionSocketSender:
         prober_options: Optional[dict] = None,
         reliability: str = "quasi_fifo",
         reliability_options: Optional[dict] = None,
+        fabric: Any = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
@@ -136,21 +137,78 @@ class SessionSocketSender:
             self.prober = ChannelProber(
                 sim, self.session, **(prober_options or {})
             )
+        self.fabric: Any = None
+        if fabric is not None:
+            self.attach_fabric(fabric)
 
-    def send_message(self, size: int, payload: Any = None) -> Packet:
+    def attach_fabric(
+        self, fabric: Any, *, backlog_limit: Optional[int] = None
+    ) -> Any:
+        """Mount a flow-layer scheduler above the session's submit path.
+
+        The fabric drains through the reliable window when one exists
+        (so ARQ sequencing covers fabric traffic) and is gated on the
+        window besides the session's own RUNNING/backlog conditions; a
+        draining window re-pumps the fabric via ``on_window_open``.
+        """
+        self.fabric = fabric
+        downstream = extra_ready = None
+        if self.reliable is not None:
+            downstream = self.reliable.submit
+            extra_ready = self.reliable.can_submit
+            chained = self.reliable.on_window_open
+
+            def _window_open() -> None:
+                if chained is not None:
+                    chained()
+                fabric.pump()
+
+            self.reliable.on_window_open = _window_open
+        self.session.attach_fabric(
+            fabric,
+            downstream=downstream,
+            backlog_limit=backlog_limit,
+            extra_ready=extra_ready,
+        )
+        return fabric
+
+    def submit(self, flow_id: Any, packet: Packet) -> bool:
+        """Flow-addressed submission (requires :meth:`attach_fabric`)."""
+        if self.fabric is None:
+            raise RuntimeError(
+                "flow-addressed submit requires a fabric "
+                "(pass fabric= or call attach_fabric())"
+            )
+        self.messages_submitted += 1
+        return self.fabric.submit(flow_id, packet)
+
+    def send_message(
+        self, size: int, payload: Any = None, flow_id: Any = None
+    ) -> Packet:
         packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
-        self.submit_packet(packet)
+        self.submit_packet(packet, flow_id=flow_id)
         return packet
 
-    def submit_packet(self, packet: Packet) -> None:
+    def submit_packet(self, packet: Packet, flow_id: Any = None) -> None:
+        if flow_id is not None:
+            self.submit(flow_id, packet)
+            return
         self.messages_submitted += 1
         if self.reliable is not None:
             self.reliable.submit(packet)
         else:
             self.session.submit(packet)
 
-    def can_submit(self) -> bool:
-        """Backpressure signal: False while a reliable window is full."""
+    def can_submit(self, flow_id: Any = None) -> bool:
+        """Backpressure signal: False while a reliable window is full.
+
+        With ``flow_id``: per-flow backpressure — False only while that
+        flow's bounded fabric queue is full.
+        """
+        if flow_id is not None:
+            if self.fabric is None:
+                return False
+            return self.fabric.can_submit(flow_id)
         return self.reliable is None or self.reliable.can_submit()
 
     def _on_suspect(self, port_index: int) -> None:

@@ -187,3 +187,174 @@ class TestArrivalOrderInvariance:
             return delivered
 
         assert run(seeds[0]) == run(seeds[1])
+
+
+@st.composite
+def fabric_workloads(draw):
+    """(flow quanta, per-flow prefilled packet queues) for the fabric."""
+    quanta = draw(quanta_strategy)
+    queues = []
+    uid = 0
+    for index in range(len(quanta)):
+        sizes = draw(
+            st.lists(st.integers(min_value=1, max_value=2000),
+                     min_size=1, max_size=40)
+        )
+        queues.append(
+            [Packet(size=s, seq=(uid + k), flow=f"q{index}")
+             for k, s in enumerate(sizes)]
+        )
+        uid += len(sizes)
+    return quanta, queues
+
+
+class TestComposedFQxSRR:
+    """Transform duality extended to the composed FQ x SRR pipeline.
+
+    A :class:`~repro.transport.fabric.FabricScheduler` (weighted DRR
+    across flows) feeding the SRR striping kernel is the two-level
+    construction of Section 3 applied twice.  Three claims must survive
+    the composition:
+
+    * the fabric's service order is exactly the reference DRR driver's
+      (:func:`~repro.core.cfq.fq_service_order_noncausal`) over the same
+      prefilled queues;
+    * the fabric-merged stream preserves every flow's submission order
+      and still satisfies the Theorem 3.1 reverse correspondence when
+      striped by a :class:`TransformedLoadSharer`;
+    * snapshotting *both* layers mid-stream and restoring them into
+      fresh instances replays the identical remaining sent order and
+      per-channel streams.
+    """
+
+    @staticmethod
+    def _prefilled(quanta, queues, downstream, ready):
+        """A FabricScheduler with one flow per queue, all packets queued.
+
+        Flows are registered (and first-submitted) in queue-index order,
+        so the fabric's activation ring matches the reference driver's
+        queue indexing; ``quantum_bytes=1.0`` makes each flow's quantum
+        equal its weight, i.e. the reference algorithm's quantum.
+        """
+        from repro.transport.fabric import FabricScheduler, FlowTable
+
+        table = FlowTable(quantum_bytes=1.0)
+        fabric = FabricScheduler(
+            table, flow_buffer_packets=None, auto_register=False
+        )
+        for index, quantum in enumerate(quanta):
+            table.register(f"q{index}", weight=float(quantum))
+        fabric.bind(downstream, ready=ready)
+        for index, queue in enumerate(queues):
+            for packet in queue:
+                assert fabric.submit(f"q{index}", packet)
+        return fabric, table
+
+    def _drain(self, quanta, queues):
+        out = []
+        gate = [False]
+        fabric, _ = self._prefilled(
+            quanta, queues, out.append, lambda: gate[0]
+        )
+        gate[0] = True
+        fabric.pump()
+        return out
+
+    @given(workload=fabric_workloads())
+    @settings(max_examples=80, deadline=None)
+    def test_fabric_service_order_matches_reference_drr(self, workload):
+        """The event-driven fabric == the offline non-causal DRR driver."""
+        from repro.core.cfq import fq_service_order_noncausal
+        from repro.core.srr import DRR
+
+        quanta, queues = workload
+        merged = self._drain(quanta, queues)
+        reference = fq_service_order_noncausal(
+            DRR([float(q) for q in quanta]), queues
+        )
+        assert [p.uid for p in merged] == [p.uid for p in reference]
+
+    @given(workload=fabric_workloads(), channel_quanta=quanta_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_theorem31_holds_on_fabric_merged_stream(
+        self, workload, channel_quanta
+    ):
+        """Per-flow FIFO + reverse correspondence survive the composition."""
+        quanta, queues = workload
+        merged = self._drain(quanta, queues)
+        assert len(merged) == sum(len(q) for q in queues)
+        for index, queue in enumerate(queues):
+            flow_uids = [p.uid for p in merged if p.flow == f"q{index}"]
+            assert flow_uids == [p.uid for p in queue], (
+                f"flow q{index} left the fabric out of submission order"
+            )
+        assert verify_reverse_correspondence(SRR(channel_quanta), merged)
+
+    @given(
+        workload=fabric_workloads(),
+        channel_quanta=quanta_strategy,
+        cut=st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_composed_snapshot_restore_replays_identically(
+        self, workload, channel_quanta, cut
+    ):
+        """Fabric + SRR kernel snapshots taken mid-stream round-trip."""
+        quanta, queues = workload
+        total = sum(len(q) for q in queues)
+        k = cut % total
+
+        def run(sharer, budget, sent, channels):
+            def downstream(packet):
+                channel = sharer.choose(packet)
+                sharer.notify_sent(channel, packet)
+                channels[channel].append(packet)
+                sent.append(packet)
+                budget[0] -= 1
+
+            return downstream
+
+        # First execution: pause after exactly k packets, snapshot both
+        # layers, then run to completion.
+        sharer = TransformedLoadSharer(SRR(channel_quanta))
+        sent, channels = [], [[] for _ in range(sharer.n_channels)]
+        budget = [0]
+        fabric, _ = self._prefilled(
+            quanta, queues, run(sharer, budget, sent, channels),
+            lambda: budget[0] > 0,
+        )
+        budget[0] = k
+        fabric.pump()
+        assert len(sent) == k
+        fabric_snap = fabric.snapshot()
+        kernel_snap = sharer.state
+        prefix_lens = [len(c) for c in channels]
+        budget[0] = total
+        fabric.pump()
+        assert len(sent) == total
+
+        # Second execution: rebuild the same queues, fast-forward past the
+        # k already-serviced packets, restore both snapshots, drain.
+        sharer2 = TransformedLoadSharer(SRR(channel_quanta))
+        sent2, channels2 = [], [[] for _ in range(sharer2.n_channels)]
+        budget2 = [0]
+        fabric2, table2 = self._prefilled(
+            quanta, queues, run(sharer2, budget2, sent2, channels2),
+            lambda: budget2[0] > 0,
+        )
+        for packet in sent[:k]:
+            flow = table2[packet.flow]
+            assert flow.queue.popleft() is packet
+            if not flow.queue:
+                flow.active = False
+        fabric2.restore(fabric_snap)
+        sharer2.state = kernel_snap
+        budget2[0] = total
+        fabric2.pump()
+
+        assert [p.uid for p in sent2] == [p.uid for p in sent[k:]]
+        for index, stream in enumerate(channels2):
+            expected = channels[index][prefix_lens[index]:]
+            assert [p.uid for p in stream] == [p.uid for p in expected], (
+                f"channel {index} replayed a different stream after restore"
+            )

@@ -154,3 +154,163 @@ class TestDisciplinePortability:
             assert [p.size for p in pipe_data] == [
                 p.size for p in manual_port.sent
             ]
+
+
+class TestMultiFlowCrossTransportEquivalence:
+    """Every adapter drains an attached fabric into the same wire order.
+
+    Two weighted flows are prefilled into a detached
+    :class:`~repro.transport.fabric.FabricScheduler` (so the weighted-DRR
+    merge order is fixed before any transport sees a packet), the fabric
+    is mounted on each adapter — socket, session, TCP, fast path, and
+    duplex — and the delivered sequence must equal the reference DRR
+    merge on all five.  None of the adapters contains any flow logic;
+    multi-flow submission is purely the shared pipeline's ``attach_fabric``
+    surface, so any divergence here is a pipeline bug, not a transport
+    feature.
+    """
+
+    MESSAGE_BYTES = 1000
+    #: (flow_id, weight, packets): counts proportional to weight so the
+    #: flows stay mutually backlogged until they drain together.
+    FLOWS = (("gold", 2.0, 80), ("bronze", 1.0, 40))
+
+    def _prefilled_fabric(self):
+        from repro.transport.fabric import FabricScheduler, FlowTable
+
+        table = FlowTable(quantum_bytes=float(self.MESSAGE_BYTES))
+        fabric = FabricScheduler(
+            table, flow_buffer_packets=None, auto_register=False
+        )
+        for flow_id, weight, _ in self.FLOWS:
+            table.register(flow_id, weight=weight)
+        seq = 0
+        for flow_id, _, count in self.FLOWS:
+            for _ in range(count):
+                assert fabric.submit(
+                    flow_id, Packet(size=self.MESSAGE_BYTES, seq=seq)
+                )
+                seq += 1
+        return fabric
+
+    @property
+    def _total(self):
+        return sum(count for _, _, count in self.FLOWS)
+
+    def _reference_order(self):
+        """The pure weighted-DRR merge, no transport underneath."""
+        out = []
+        fabric = self._prefilled_fabric()
+        fabric.bind(out.append)
+        fabric.pump()
+        return [p.seq for p in out]
+
+    def _socket_seqs(self, fast):
+        config = SocketTestbedConfig(
+            n_channels=2,
+            link_mbps=(10.0,),
+            prop_delay_s=(0.5e-3, 0.5e-3),
+            loss_rates=(0.0,),
+            message_bytes=self.MESSAGE_BYTES,
+            seed=0,
+            fast=fast,
+            closed_loop=False,
+        )
+        sim = Simulator()
+        testbed = build_socket_testbed(sim, config)
+        testbed.sender.attach_fabric(self._prefilled_fabric())
+        testbed.sender.pump()
+        sim.run(until=0.6)
+        return testbed.delivered_seqs()
+
+    def _session_seqs(self):
+        sim = Simulator()
+        testbed = build_session_testbed(
+            sim, n_channels=2, link_mbps=(10.0,), loss_rates=(0.0,),
+            message_bytes=self.MESSAGE_BYTES, seed=0, closed_loop=False,
+        )
+        testbed.sender.attach_fabric(self._prefilled_fabric())
+        testbed.sender.pump()
+        sim.run(until=0.6)
+        return [seq for _, seq in testbed.deliveries]
+
+    def _tcp_seqs(self):
+        sim = Simulator()
+        sender, receiver, _ = build_tcp_striped(
+            sim, n_channels=2, message_sizes=(self.MESSAGE_BYTES,),
+            seed=0, closed_loop=False,
+        )
+        sender.attach_fabric(self._prefilled_fabric())
+        sender.pump()
+        sim.run(until=0.6)
+        return [p.seq for p in receiver.delivered]
+
+    def _duplex_seqs(self):
+        from repro.core.srr import SRR
+        from repro.net.ethernet import EthernetInterface
+        from repro.net.stack import Link, Stack
+        from repro.transport.duplex import connect_duplex
+
+        sim = Simulator()
+        a, b = Stack(sim, "A"), Stack(sim, "B")
+        a_targets, b_targets, links = [], [], []
+        for index in range(2):
+            ia = EthernetInterface(sim, f"mf{index}a", f"10.{90+index}.0.1")
+            ib = EthernetInterface(sim, f"mf{index}b", f"10.{90+index}.0.2")
+            a.add_interface(ia)
+            b.add_interface(ib)
+            links.append(Link(
+                sim, ia, ib, bandwidth_bps=10e6, prop_delay=0.5e-3,
+                queue_limit=40, name=f"mfduplex{index}",
+            ))
+            a.routing.add(f"10.{90+index}.0.2", 24, ia)
+            b.routing.add(f"10.{90+index}.0.1", 24, ib)
+            ia.arp_cache.install(ib.ip_address, ib.mac)
+            ib.arp_cache.install(ia.ip_address, ia.mac)
+            a_targets.append((f"10.{90+index}.0.2", 7100 + index))
+            b_targets.append((f"10.{90+index}.0.1", 7000 + index))
+        end_a, end_b = connect_duplex(
+            sim, a, b, a_targets, b_targets,
+            algorithm_factory=lambda: SRR([float(self.MESSAGE_BYTES)] * 2),
+            buffer_packets=16,
+        )
+        end_a.attach_fabric(self._prefilled_fabric())
+        end_a.sender.pump()
+        for link in links:
+            link.ab.on_space = end_a.sender.pump
+            link.ba.on_space = end_b.sender.pump
+        sim.run(until=0.6)
+        return [p.seq for p in end_b.delivered]
+
+    def test_all_adapters_drain_the_fabric_in_reference_drr_order(self):
+        reference = self._reference_order()
+        assert len(reference) == self._total
+        # The weighted merge is NOT the submission order — the transports
+        # below must reproduce the *scheduler's* interleave, not FIFO.
+        assert reference != sorted(reference)
+
+        orders = {
+            "socket": self._socket_seqs(fast=False),
+            "fast": self._socket_seqs(fast=True),
+            "session": self._session_seqs(),
+            "tcp": self._tcp_seqs(),
+            "duplex": self._duplex_seqs(),
+        }
+        for name, seqs in orders.items():
+            assert seqs == reference, (
+                f"{name} transport diverged from the reference DRR merge "
+                f"(delivered {len(seqs)}/{len(reference)})"
+            )
+
+    def test_per_flow_fifo_on_every_transport(self):
+        """Each flow's packets arrive in its own submission order."""
+        bounds, start = {}, 0
+        for flow_id, _, count in self.FLOWS:
+            bounds[flow_id] = range(start, start + count)
+            start += count
+        for seqs in (self._session_seqs(), self._tcp_seqs()):
+            for flow_id, flow_range in bounds.items():
+                flow_seqs = [s for s in seqs if s in flow_range]
+                assert flow_seqs == list(flow_range), (
+                    f"flow {flow_id} delivered out of submission order"
+                )
