@@ -2,7 +2,7 @@
 
 .PHONY: install test bench experiments quick-experiments examples clean \
 	endpoints-smoke chaos-smoke reliability-smoke fabric-smoke \
-	lint-endpoints
+	fast-reliable-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -47,6 +47,18 @@ fabric-smoke:
 	PYTHONPATH=src pytest tests/transport/test_fabric.py \
 		tests/properties/test_fabric_invariants.py
 	PYTHONPATH=src python -m repro.experiments.runner fabric --quick
+
+# Fast confidence check for the fast path x reliability work: the
+# per-mode ref/fast equivalence properties (clean, lossy, crash,
+# persistent loss), the batched-ARQ unit tests, the vectorized-kernel
+# tests (skipped gracefully when numpy is absent), then the sim
+# benchmark gate — >= 3x fast-path speedup on every reliability mode
+# with bit-identical delivery records (SIM_BENCH_* env knobs apply).
+fast-reliable-smoke:
+	PYTHONPATH=src pytest tests/properties/test_fast_path_equivalence.py \
+		tests/transport/test_reliability.py \
+		tests/core/test_numpy_kernel.py
+	PYTHONPATH=src pytest benchmarks/test_bench_sim.py -x -q
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

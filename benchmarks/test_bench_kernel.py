@@ -28,6 +28,7 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
 N_PACKETS = 100_000
 QUANTA = [1500.0, 2070.0, 900.0]
+UNIFORM_SIZE = 1000
 REPEATS = 3
 
 
@@ -81,6 +82,26 @@ def test_bench_stripe_sequence_speedup():
     stepping = run_kernel_bench(n_packets=N_PACKETS, quanta=QUANTA)
     assert stepping.assignments_identical
 
+    # Uniform-cost workload: the shape the closed-form numpy kernel
+    # vectorizes (every message the same size — the harness's constant
+    # 1000 B source).  The numpy path is added only when importable.
+    uniform = run_kernel_bench(
+        n_packets=N_PACKETS, quanta=QUANTA,
+        uniform_size=UNIFORM_SIZE, numpy=True,
+    )
+    assert uniform.assignments_identical
+
+    def stepping_json(result):
+        return {
+            name: {
+                "pkts_per_sec": round(rate),
+                "speedup_vs_frozen": round(
+                    result.speedup_vs_frozen[name], 2
+                ),
+            }
+            for name, rate in result.packets_per_sec.items()
+        }
+
     report = {
         "workload": {
             "n_packets": N_PACKETS,
@@ -92,25 +113,30 @@ def test_bench_stripe_sequence_speedup():
             "batched_pkts_per_sec": round(batched_rate),
             "speedup": round(speedup, 2),
         },
-        "stepping": {
-            name: {
-                "pkts_per_sec": round(rate),
-                "speedup_vs_frozen": round(
-                    stepping.speedup_vs_frozen[name], 2
-                ),
-            }
-            for name, rate in stepping.packets_per_sec.items()
+        "stepping": stepping_json(stepping),
+        "stepping_uniform": {
+            "uniform_size": UNIFORM_SIZE,
+            "numpy_available": "numpy" in uniform.packets_per_sec,
+            **stepping_json(uniform),
         },
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nstripe_sequence: frozen {frozen_rate:,.0f} pkt/s, "
           f"batched {batched_rate:,.0f} pkt/s ({speedup:.2f}x)")
     print(stepping.render())
+    print("uniform workload:")
+    print(uniform.render())
     print(f"results written to {BENCH_JSON}")
 
     assert speedup >= 3.0, (
         f"batched stripe_sequence is only {speedup:.2f}x the frozen path"
     )
+    if "numpy" in uniform.packets_per_sec:
+        numpy_speedup = uniform.speedup_vs_frozen["numpy"]
+        assert numpy_speedup >= 10.0, (
+            f"numpy stepping is only {numpy_speedup:.2f}x the frozen path "
+            "on the uniform workload"
+        )
 
 
 def test_bench_kernel_step(benchmark):

@@ -24,7 +24,12 @@ import json
 import os
 from pathlib import Path
 
-from repro.experiments.sim_bench import run_sim_bench
+from repro.experiments.sim_bench import (
+    RELIABILITY_MODES,
+    RELIABLE_BENCH_OPTIONS,
+    run_reliability_mode_bench,
+    run_sim_bench,
+)
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
@@ -33,11 +38,18 @@ MIN_SPEEDUP = float(os.environ.get("SIM_BENCH_MIN_SPEEDUP", "3.0"))
 CHANNEL_COUNTS = tuple(
     int(n) for n in os.environ.get("SIM_BENCH_CHANNELS", "2,4,8,16").split(",")
 )
+MODE_LOSS = 0.1
 REPEATS = 3
 
 
 def test_bench_sim_fast_path_speedup():
-    """Fast path >= MIN_SPEEDUP x reference packets/sec; emit JSON."""
+    """Fast path >= MIN_SPEEDUP x reference packets/sec; emit JSON.
+
+    Two axes: channel-count scaling (the original clean quasi-FIFO
+    testbed) and the reliability-mode axis — one row per service level,
+    each requiring the same speedup bar on the clean run plus
+    bit-identical deliveries on a 10 %-loss run.
+    """
     result = run_sim_bench(
         channel_counts=CHANNEL_COUNTS,
         duration_s=DURATION_S,
@@ -47,6 +59,17 @@ def test_bench_sim_fast_path_speedup():
     assert result.all_equal(), (
         "fast path delivery records diverged from the reference path:\n"
         + result.render()
+    )
+
+    modes = run_reliability_mode_bench(
+        duration_s=DURATION_S,
+        loss=MODE_LOSS,
+        repeats=REPEATS,
+    )
+
+    assert modes.all_identical(), (
+        "fast path delivery records diverged from the reference path on "
+        "the reliability-mode axis:\n" + modes.render()
     )
 
     report = {
@@ -73,12 +96,38 @@ def test_bench_sim_fast_path_speedup():
             for row in result.rows
         ],
         "min_speedup": round(result.min_speedup(), 2),
+        "reliability_modes": {
+            "loss": MODE_LOSS,
+            "reliable_options": RELIABLE_BENCH_OPTIONS,
+            "rows": [
+                {
+                    "reliability_mode": row.mode,
+                    "n_channels": row.n_channels,
+                    "packets_delivered": row.packets,
+                    "lossy_packets_delivered": row.lossy_packets,
+                    "reference_pkts_per_sec": round(row.reference_pps),
+                    "fast_pkts_per_sec": round(row.fast_pps),
+                    "speedup": round(row.speedup, 2),
+                    "deliveries_identical": row.deliveries_identical,
+                }
+                for row in modes.rows
+            ],
+            "min_speedup": round(modes.min_speedup(), 2),
+        },
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
     print("\n" + result.render())
+    print("\nreliability modes (clean speedup + 10% loss equivalence):")
+    print(modes.render())
     print(f"results written to {BENCH_JSON}")
 
     assert result.min_speedup() >= MIN_SPEEDUP, (
         f"fast path is only {result.min_speedup():.2f}x the reference path "
         f"(need {MIN_SPEEDUP:.1f}x):\n" + result.render()
+    )
+    assert set(row.mode for row in modes.rows) == set(RELIABILITY_MODES)
+    assert modes.min_speedup() >= MIN_SPEEDUP, (
+        f"fast path is only {modes.min_speedup():.2f}x the reference path "
+        f"on the reliability-mode axis (need {MIN_SPEEDUP:.1f}x):\n"
+        + modes.render()
     )

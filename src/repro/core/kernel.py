@@ -45,6 +45,16 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.core.cfq import CausalFQ
 from repro.core.srr import SRR, SRRState
 
+try:  # optional acceleration; the pure-python kernels never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+
+def numpy_available() -> bool:
+    """True if the optional numpy-backed kernel can be constructed."""
+    return _np is not None
+
 
 class SchedulerKernel(abc.ABC):
     """A mutable stepping engine for a causal scheduling algorithm.
@@ -225,6 +235,151 @@ class SRRKernel(SchedulerKernel):
         return (rnd, d)
 
 
+class NumpySRRKernel(SRRKernel):
+    """:class:`SRRKernel` with a vectorized ``assign_many`` for uniform bursts.
+
+    Byte-mode SRR over *mixed* sizes is inherently sequential — each
+    advance decision depends on the exact bytes served so far, so there is
+    no exact data-parallel formulation.  But the two workloads the striping
+    benchmarks actually run are closed-form:
+
+    * packet-counting mode (RR / GRR): every packet costs ``1.0``;
+    * uniform-size bursts (the constant-MTU bulk-transfer case): every
+      packet costs the same ``size``.
+
+    With a uniform cost ``c`` a channel's cumulative serve count depends
+    only on its own granted budget, never on the interleaving: by the end
+    of its ``j``-th visit, a channel with first-visit budget ``o`` and
+    quantum ``q`` has served exactly ``max(0, ceil((o + j*q) / c))``
+    packets.  Evaluating that threshold matrix for all visits at once,
+    differencing per visit, and ``repeat``-ing the visit channels yields
+    the whole assignment without stepping.
+
+    Exactness: the closed form multiplies where the reference loop
+    repeatedly subtracts.  When quanta, deficits and cost are all
+    integer-valued (true for every byte-counting testbed in this repo) both
+    are exact in float64 below 2**53, except that ``ceil`` of a float
+    division may misround — fixed up with two exact multiply-compares.
+    Whenever exactness cannot be guaranteed (mixed sizes, fractional
+    quanta in byte mode, tiny bursts) the kernel silently falls back to
+    the inherited scalar loop, so assignments are *always* bit-identical
+    to :class:`SRRKernel`.
+    """
+
+    __slots__ = ("min_batch", "vector_batches", "scalar_batches")
+
+    def __init__(self, algorithm: SRR, min_batch: int = 32) -> None:
+        if _np is None:
+            raise ImportError(
+                "NumpySRRKernel requires numpy; use SRRKernel instead"
+            )
+        super().__init__(algorithm)
+        self.min_batch = min_batch
+        #: batches served by the vectorized path (perf counter)
+        self.vector_batches = 0
+        #: batches that fell back to the scalar loop (perf counter)
+        self.scalar_batches = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _uniform_cost(self, sizes: Sequence[int]) -> Optional[float]:
+        """The single per-packet cost, or None if not vectorizable."""
+        if self.count_packets:
+            return 1.0
+        arr = _np.asarray(sizes)
+        first = arr.flat[0]
+        if not bool((arr == first).all()):
+            return None
+        cost = float(first)
+        return cost if cost > 0 and cost.is_integer() else None
+
+    def _exact(self) -> bool:
+        """True if quanta and live deficits are all integer-valued."""
+        return all(float(q).is_integer() for q in self.quanta) and all(
+            float(d).is_integer() for d in self.dc
+        )
+
+    def assign_many(self, sizes: Sequence[int]) -> List[int]:
+        n_packets = len(sizes)
+        if n_packets >= self.min_batch and self.dc[self.ptr] > 0:
+            cost = self._uniform_cost(sizes)
+            if cost is not None and self._exact():
+                out = self._vector_assign(n_packets, cost)
+                if out is not None:
+                    self.vector_batches += 1
+                    return out
+        self.scalar_batches += 1
+        return super().assign_many(sizes)
+
+    def _vector_assign(self, n_packets: int, cost: float) -> Optional[List[int]]:
+        np = _np
+        n = len(self.quanta)
+        ptr0 = self.ptr
+        q = np.asarray(self.quanta, dtype=np.float64)
+        dc0 = np.asarray(self.dc, dtype=np.float64)
+        # visit order: the pointer walks channels (ptr0, ptr0+1, ...) % n;
+        # column m of the threshold matrix is channel cols[m]
+        cols = (ptr0 + np.arange(n)) % n
+        qv = q[cols]
+        ov = dc0[cols].copy()
+        # every channel but the current one banks a quantum on first visit
+        ov[1:] += qv[1:]
+        qsum = float(qv.sum())
+        rows = int(max(0.0, n_packets * cost - float(ov.sum())) // qsum) + 3
+        if rows * n > max(8 * n_packets, 4096):
+            return None  # deep-overdraw pathologies: scalar loop is fine
+        while True:
+            j = np.arange(rows, dtype=np.float64)[:, None]
+            # T[j, m]: channel cols[m]'s cumulative budget at end of its
+            # j-th visit
+            T = ov[None, :] + j * qv[None, :]
+            # packets served by then: smallest m with m*cost >= T
+            m = np.ceil(T / cost)
+            m += m * cost < T  # division rounded the ceil down
+            m -= (m - 1.0) * cost >= T  # division rounded the ceil up
+            cum_served = np.maximum.accumulate(np.maximum(m, 0.0), axis=0)
+            cnt = np.diff(cum_served, axis=0, prepend=0.0).ravel()
+            cum = np.cumsum(cnt)
+            if cum[-1] >= n_packets:
+                break
+            rows *= 2  # safety net; the sizing bound makes this unreachable
+        k_last = int(np.searchsorted(cum, n_packets, side="left"))
+        spill = int(cum[k_last]) - n_packets
+        cnt = cnt[: k_last + 1].astype(np.int64)
+        cnt[k_last] -= spill
+        visit_ch = np.tile(cols, rows)[: k_last + 1]
+        out = np.repeat(visit_ch, cnt)
+        # --- reconstruct the final kernel state analytically ---
+        served = np.bincount(visit_ch, weights=cnt, minlength=n)
+        a = ptr0 + k_last
+        ptr = a % n
+        rnd = self.round_number + a // n
+        full, rem = divmod(k_last + 1, n)
+        dc = self.dc
+        quanta = self.quanta
+        for c in range(n):
+            visits = full + (1 if (c - ptr0) % n < rem else 0)
+            if visits:
+                # the current channel's first visit spends its live deficit
+                # without banking a quantum; later visits bank one each
+                grants = visits - 1 if c == ptr0 else visits
+                dc[c] = dc[c] + grants * quanta[c] - float(served[c]) * cost
+        if dc[ptr] <= 0:
+            # the last packet exhausted the visit: emulate the advance loop
+            while True:
+                ptr += 1
+                if ptr == n:
+                    ptr = 0
+                    rnd += 1
+                d = dc[ptr] + quanta[ptr]
+                dc[ptr] = d
+                if d > 0:
+                    break
+        self.ptr = ptr
+        self.round_number = rnd
+        return out.tolist()
+
+
 class CFQKernelAdapter(SchedulerKernel):
     """Kernel over any immutable :class:`~repro.core.cfq.CausalFQ`.
 
@@ -348,7 +503,7 @@ class SharerKernel(SchedulerKernel):
         self.sharer.reset()
 
 
-def kernel_for(algorithm: Any) -> SchedulerKernel:
+def kernel_for(algorithm: Any, *, numpy: Any = False) -> SchedulerKernel:
     """The fastest kernel available for ``algorithm``.
 
     SRR-family algorithms (SRR, and RR / GRR via :func:`~repro.core.srr.make_rr`
@@ -356,8 +511,17 @@ def kernel_for(algorithm: Any) -> SchedulerKernel:
     other :class:`~repro.core.cfq.CausalFQ` algorithms are wrapped in a
     :class:`CFQKernelAdapter`, and plain load sharers (the non-causal
     baselines) in a :class:`SharerKernel`.
+
+    ``numpy`` selects the vectorized :class:`NumpySRRKernel` for the SRR
+    family: ``True`` requires it (ImportError when numpy is absent),
+    ``"auto"`` uses it when numpy is importable and falls back silently,
+    and ``False`` (the default) always builds the pure-python kernel.
+    The selection is construction-time only — both kernels produce
+    bit-identical assignments.
     """
     if isinstance(algorithm, SRR):
+        if numpy is True or (numpy == "auto" and numpy_available()):
+            return NumpySRRKernel(algorithm)
         return SRRKernel(algorithm)
     if isinstance(algorithm, CausalFQ):
         return CFQKernelAdapter(algorithm)

@@ -305,6 +305,7 @@ class SRRReceiver:
         self.tracer = tracer
         self.clock = clock if clock is not None else (lambda: 0.0)
         n = algorithm.n_channels
+        self._n = n
         self.buffers: List[Deque[Any]] = [deque() for _ in range(n)]
         self._buffered = 0
         self.stats = SRRReceiverStats()
@@ -338,7 +339,7 @@ class SRRReceiver:
 
     def push(self, channel: int, packet: Any) -> List[Any]:
         """Physical arrival on ``channel``; returns packets delivered."""
-        if not 0 <= channel < self.n_channels:
+        if not 0 <= channel < self._n:
             raise ValueError(f"channel {channel} out of range")
         self.buffers[channel].append(packet)
         self._buffered += 1
@@ -350,9 +351,11 @@ class SRRReceiver:
 
     def _advance(self) -> None:
         """Move the scan pointer to the next channel; wrap bumps ``G``."""
-        self.ptr = (self.ptr + 1) % self.n_channels
-        if self.ptr == 0:
+        ptr = self.ptr + 1
+        if ptr == self._n:
+            ptr = 0
             self.round_number += 1
+        self.ptr = ptr
 
     def fail_channel(self, channel: int) -> List[Any]:
         """Declare ``channel`` dead; expected packets there count as lost.
@@ -395,17 +398,35 @@ class SRRReceiver:
     def drain(self) -> List[Any]:
         """Deliver every packet currently deliverable, honoring C1 skips."""
         out: List[Any] = []
-        assumed_budget = 64 * self.n_channels
+        # This is the receive-side per-packet hot loop (every arrival on
+        # both the reference and the fast path funnels through it), so
+        # loop-invariant attribute lookups are hoisted into locals.  The
+        # mutable lists (dc, pending, ...) are aliases: helper methods
+        # mutate them in place, so the locals always see current state.
+        n = self._n
+        assumed_budget = 64 * n
+        algorithm = self.algorithm
+        cost = algorithm.cost
+        quanta = algorithm.quanta
+        dc = self.dc
+        pending = self.pending
+        sync_round = self.sync_round
+        buffers = self.buffers
+        failed = self.failed
+        stats = self.stats
+        tracing = self.tracer.enabled
+        on_deliver = self.on_deliver
+        marker = is_marker
         # The scan terminates: each iteration either consumes a buffered
         # packet, advances the pointer toward the minimum pending sync
         # round, or blocks.  The skip budget bounds pathological spins.
         while True:
             c = self.ptr
-            sync = self.sync_round[c]
+            sync = sync_round[c]
             if sync is not None and sync > self.round_number:
                 # C1: arrived too early at this channel; skip it this scan.
-                self.stats.channel_skips += 1
-                if self.tracer.enabled:
+                stats.channel_skips += 1
+                if tracing:
                     self.tracer.emit(
                         self.clock(), "receiver", "skip",
                         channel=c, G=self.round_number, r_c=sync,
@@ -418,38 +439,38 @@ class SRRReceiver:
                 continue
             if sync is not None:
                 # The marker round has arrived: DC is already absolute.
-                self.sync_round[c] = None
-                self.pending[c] = False
-            if self.pending[c]:
-                self.dc[c] += self.algorithm.quanta[c]
-                self.pending[c] = False
-            if self.dc[c] <= 0:
+                sync_round[c] = None
+                pending[c] = False
+            if pending[c]:
+                dc[c] += quanta[c]
+                pending[c] = False
+            if dc[c] <= 0:
                 # Deep overdraw (quantum < max packet): skip this visit.
-                self.stats.deep_overdraw_skips += 1
-                self.pending[c] = True
+                stats.deep_overdraw_skips += 1
+                pending[c] = True
                 self._advance()
                 continue
-            buffer = self.buffers[c]
+            buffer = buffers[c]
             if not buffer:
                 if (
-                    c in self.failed
+                    c in failed
                     and self._buffered > 0
                     and assumed_budget > 0
                 ):
                     # Dead channel with live data elsewhere: write the
                     # expected packet off as lost and keep scanning.
-                    self.stats.assumed_lost += 1
+                    stats.assumed_lost += 1
                     assumed_budget -= 1
-                    self.dc[c] -= self.algorithm.cost(self._nominal_size(c))
-                    if self.dc[c] <= 0:
-                        self.pending[c] = True
+                    dc[c] -= cost(self._nominal_size(c))
+                    if dc[c] <= 0:
+                        pending[c] = True
                         self._advance()
                     continue
                 return out  # block on this channel
-            assumed_budget = 64 * self.n_channels
+            assumed_budget = 64 * n
             packet = buffer.popleft()
             self._buffered -= 1
-            if is_marker(packet):
+            if marker(packet):
                 if self._is_duplicate_marker(c, packet):
                     continue
                 self._adopt(c, packet)
@@ -463,17 +484,17 @@ class SRRReceiver:
                     self._flush_lag(c, out)
                 continue
             out.append(packet)
-            self.stats.delivered += 1
-            if self.on_deliver is not None:
-                self.on_deliver(packet)
-            if self.tracer.enabled:
+            stats.delivered += 1
+            if on_deliver is not None:
+                on_deliver(packet)
+            if tracing:
                 self.tracer.emit(
                     self.clock(), "receiver", "deliver",
-                    channel=c, G=self.round_number, dc=self.dc[c],
+                    channel=c, G=self.round_number, dc=dc[c],
                 )
-            self.dc[c] -= self.algorithm.cost(packet.size)
-            if self.dc[c] <= 0:
-                self.pending[c] = True
+            dc[c] -= cost(packet.size)
+            if dc[c] <= 0:
+                pending[c] = True
                 self._advance()
 
     def _is_duplicate_marker(self, channel: int, marker: MarkerPacket) -> bool:
@@ -574,7 +595,7 @@ class SRRReceiver:
             all(
                 self.sync_round[c] is not None
                 and self.sync_round[c] > self.round_number
-                for c in range(self.n_channels)
+                for c in range(self._n)
             )
         )
 

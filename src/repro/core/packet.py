@@ -60,7 +60,7 @@ class SackInfo:
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """An ordinary, unmodified data packet.
 
@@ -100,7 +100,7 @@ class Packet:
         return f"Packet({tag}, {self.size}B)"
 
 
-@dataclass
+@dataclass(slots=True)
 class MarkerPacket:
     """A synchronization marker for one channel (section 5).
 
@@ -139,3 +139,76 @@ class MarkerPacket:
 def is_marker(packet: Any) -> bool:
     """True if ``packet`` is a synchronization marker."""
     return getattr(packet, "codepoint", Codepoint.DATA) == Codepoint.MARKER
+
+
+class PacketPool:
+    """A free-list allocator for :class:`Packet` objects.
+
+    High-rate closed-loop sources allocate (and the engine then discards)
+    one :class:`Packet` per message; at millions of packets per run the
+    constructor + garbage-collector cost is a measurable share of the hot
+    loop.  The pool recycles retired packets instead: :meth:`acquire`
+    reinitializes a packet off the free list (falling back to a fresh
+    construction when the list is empty) and :meth:`release` retires one.
+
+    Lifecycle rules — the pool is a pure memory optimization and must
+    never change observable behavior:
+
+    * only release a packet once **no** reference to it can resurface:
+      after final delivery, or after a transmit-side drop, on paths where
+      the packet cannot be retransmitted.  The reliability layer keeps
+      unacknowledged packets in its retransmit buffer, so reliable-mode
+      harnesses only pool when the run is loss-free.
+    * a reacquired packet gets a **fresh** ``uid``, so tracing and dedup
+      logic see it as the new logical packet it is.
+    """
+
+    __slots__ = ("_free", "max_size", "allocated", "reused", "released")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        self._free: list = []
+        self.max_size = max_size
+        #: fresh constructions (free list was empty)
+        self.allocated = 0
+        #: packets served from the free list
+        self.reused = 0
+        #: packets retired into the free list
+        self.released = 0
+
+    def acquire(
+        self,
+        size: int,
+        seq: Optional[int] = None,
+        flow: Optional[Any] = None,
+        payload: Optional[Any] = None,
+    ) -> Packet:
+        """A data packet, recycled when possible."""
+        free = self._free
+        if free:
+            packet = free.pop()
+            packet.size = size
+            packet.seq = seq
+            packet.label = None
+            packet.flow = flow
+            packet.payload = payload
+            packet.uid = next(_packet_ids)
+            packet.codepoint = Codepoint.DATA
+            packet.rseq = None
+            self.reused += 1
+            return packet
+        self.allocated += 1
+        return Packet(size=size, seq=seq, flow=flow, payload=payload)
+
+    def release(self, packet: Any) -> None:
+        """Retire a packet whose lifecycle has provably ended."""
+        if type(packet) is Packet and len(self._free) < self.max_size:
+            self.released += 1
+            self._free.append(packet)
+
+    def stats(self) -> dict:
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": len(self._free),
+        }

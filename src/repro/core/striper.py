@@ -148,6 +148,17 @@ class Striper:
         self.input_queue.append(packet)
         self.pump()
 
+    def submit_many(self, packets: Any) -> None:
+        """Queue a burst of data packets and pump once.
+
+        Equivalent to ``submit(p)`` per packet — the pump drains greedily
+        either way, so sends, marker points, and backpressure stops are
+        identical — but a batched pump (``FastStriper``) sees the whole
+        burst at once and can assign it through ``assign_many``.
+        """
+        self.input_queue.extend(packets)
+        self.pump()
+
     @property
     def backlog(self) -> int:
         """Packets waiting in the striper's input queue."""

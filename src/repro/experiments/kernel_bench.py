@@ -11,9 +11,13 @@ that budget:
 * ``kernel`` — per-packet :meth:`~repro.core.kernel.SchedulerKernel.step`
   on the mutable native kernel,
 * ``batched`` — one :meth:`~repro.core.kernel.SchedulerKernel.assign_many`
-  call over the whole burst.
+  call over the whole burst,
+* ``numpy`` (optional) — :class:`~repro.core.kernel.NumpySRRKernel`'s
+  closed-form vectorized ``assign_many``.  Exact only for uniform-cost
+  bursts (it silently falls back to the scalar batch otherwise), so it is
+  benchmarked on the uniform workload where it actually vectorizes.
 
-All three produce byte-identical channel assignments (asserted here and in
+All paths produce byte-identical channel assignments (asserted here and in
 ``tests/properties/test_kernel_equivalence.py``); only the stepping
 machinery differs.
 """
@@ -23,7 +27,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -58,17 +62,28 @@ def run_kernel_bench(
     quanta: Sequence[float] = (1500.0, 2070.0, 900.0),
     seed: int = 1,
     repeats: int = 3,
+    uniform_size: Optional[int] = None,
+    numpy: bool = False,
 ) -> KernelBenchResult:
-    """Time the three stepping paths over one random workload.
+    """Time the stepping paths over one workload.
 
     Each path runs ``repeats`` times and the best run is reported (standard
     micro-benchmark practice: the minimum is the least-noise estimate).
+
+    ``uniform_size`` switches the workload from the random 40–1500 B mix to
+    a constant size (every packet ``uniform_size`` bytes) — the shape the
+    closed-form numpy kernel can vectorize.  ``numpy=True`` adds the
+    ``numpy`` path when the library is importable (silently omitted
+    otherwise, so callers need no gating of their own).
     """
-    from repro.core.kernel import SRRKernel
+    from repro.core.kernel import NumpySRRKernel, SRRKernel, numpy_available
     from repro.core.srr import SRR
 
     rng = random.Random(seed)
-    sizes = [rng.randint(40, 1500) for _ in range(n_packets)]
+    if uniform_size is not None:
+        sizes = [int(uniform_size)] * n_packets
+    else:
+        sizes = [rng.randint(40, 1500) for _ in range(n_packets)]
     algorithm = SRR(list(quanta))
 
     def run_frozen() -> List[int]:
@@ -91,6 +106,12 @@ def run_kernel_bench(
         return SRRKernel(algorithm).assign_many(sizes)
 
     paths = {"frozen": run_frozen, "kernel": run_kernel, "batched": run_batched}
+    if numpy and numpy_available():
+
+        def run_numpy() -> List[int]:
+            return NumpySRRKernel(algorithm).assign_many(sizes)
+
+        paths["numpy"] = run_numpy
     rates: Dict[str, float] = {}
     outputs: Dict[str, List[int]] = {}
     for name, fn in paths.items():
@@ -103,7 +124,8 @@ def run_kernel_bench(
                 best = elapsed
         rates[name] = n_packets / best
 
-    identical = outputs["frozen"] == outputs["kernel"] == outputs["batched"]
+    reference = outputs["frozen"]
+    identical = all(out == reference for out in outputs.values())
     frozen_rate = rates["frozen"]
     return KernelBenchResult(
         n_packets=n_packets,

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.packet import PacketPool
 from repro.core.srr import SRR
 from repro.core.striper import MarkerPolicy
 from repro.net.ethernet import EthernetInterface
@@ -24,6 +25,7 @@ from repro.transport.endpoint import make_discipline, receiver_mode_for
 from repro.transport.fast_path import (
     FastStripedReceiver,
     FastStripedSender,
+    wire_fast_ack_path,
     wire_size,
 )
 from repro.transport.socket_striping import (
@@ -67,8 +69,9 @@ class SocketTestbedConfig:
     data_only_loss: bool = False
     #: if True, build the direct-to-channel fast path (burst-batched
     #: channels + batched striper pump) instead of the full UDP/IP stack.
-    #: Delivery behaviour is identical (property-tested); credit flow
-    #: control is not supported on the fast path.
+    #: Delivery behaviour is identical (property-tested) in every
+    #: reliability mode; credit flow control is not supported on the
+    #: fast path.
     fast: bool = False
     #: optional receiver-side dead-channel watchdog
     #: (:class:`repro.transport.endpoint.ChannelFailureDetector`);
@@ -76,10 +79,16 @@ class SocketTestbedConfig:
     failure_detector: Optional[object] = None
     #: service level (``best_effort | quasi_fifo | reliable``); reliable
     #: arms selective-repeat ARQ end to end, with acks on a dedicated
-    #: reverse UDP flow (``ACK_PORT``).  Reference path only.
+    #: reverse flow (UDP ``ACK_PORT`` on the reference path, the first
+    #: link's reverse channel on the fast path).
     reliability: str = "quasi_fifo"
     #: ``{"sender": {...}, "receiver": {...}}`` forwarded to the ARQ halves
     reliability_options: Optional[dict] = None
+    #: recycle source packets through a
+    #: :class:`~repro.core.packet.PacketPool` (a pure memory optimization;
+    #: reliable mode pools only when the run is loss-free, since a lossy
+    #: ARQ window can resurrect a retired packet's stale copy).
+    packet_pool: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -92,12 +101,21 @@ class SocketTestbedConfig:
             setattr(self, name, tuple(values))
         if self.fast and self.use_credit:
             raise ValueError("credit flow control requires the reference path")
-        if self.fast and self.reliability == "reliable":
-            raise ValueError("reliable mode requires the reference path")
         if self.reliability == "reliable" and self.discipline not in (
             None, "srr",
         ):
             raise ValueError("reliable mode requires the SRR discipline")
+        if self.packet_pool:
+            if not self.closed_loop:
+                raise ValueError("packet_pool requires the closed-loop source")
+            if self.reliability == "reliable" and any(
+                p > 0 for p in self.loss_rates
+            ):
+                raise ValueError(
+                    "packet_pool + reliable requires loss-free channels "
+                    "(an in-flight retransmit copy could alias a recycled "
+                    "packet)"
+                )
 
 
 @dataclass
@@ -120,6 +138,7 @@ class SocketTestbed:
     sender: StripedSocketSender | FastStripedSender
     receiver: StripedSocketReceiver | FastStripedReceiver
     source: Optional[ClosedLoopSource]
+    pool: Optional[PacketPool] = None
     deliveries: List[Delivery] = field(default_factory=list)
 
     def stop_losses_at(self, time: float) -> None:
@@ -224,15 +243,17 @@ def build_socket_testbed(
             config.n_channels, initial_credit=config.buffer_packets
         )
 
+    reliable = config.reliability == "reliable"
+    arq_options = config.reliability_options or {}
     sender: StripedSocketSender | FastStripedSender
     if config.fast:
         sender = FastStripedSender(
             sim, [link.ab for link in links], algorithm_s,
             marker_policy=marker_policy,
+            reliability=config.reliability,
+            reliability_options=arq_options.get("sender"),
         )
     else:
-        reliable = config.reliability == "reliable"
-        arq_options = config.reliability_options or {}
         sender = StripedSocketSender(
             sim, sender_stack, destinations, algorithm_s,
             marker_policy=marker_policy,
@@ -245,6 +266,16 @@ def build_socket_testbed(
 
     testbed_ref: List[SocketTestbed] = []
 
+    pool: Optional[PacketPool] = None
+    release_on_delivery = False
+    if config.packet_pool:
+        pool = PacketPool()
+        # In reliable mode a delivered packet is still referenced by the
+        # sender's retransmission window; recycling waits for the ack
+        # (wired below via on_retire).  Otherwise delivery is the end of
+        # the packet's life.
+        release_on_delivery = not reliable
+
     def on_message(packet) -> None:
         # BONDING delivers frames (sequence), everything else packets (seq).
         seq = getattr(packet, "seq", None)
@@ -253,14 +284,26 @@ def build_socket_testbed(
         testbed_ref[0].deliveries.append(
             Delivery(time=sim.now, seq=seq, size=packet.size)
         )
+        if release_on_delivery:
+            pool.release(packet)
 
     receiver: StripedSocketReceiver | FastStripedReceiver
     if config.fast:
+        send_ack = None
+        if reliable:
+            # Reverse ack flow, fast counterpart: acks ride the first
+            # link's reverse channel directly (the reference path routes
+            # them over the same link as a dedicated UDP flow).
+            ack_port = wire_fast_ack_path(links[0].ba, sender)
+            send_ack = ack_port.send_sack
         receiver = FastStripedReceiver(
             sim, config.n_channels, algorithm_r,
             mode=config.mode,
             on_message=on_message,
             buffer_packets=config.buffer_packets,
+            reliability=config.reliability,
+            send_ack=send_ack,
+            reliability_options=arq_options.get("receiver"),
         )
         # Bypass the UDP/IP/Ethernet plumbing: transport payloads ride the
         # forward channels directly, with the stack's framing bytes folded
@@ -297,6 +340,20 @@ def build_socket_testbed(
             return 1 << 30
         return sender.backlog
 
+    if pool is not None:
+        receiver.retain_delivered = False
+        if reliable:
+            sender.reliable.on_retire = pool.release
+        else:
+            # Transmit-side drops (loss, corruption, full queue) end a
+            # packet's life in best-effort/quasi-FIFO mode.
+            def release_drop(packet, reason) -> None:
+                pool.release(packet)
+
+            for link in links:
+                if link.ab.on_drop is None:
+                    link.ab.on_drop = release_drop
+
     source: Optional[ClosedLoopSource] = None
     if config.closed_loop:
         source = ClosedLoopSource(
@@ -305,6 +362,8 @@ def build_socket_testbed(
             backlog_fn=submit_backlog,
             size_fn=ConstantSizes(config.message_bytes),
             target=config.source_backlog,
+            submit_many=sender.submit_packets,
+            pool=pool,
         )
         source.start()
 
@@ -331,6 +390,7 @@ def build_socket_testbed(
         sender=sender,
         receiver=receiver,
         source=source,
+        pool=pool,
     )
     testbed_ref.append(testbed)
     return testbed

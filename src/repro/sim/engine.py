@@ -36,6 +36,15 @@ from typing import Any, Callable, Iterable, List, Optional, Tuple
 #: its callback slot set to None and is dropped when popped (or compacted).
 _TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
 
+#: Slot-free entries carry this token as a fifth element so the run loop
+#: can recycle them into the entry free-list after execution.  Heap
+#: comparisons never reach index 4: ``(time, seq)`` is unique per entry.
+_POOL_TOKEN = object()
+
+#: Upper bound on the entry free-list; beyond this, retired entries are
+#: simply dropped to the garbage collector.
+_POOL_MAX = 4096
+
 #: Compaction threshold: rebuild once the heap is larger than this *and*
 #: more than half of it is cancelled entries.
 _COMPACT_MIN = 64
@@ -114,6 +123,9 @@ class Simulator:
         self._running: bool = False
         self._events_processed: int = 0
         self._cancelled: int = 0
+        #: free-list of retired slot-free heap entries (see _POOL_TOKEN)
+        self._entry_pool: List[list] = []
+        self._entries_reused: int = 0
 
     @property
     def now(self) -> float:
@@ -134,6 +146,11 @@ class Simulator:
     def cancelled_pending(self) -> int:
         """Cancelled events still occupying heap slots (pre-compaction)."""
         return self._cancelled
+
+    @property
+    def entries_reused(self) -> int:
+        """Slot-free heap entries served from the free-list (perf counter)."""
+        return self._entries_reused
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -170,7 +187,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        heapq.heappush(self._heap, [time, self._seq, callback, ()])
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[_TIME] = time
+            entry[_SEQ] = self._seq
+            entry[_CALLBACK] = callback
+            self._entries_reused += 1
+        else:
+            entry = [time, self._seq, callback, (), _POOL_TOKEN]
+        heapq.heappush(self._heap, entry)
         self._seq += 1
 
     def schedule_many(
@@ -186,19 +212,31 @@ class Simulator:
         """
         heap = self._heap
         push = heapq.heappush
+        pool = self._entry_pool
         now = self._now
         seq = self._seq
         count = 0
+        reused = 0
         for time, callback in items:
             if time < now:
                 self._seq = seq
+                self._entries_reused += reused
                 raise SimulationError(
                     f"cannot schedule at {time} before current time {now}"
                 )
-            push(heap, [time, seq, callback, ()])
+            if pool:
+                entry = pool.pop()
+                entry[_TIME] = time
+                entry[_SEQ] = seq
+                entry[_CALLBACK] = callback
+                reused += 1
+            else:
+                entry = [time, seq, callback, (), _POOL_TOKEN]
+            push(heap, entry)
             seq += 1
             count += 1
         self._seq = seq
+        self._entries_reused += reused
         return count
 
     # ------------------------------------------------------------------ #
@@ -254,6 +292,7 @@ class Simulator:
         processed = 0
         heap = self._heap
         pop = heapq.heappop
+        pool = self._entry_pool
         try:
             if not batch:
                 while heap:
@@ -271,6 +310,9 @@ class Simulator:
                     self._now = time
                     entry[_CALLBACK](*entry[_ARGS])
                     processed += 1
+                    if entry[-1] is _POOL_TOKEN and len(pool) < _POOL_MAX:
+                        entry[_CALLBACK] = None
+                        pool.append(entry)
             else:
                 group: List[list] = []
                 while heap:
@@ -301,6 +343,9 @@ class Simulator:
                             continue
                         callback(*entry[_ARGS])
                         processed += 1
+                        if entry[-1] is _POOL_TOKEN and len(pool) < _POOL_MAX:
+                            entry[_CALLBACK] = None
+                            pool.append(entry)
         finally:
             self._running = False
             self._events_processed += processed
@@ -337,6 +382,10 @@ class Simulator:
             finally:
                 self._running = False
                 self._events_processed += 1
+            pool = self._entry_pool
+            if entry[-1] is _POOL_TOKEN and len(pool) < _POOL_MAX:
+                entry[_CALLBACK] = None
+                pool.append(entry)
             return True
         if until is not None and self._now < until:
             self._now = until

@@ -263,10 +263,25 @@ class FastStriper(Striper):
         self._min_quantum: Optional[float] = None
         if self._kernel is not None:
             self._min_quantum = min(self._kernel.quanta)
+        #: pump calls that engaged the batch machinery
+        self.batched_pumps = 0
+        #: data packets sent through batched chunks
+        self.batched_packets = 0
+        #: pump calls (or mid-pump bailouts) routed to the per-packet pump
+        self.fallback_pumps = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Cheap perf counters for the batched pump."""
+        return {
+            "batched_pumps": self.batched_pumps,
+            "batched_packets": self.batched_packets,
+            "fallback_pumps": self.fallback_pumps,
+        }
 
     def pump(self) -> int:
         kernel = self._kernel
         if kernel is None or self.tracer.enabled:
+            self.fallback_pumps += 1
             return super().pump()
         if self._initial_markers_pending:
             self._initial_markers_pending = False
@@ -275,6 +290,7 @@ class FastStriper(Striper):
         if not queue:
             return 0
         if len(queue) < _BATCH_MIN:
+            self.fallback_pumps += 1
             return super().pump()
         ports = self.ports
         n = kernel.n_channels
@@ -327,6 +343,7 @@ class FastStriper(Striper):
                     step = nxt - ptr
                     if step != 1 and step != 1 - n:
                         kernel.restore(snapshot)
+                        self.fallback_pumps += 1
                         return sent_total + super().pump()
                     ptr = nxt
                     if nxt == position:
@@ -359,8 +376,10 @@ class FastStriper(Striper):
             self.packets_sent += q
             self.bytes_sent += bytes_sent
             sent_total += q
+            self.batched_packets += q
             if emit:
                 self._emit_markers()
+        self.batched_pumps += 1
         return sent_total
 
 
@@ -380,10 +399,12 @@ class _RecordingPort:
         inner: Any,
         index: int,
         note_sent: Callable[[int, Any], None],
+        note_burst: Optional[Callable[[int, List[Any]], None]] = None,
     ) -> None:
         self._inner = inner
         self._index = index
         self._note_sent = note_sent
+        self._note_burst = note_burst
         #: cumulative data bytes actually transmitted through this port
         #: (fairness-envelope accounting: includes retransmissions)
         self.data_bytes_sent = 0
@@ -418,14 +439,32 @@ class _RecordingPort:
 
 
 class _RecordingBurstPort(_RecordingPort):
-    """Recording proxy for burst-capable ports (keeps the fast pump)."""
+    """Recording proxy for burst-capable ports (keeps the fast pump).
+
+    When a ``note_burst`` callback is wired, a whole burst's sequenced
+    packets are reported to the ARQ layer in one call (one clock read, one
+    timer check) instead of one call per packet; reporting still happens
+    *before* the inner ``send_burst``, exactly like the per-packet proxy
+    reports before returning from ``send``.
+    """
 
     def send_burst(self, packets: Sequence[Any]) -> None:
-        for packet in packets:
-            if not is_marker(packet):
-                self.data_bytes_sent += packet.size
-                if getattr(packet, "rseq", None) is not None:
-                    self._note_sent(self._index, packet)
+        note_burst = self._note_burst
+        if note_burst is not None:
+            sequenced: List[Any] = []
+            for packet in packets:
+                if not is_marker(packet):
+                    self.data_bytes_sent += packet.size
+                    if getattr(packet, "rseq", None) is not None:
+                        sequenced.append(packet)
+            if sequenced:
+                note_burst(self._index, sequenced)
+        else:
+            for packet in packets:
+                if not is_marker(packet):
+                    self.data_bytes_sent += packet.size
+                    if getattr(packet, "rseq", None) is not None:
+                        self._note_sent(self._index, packet)
         self._inner.send_burst(packets)
 
     def free_capacity(self) -> int:
@@ -433,11 +472,13 @@ class _RecordingBurstPort(_RecordingPort):
 
 
 def _wrap_recording_ports(
-    ports: Sequence[Any], note_sent: Callable[[int, Any], None]
+    ports: Sequence[Any],
+    note_sent: Callable[[int, Any], None],
+    note_burst: Optional[Callable[[int, List[Any]], None]] = None,
 ) -> List[Any]:
     return [
         (
-            _RecordingBurstPort(port, i, note_sent)
+            _RecordingBurstPort(port, i, note_sent, note_burst)
             if hasattr(port, "send_burst") and hasattr(port, "free_capacity")
             else _RecordingPort(port, i, note_sent)
         )
@@ -528,11 +569,13 @@ class StripeSenderPipeline:
             # Recording proxies report actual transmissions (channel +
             # time) back to the ARQ layer; the striper stays oblivious.
             self.ports = _wrap_recording_ports(
-                self.ports, lambda c, p: self.reliable.note_sent(c, p)
+                self.ports,
+                lambda c, p: self.reliable.note_sent(c, p),
+                lambda c, ps: self.reliable.note_burst(c, ps),
             )
-            self.reliable = ReliableSender(
-                self._stripe, sim, **(reliability_options or {})
-            )
+            arq_options = dict(reliability_options or {})
+            arq_options.setdefault("submit_many", self._stripe_many)
+            self.reliable = ReliableSender(self._stripe, sim, **arq_options)
         if fast is None:
             fast = all(
                 hasattr(port, "send_burst") and hasattr(port, "free_capacity")
@@ -650,11 +693,28 @@ class StripeSenderPipeline:
         self.messages_submitted += 1
         self._submit(packet)
 
+    def submit_packets(self, packets: Sequence[Packet]) -> None:
+        """Submit a burst of caller-constructed packets in one call.
+
+        Behavior-identical to calling :meth:`submit_packet` per packet
+        (same order, same instant), but the whole burst flows through the
+        ARQ layer and the striper as batches: one rseq-stamping pass, one
+        pump.  The direct (non-fabric) submit path only.
+        """
+        self.messages_submitted += len(packets)
+        self._submit_many(packets)
+
     def _submit(self, packet: Any) -> None:
         if self.reliable is not None:
             self.reliable.submit(packet)
         else:
             self._stripe(packet)
+
+    def _submit_many(self, packets: Sequence[Any]) -> None:
+        if self.reliable is not None:
+            self.reliable.submit_many(list(packets))
+        else:
+            self._stripe_many(packets)
 
     def _stripe(self, packet: Any) -> None:
         if self._wrap is not None:
@@ -662,6 +722,14 @@ class StripeSenderPipeline:
                 self.striper.submit(unit)
         else:
             self.striper.submit(packet)
+
+    def _stripe_many(self, packets: Sequence[Any]) -> None:
+        if self._wrap is not None:
+            for packet in packets:
+                for unit in self._wrap(packet):
+                    self.striper.submit(unit)
+        else:
+            self.striper.submit_many(packets)
 
     def can_submit(self, flow_id: Any = None) -> bool:
         """Backpressure signal: False while a reliable window is full.
@@ -1191,6 +1259,10 @@ class StripeReceiverPipeline:
         self.buffer_packets = buffer_packets
         self.buffer_drops = 0
         self.delivered: List[Any] = []
+        #: keep every delivered packet in :attr:`delivered` (the default).
+        #: Packet-pool harnesses switch this off: a retained reference
+        #: would alias the recycled object's next life.
+        self.retain_delivered = True
         #: invoked as fn(channel, credit) when a piggybacked credit rides
         #: an arriving marker (the reverse direction's flow-control state).
         self.credit_sink: Optional[Callable[[int, int], None]] = None
@@ -1211,11 +1283,17 @@ class StripeReceiverPipeline:
         self.credit = credit
         if clock is None and sim is not None:
             clock = lambda: sim.now  # noqa: E731
+        # Bind the resequencer's delivery callback directly to its
+        # destination (ARQ receiver or final delivery) — one less call
+        # per delivered packet; ``reliable`` is fixed at construction.
         self.resequencer = make_resequencer(
             algorithm,
             mode,
             n_channels=n_channels,
-            on_deliver=self._deliver,
+            on_deliver=(
+                self.reliable.push if self.reliable is not None
+                else self._deliver_final
+            ),
             clock=clock,
             sim=sim,
         )
@@ -1280,11 +1358,12 @@ class StripeReceiverPipeline:
             self.buffer_packets is None
             and self.credit is None
             and self.failure_detector is None
-            and self.reliable is None
             and self.sack_sink is None
         ):
             # Hot path (the fast transport): no drop rule, no credits, no
-            # watchdog — skip their per-packet checks entirely.
+            # watchdog — skip their per-packet checks entirely.  Reliable
+            # mode rides along fine: the ARQ receiver hangs off the
+            # resequencer's delivery callback, not off this arrival path.
             push = self.resequencer.push
             pushed = self._pushed_data
 
@@ -1356,6 +1435,7 @@ class StripeReceiverPipeline:
             self._deliver_final(packet)
 
     def _deliver_final(self, packet: Any) -> None:
-        self.delivered.append(packet)
+        if self.retain_delivered:
+            self.delivered.append(packet)
         if self.on_message is not None:
             self.on_message(packet)

@@ -40,12 +40,12 @@ per-packet pump for that chunk.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core.cfq import CausalFQ
-from repro.core.packet import is_marker
+from repro.core.packet import SackInfo, is_marker
 from repro.core.striper import MarkerPolicy
-from repro.net.ethernet import ethernet_wire_size
+from repro.net.ethernet import ETHERNET_MIN_PAYLOAD, ETHERNET_OVERHEAD
 from repro.net.ip import IP_HEADER_BYTES
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
@@ -55,15 +55,23 @@ from repro.transport.endpoint import (
     StripeReceiverPipeline,
     StripeSenderPipeline,
 )
+from repro.transport.reliability import AckPacket
 from repro.transport.udp import UDP_HEADER_BYTES
 
 __all__ = [
+    "FastAckPort",
     "FastChannelPort",
     "FastStripedReceiver",
     "FastStripedSender",
     "FastStriper",
+    "wire_fast_ack_path",
     "wire_size",
 ]
+
+
+_WIRE_HEADERS = IP_HEADER_BYTES + UDP_HEADER_BYTES
+_WIRE_MIN = ETHERNET_MIN_PAYLOAD
+_WIRE_OVERHEAD = ETHERNET_OVERHEAD
 
 
 def wire_size(packet: Any) -> int:
@@ -71,10 +79,15 @@ def wire_size(packet: Any) -> int:
 
     Exactly what the reference path's encapsulation chain computes:
     UDP header + IP header + Ethernet framing (with minimum-payload
-    padding).  Installing this as a fast channel's ``size_of`` makes the
-    direct-to-channel path time-identical to the full-stack path.
+    padding) — the arithmetic of :func:`ethernet_wire_size`, inlined
+    because this runs once per wire packet on the fast path.  Installing
+    this as a fast channel's ``size_of`` makes the direct-to-channel
+    path time-identical to the full-stack path.
     """
-    return ethernet_wire_size(IP_HEADER_BYTES + UDP_HEADER_BYTES + packet.size)
+    payload = _WIRE_HEADERS + packet.size
+    if payload < _WIRE_MIN:
+        payload = _WIRE_MIN
+    return payload + _WIRE_OVERHEAD
 
 
 class FastChannelPort:
@@ -115,6 +128,49 @@ class FastChannelPort:
         return self.channel.queue_length
 
 
+class FastAckPort:
+    """Reverse-path ack transmitter writing straight into a channel.
+
+    The reference stack sends each :class:`AckPacket` as a UDP datagram on
+    the dedicated ack flow — one ``sendto``, a routing lookup, Ethernet
+    encapsulation, all with zero simulated delay.  The fast counterpart
+    enqueues the ack directly on the reverse channel (``force=True``, like
+    the reference ``sendto`` on the control flow), with :func:`wire_size`
+    as the channel's ``size_of`` so serialization timing is identical.
+    """
+
+    __slots__ = ("channel", "acks_sent")
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.acks_sent = 0
+
+    def send_sack(self, sack: SackInfo) -> None:
+        self.acks_sent += 1
+        self.channel.send(AckPacket(sack=sack), force=True)
+
+
+def wire_fast_ack_path(channel: Channel, sender: Any) -> FastAckPort:
+    """Wire ``channel`` as the fast reverse ack path into ``sender``.
+
+    Installs :func:`wire_size` as the channel's ``size_of`` (matching the
+    reference ack flow's UDP/IP/Ethernet framing), enables the channel's
+    fast mode, and points its delivery callback at the sender's ack input
+    with the same SACK filter the reference datagram handler applies.
+    Returns the :class:`FastAckPort` whose :meth:`~FastAckPort.send_sack`
+    the receiver should use as its ``send_ack``.
+    """
+    channel.size_of = wire_size
+    channel.fast = True
+
+    def deliver(packet: Any) -> None:
+        if getattr(packet, "sack", None) is not None:
+            sender.on_ack(packet)
+
+    channel.on_deliver = deliver
+    return FastAckPort(channel)
+
+
 class FastStripedSender(StripeSenderPipeline):
     """Drop-in fast replacement for ``StripedSocketSender``.
 
@@ -132,13 +188,28 @@ class FastStripedSender(StripeSenderPipeline):
         channels: Sequence[Channel],
         algorithm: CausalFQ,
         marker_policy: Optional[MarkerPolicy] = None,
+        reliability: str = "quasi_fifo",
+        reliability_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(
             [FastChannelPort(channel) for channel in channels],
             algorithm,
             marker_policy=marker_policy,
             sim=sim,
+            reliability=reliability,
+            reliability_options=reliability_options,
         )
+
+    def stats(self) -> Dict[str, Any]:
+        """Fast-path perf counters: batched pump plus (if any) ARQ stats."""
+        stats: Dict[str, Any] = dict(self.striper.stats())
+        if self.reliable is not None:
+            arq = self.reliable.stats
+            stats["burst_submits"] = arq.burst_submits
+            stats["sack_scans"] = arq.sack_scans
+            stats["fast_retransmissions"] = arq.fast_retransmissions
+            stats["batched_retransmissions"] = arq.batched_retransmissions
+        return stats
 
 
 class FastStripedReceiver(StripeReceiverPipeline):
@@ -160,6 +231,9 @@ class FastStripedReceiver(StripeReceiverPipeline):
         mode: str = "marker",
         on_message: Optional[Callable[[Any], None]] = None,
         buffer_packets: Optional[int] = None,
+        reliability: str = "quasi_fifo",
+        send_ack: Optional[Callable[[Any], None]] = None,
+        reliability_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(
             n_channels,
@@ -168,4 +242,7 @@ class FastStripedReceiver(StripeReceiverPipeline):
             on_message=on_message,
             buffer_packets=buffer_packets,
             sim=sim,
+            reliability=reliability,
+            send_ack=send_ack,
+            reliability_options=reliability_options,
         )

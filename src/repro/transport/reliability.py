@@ -132,7 +132,7 @@ class RtoEstimator:
         return min(self.max_rto, max(self.min_rto, value))
 
 
-@dataclass
+@dataclass(slots=True)
 class _TxRecord:
     """Sender-side state for one unacknowledged packet."""
 
@@ -163,6 +163,12 @@ class ReliabilityStats:
     escalations: int = 0
     #: submits parked in the overflow queue because the window was full
     backpressure_stalls: int = 0
+    #: bursts accepted through :meth:`ReliableSender.submit_many`
+    burst_submits: int = 0
+    #: single-pass SACK scoreboard scans (one per ack processed)
+    sack_scans: int = 0
+    #: retransmissions resubmitted as one batch through the striper
+    batched_retransmissions: int = 0
 
 
 class ReliableSender:
@@ -185,6 +191,12 @@ class ReliableSender:
         on_window_open: called when a full window drains below the
             bound (sources resume submitting).
         rto: optional pre-built :class:`RtoEstimator`.
+        submit_many: optional batched striper submit.  When provided,
+            :meth:`submit_many` bursts and batched retransmissions are
+            handed to the striper in one call, so the whole batch is
+            assigned channels through ``SchedulerKernel.assign_many``
+            (recovery traffic stays inside the Theorem 3.2 envelope)
+            instead of one kernel step per packet.
     """
 
     def __init__(
@@ -197,17 +209,24 @@ class ReliableSender:
         on_channel_suspect: Optional[Callable[[int], None]] = None,
         on_window_open: Optional[Callable[[], None]] = None,
         rto: Optional[RtoEstimator] = None,
+        submit_many: Optional[Callable[[List[Any]], None]] = None,
     ) -> None:
         if window_packets < 1:
             raise ValueError("window must hold at least one packet")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
         self._submit = submit
+        self._submit_many = submit_many
         self.sim = sim
         self.window_packets = window_packets
         self.max_retries = max_retries
         self.on_channel_suspect = on_channel_suspect
         self.on_window_open = on_window_open
+        #: optional ``fn(packet)`` invoked as each packet's record is
+        #: retired by a cumulative ack — the point after which no
+        #: retransmission can resurrect the packet, i.e. the earliest
+        #: moment a packet pool may recycle it.
+        self.on_retire: Optional[Callable[[Any], None]] = None
         self.rto = rto if rto is not None else RtoEstimator()
         self.stats = ReliabilityStats()
         self.next_rseq = 0
@@ -253,6 +272,72 @@ class ReliableSender:
         self.unacked[packet.rseq] = _TxRecord(packet=packet, size=packet.size)
         self._submit(packet)
 
+    def submit_many(self, packets: List[Any]) -> None:
+        """Burst submit: stamp rseqs in one pass, stripe in one batch.
+
+        Equivalent to ``submit(p)`` per packet — same rseq assignment,
+        same window/overflow behavior — but window-admissible packets are
+        registered first and handed to the striper as one burst, so
+        channel assignment happens through ``assign_many``.
+        """
+        rseq = self.next_rseq
+        for packet in packets:
+            packet.rseq = rseq
+            rseq += 1
+        self.next_rseq = rseq
+        self.stats.submitted += len(packets)
+        self.stats.burst_submits += 1
+        unacked = self.unacked
+        overflow = self._overflow
+        window = self.window_packets
+        burst: List[Any] = []
+        for packet in packets:
+            if overflow or len(unacked) >= window:
+                self.stats.backpressure_stalls += 1
+                overflow.append(packet)
+            else:
+                unacked[packet.rseq] = _TxRecord(
+                    packet=packet, size=packet.size
+                )
+                burst.append(packet)
+        if burst:
+            self._stripe_burst(burst)
+
+    def _stripe_burst(self, packets: List[Any]) -> None:
+        if self._submit_many is not None:
+            self._submit_many(packets)
+        else:
+            for packet in packets:
+                self._submit(packet)
+
+    def note_burst(self, channel: int, packets: List[Any]) -> None:
+        """Batched :meth:`note_sent`: one burst transmitted on ``channel``.
+
+        One clock read, one timer check, and one retransmitted-bytes
+        update for the whole burst instead of per packet.
+        """
+        now = self.sim.now
+        unacked = self.unacked
+        rtx_bytes = 0
+        for packet in packets:
+            record = unacked.get(packet.rseq)
+            if record is None:
+                continue  # acked while queued inside the striper
+            record.transmissions += 1
+            record.last_sent = now
+            record.last_channel = channel
+            record.rtx_pending = False
+            if record.transmissions == 1:
+                record.first_sent = now
+            else:
+                self.stats.retransmissions += 1
+                rtx_bytes += record.size
+        if rtx_bytes:
+            self.retransmitted_bytes[channel] = (
+                self.retransmitted_bytes.get(channel, 0) + rtx_bytes
+            )
+        self._ensure_timer()
+
     def note_sent(self, channel: int, packet: Any) -> None:
         """A recording port transmitted ``packet`` on ``channel``.
 
@@ -281,18 +366,38 @@ class ReliableSender:
     # ack path
 
     def on_ack(self, ack: Any) -> None:
-        """Process a :class:`SackInfo` (or anything carrying one)."""
+        """Process a :class:`SackInfo` (or anything carrying one).
+
+        The SACK scoreboard update is a *single* merge pass: the ack's
+        blocks are sorted and walked alongside the (rseq-ordered)
+        unacked map, marking covered records and collecting the holes
+        between them in one traversal — no per-rseq dict probes, no
+        second full scan for fast retransmit.
+        """
         sack: SackInfo = getattr(ack, "sack", ack)
         opened = self._absorb_cum_ack(sack.cum_ack)
+        self.stats.sack_scans += 1
+        blocks = sorted(sack.blocks)
         newest = sack.cum_ack - 1
-        for start, end in sack.blocks:
-            newest = max(newest, end - 1)
-            for rseq in range(start, end):
-                record = self.unacked.get(rseq)
-                if record is not None and not record.sacked:
+        if blocks:
+            newest = max(newest, blocks[-1][1] - 1)
+        holes: List[_TxRecord] = []
+        bi = 0
+        n_blocks = len(blocks)
+        for rseq, record in self.unacked.items():
+            if rseq > newest:
+                break  # insertion order == rseq order
+            while bi < n_blocks and blocks[bi][1] <= rseq:
+                bi += 1
+            if bi < n_blocks and blocks[bi][0] <= rseq:
+                if not record.sacked:
                     record.sacked = True
                     self._maybe_sample(record)
-        self._fast_retransmit(newest)
+            elif rseq < newest and not record.sacked and (
+                record.transmissions > 0
+            ):
+                holes.append(record)
+        self._fast_retransmit(holes)
         opened = self._refill() or opened
         self._ensure_timer()
         if opened and self.on_window_open is not None:
@@ -300,15 +405,25 @@ class ReliableSender:
 
     def _absorb_cum_ack(self, cum_ack: int) -> bool:
         """Retire every record below ``cum_ack``; True if window opened."""
-        was_full = len(self.unacked) >= self.window_packets
-        retired = 0
-        for rseq in list(self.unacked):
+        unacked = self.unacked
+        was_full = len(unacked) >= self.window_packets
+        on_retire = self.on_retire
+        # One forward scan (insertion order == rseq order): collect the
+        # covered prefix, then delete.  Scanning once and stopping at the
+        # first live record keeps this O(retired), not O(window).
+        ripe: List[Tuple[int, _TxRecord]] = []
+        for rseq, record in unacked.items():
             if rseq >= cum_ack:
-                break  # insertion order == rseq order
-            record = self.unacked.pop(rseq)
-            retired += 1
+                break
+            ripe.append((rseq, record))
+        retired = len(ripe)
+        for rseq, _ in ripe:
+            del unacked[rseq]
+        for _, record in ripe:
             if not record.sacked:
                 self._maybe_sample(record)
+            if on_retire is not None:
+                on_retire(record.packet)
         self.stats.acked += retired
         return was_full and retired > 0
 
@@ -318,15 +433,18 @@ class ReliableSender:
             self.stats.rtt_samples += 1
             self.rto.sample(self.sim.now - record.last_sent)
 
-    def _fast_retransmit(self, newest_acked: int) -> None:
-        """Retransmit holes the SACK scoreboard has repeatedly exposed."""
+    def _fast_retransmit(self, holes: List[_TxRecord]) -> None:
+        """Retransmit holes the SACK scoreboard has repeatedly exposed.
+
+        ``holes`` are the un-sacked records below the newest acked data,
+        collected by the :meth:`on_ack` merge pass.  Ripe holes are
+        resubmitted as one batch, so a multi-packet repair is striped
+        through ``assign_many`` like any other burst.
+        """
         srtt = self.rto.srtt or 0.0
         now = self.sim.now
-        for rseq, record in self.unacked.items():
-            if rseq >= newest_acked:
-                break
-            if record.sacked or record.transmissions == 0:
-                continue
+        ripe: List[_TxRecord] = []
+        for record in holes:
             if now - record.last_sent < srtt:
                 # The last copy has not had a round trip yet — acks of
                 # newer data say nothing about it (prevents retransmit
@@ -338,7 +456,9 @@ class ReliableSender:
             ):
                 record.dup_hints = 0
                 self.stats.fast_retransmissions += 1
-                self._retransmit(record)
+                ripe.append(record)
+        if ripe:
+            self._retransmit_many(ripe)
 
     def _refill(self) -> bool:
         """Launch parked submits into freed window slots."""
@@ -351,6 +471,16 @@ class ReliableSender:
     def _retransmit(self, record: _TxRecord) -> None:
         record.rtx_pending = True
         self._submit(record.packet)
+
+    def _retransmit_many(self, records: List[_TxRecord]) -> None:
+        for record in records:
+            record.rtx_pending = True
+        if self._submit_many is not None and len(records) > 1:
+            self.stats.batched_retransmissions += len(records)
+            self._submit_many([record.packet for record in records])
+        else:
+            for record in records:
+                self._submit(record.packet)
 
     # ------------------------------------------------------------------ #
     # retransmission timer (single timer for the oldest outstanding)
@@ -466,7 +596,27 @@ class ReliableReceiver:
             # through rather than wedging the stream.
             self.on_deliver(packet)
             return
-        self.stats.received += 1
+        stats = self.stats
+        stats.received += 1
+        if rseq == self.next_expected and not self._ooo:
+            # Hot case — in-order arrival with nothing buffered:
+            # _deliver_run + _ack_progress inlined (identical effect).
+            self.next_expected = rseq + 1
+            stats.delivered += 1
+            undelivered = self._unacked_deliveries + 1
+            self._unacked_deliveries = undelivered
+            self.on_deliver(packet)
+            if self.send_ack is None:
+                return
+            if undelivered >= self.ack_every:
+                self._ack_now()
+            elif self.sim is not None and (
+                self._ack_timer is None or self._ack_timer.cancelled
+            ):
+                self._ack_timer = self.sim.schedule(
+                    self.ack_delay_s, self._delayed_ack
+                )
+            return
         if rseq < self.next_expected or rseq in self._ooo:
             self.stats.duplicates += 1
             self._ack_now()
@@ -507,6 +657,8 @@ class ReliableReceiver:
         first (RFC 2018 custom), then the rest newest-edge first, so a
         truncated piggyback still carries the freshest information.
         """
+        if not self._ooo:
+            return SackInfo(cum_ack=self.next_expected)
         if max_blocks is None:
             max_blocks = self.max_sack_blocks
         blocks = self._coalesced_blocks()

@@ -1,0 +1,119 @@
+"""Unit tests for the vectorized SRR kernel (``NumpySRRKernel``).
+
+The contract under test: the numpy kernel's ``assign_many`` is bit-identical
+to :class:`~repro.core.kernel.SRRKernel` in every case — vectorized when the
+burst is uniform-cost, integral, and large enough, silently scalar
+otherwise — and its final mutable state (``ptr`` / ``round_number`` / ``dc``)
+always matches the pure-python kernel's, so bursts can be freely interleaved
+with scalar ``step`` calls.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.kernel import NumpySRRKernel, SRRKernel, kernel_for
+from repro.core.srr import SRR, make_rr
+
+
+def _state(kernel):
+    return (kernel.ptr, kernel.round_number, list(kernel.dc))
+
+
+def _pair(quanta):
+    algorithm = SRR(list(quanta))
+    return SRRKernel(algorithm), NumpySRRKernel(algorithm)
+
+
+class TestVectorizedPath:
+    def test_uniform_burst_matches_scalar_kernel(self):
+        ref, fast = _pair([1000.0, 3000.0, 2000.0])
+        sizes = [500] * 64
+        assert fast.assign_many(sizes) == ref.assign_many(sizes)
+        assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 1
+        assert fast.scalar_batches == 0
+
+    def test_packet_counting_mode_vectorizes(self):
+        algorithm = make_rr(3)
+        ref = SRRKernel(algorithm)
+        fast = NumpySRRKernel(algorithm)
+        sizes = [100, 900, 40, 1500] * 16  # cost is 1.0 regardless of size
+        assert fast.assign_many(sizes) == ref.assign_many(sizes)
+        assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 1
+
+    def test_state_continues_across_bursts_and_scalar_steps(self):
+        ref, fast = _pair([1000.0, 2000.0])
+        for _ in range(3):
+            sizes = [250] * 48
+            assert fast.assign_many(sizes) == ref.assign_many(sizes)
+            # interleave a few scalar steps between vector bursts
+            for size in (100, 700, 300):
+                assert fast.step(size) == ref.step(size)
+            assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 3
+
+    def test_randomized_uniform_bursts_identical(self):
+        rng = random.Random(42)
+        for trial in range(20):
+            n = rng.randint(2, 6)
+            quanta = [float(rng.randint(1, 8) * 500) for _ in range(n)]
+            ref, fast = _pair(quanta)
+            for _ in range(rng.randint(1, 4)):
+                size = rng.choice([100, 500, 1000, 1500])
+                sizes = [size] * rng.randint(32, 200)
+                assert fast.assign_many(sizes) == ref.assign_many(sizes)
+                assert _state(fast) == _state(ref)
+
+
+class TestScalarFallback:
+    def test_mixed_sizes_fall_back(self):
+        ref, fast = _pair([1000.0, 1000.0])
+        sizes = [500, 700] * 32
+        assert fast.assign_many(sizes) == ref.assign_many(sizes)
+        assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 0
+        assert fast.scalar_batches == 1
+
+    def test_small_bursts_fall_back(self):
+        ref, fast = _pair([1000.0, 1000.0])
+        sizes = [500] * 8  # below min_batch (32)
+        assert fast.assign_many(sizes) == ref.assign_many(sizes)
+        assert fast.vector_batches == 0
+        assert fast.scalar_batches == 1
+
+    def test_fractional_quanta_fall_back(self):
+        ref, fast = _pair([1000.5, 2000.5])
+        sizes = [500] * 64
+        assert fast.assign_many(sizes) == ref.assign_many(sizes)
+        assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 0
+
+    def test_fallback_never_diverges_after_vector_burst(self):
+        ref, fast = _pair([1500.0, 4500.0, 3000.0])
+        uniform = [500] * 64
+        mixed = [100, 1400, 500] * 16
+        assert fast.assign_many(uniform) == ref.assign_many(uniform)
+        assert fast.assign_many(mixed) == ref.assign_many(mixed)
+        assert fast.assign_many(uniform) == ref.assign_many(uniform)
+        assert _state(fast) == _state(ref)
+        assert fast.vector_batches == 2
+        assert fast.scalar_batches == 1
+
+
+class TestKernelSelection:
+    def test_kernel_for_numpy_true(self):
+        kernel = kernel_for(SRR([1000.0, 2000.0]), numpy=True)
+        assert isinstance(kernel, NumpySRRKernel)
+
+    def test_kernel_for_numpy_auto(self):
+        kernel = kernel_for(SRR([1000.0, 2000.0]), numpy="auto")
+        assert isinstance(kernel, NumpySRRKernel)
+
+    def test_kernel_for_default_is_pure_python(self):
+        kernel = kernel_for(SRR([1000.0, 2000.0]), numpy=False)
+        assert isinstance(kernel, SRRKernel)
+        assert not isinstance(kernel, NumpySRRKernel)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.packet import Codepoint, MarkerPacket, Packet, is_marker
+from repro.core.packet import (
+    Codepoint,
+    MarkerPacket,
+    Packet,
+    PacketPool,
+    is_marker,
+)
 from repro.core.schemes import SeededRandomFQ, WeightedRandomFQ
 from repro.core.transform import (
     TransformedLoadSharer,
@@ -96,3 +102,45 @@ class TestWeightedRandomFQ:
             WeightedRandomFQ([])
         with pytest.raises(ValueError):
             WeightedRandomFQ([1, 0])
+
+
+class TestPacketPool:
+    def test_fresh_allocation_when_empty(self):
+        pool = PacketPool()
+        packet = pool.acquire(100, seq=1)
+        assert packet.size == 100 and packet.seq == 1
+        assert pool.stats() == {
+            "allocated": 1, "reused": 0, "released": 0, "free": 0,
+        }
+
+    def test_reacquired_packet_is_reset_with_fresh_uid(self):
+        pool = PacketPool()
+        packet = pool.acquire(100, seq=1, flow="f", payload="old")
+        packet.label = "stale"
+        packet.rseq = 7
+        packet.codepoint = Codepoint.MARKER
+        old_uid = packet.uid
+        pool.release(packet)
+        recycled = pool.acquire(200, seq=2)
+        assert recycled is packet  # same object, recycled
+        assert recycled.uid != old_uid
+        assert recycled.size == 200 and recycled.seq == 2
+        assert recycled.label is None and recycled.rseq is None
+        assert recycled.flow is None and recycled.payload is None
+        assert recycled.codepoint == Codepoint.DATA
+        assert not is_marker(recycled)
+        assert pool.reused == 1 and pool.released == 1
+
+    def test_only_plain_packets_are_pooled(self):
+        pool = PacketPool()
+        pool.release(MarkerPacket(round_number=1, deficit=0.0, channel=0))
+        pool.release("not a packet")
+        assert pool.stats()["free"] == 0
+
+    def test_free_list_capped_at_max_size(self):
+        pool = PacketPool(max_size=2)
+        packets = [Packet(100) for _ in range(4)]
+        for packet in packets:
+            pool.release(packet)
+        assert pool.released == 2
+        assert pool.stats()["free"] == 2

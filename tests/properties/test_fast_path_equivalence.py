@@ -15,6 +15,7 @@ rates, loss, marker cadence, resequencing mode — and assert that:
 
 import dataclasses
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments.socket_harness import (
@@ -22,8 +23,23 @@ from repro.experiments.socket_harness import (
     build_socket_testbed,
 )
 from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    FaultEvent,
+    FaultSchedule,
+    persistent_loss_schedule,
+)
 
 DURATION_S = 0.4
+
+#: ARQ options the reliable-mode runs use on BOTH paths — the same
+#: BDP-sized window / coarse ack cadence the benchmark's reliable row
+#: runs with (see ``RELIABLE_BENCH_OPTIONS`` in
+#: ``repro.experiments.sim_bench``), so the equivalence property is
+#: exercised in the configuration whose speedup the gate asserts.
+RELIABLE_OPTIONS = {
+    "sender": {"window_packets": 512},
+    "receiver": {"ack_every": 16},
+}
 
 
 def _run(config: SocketTestbedConfig, fast: bool, batch: bool):
@@ -122,3 +138,140 @@ class TestFastPathEquivalence:
             plain, _ = _run(config, fast=fast, batch=False)
             batched, _ = _run(config, fast=fast, batch=True)
             assert batched == plain
+
+
+def _mode_config(mode, loss=0.0, n=4, seed=0, backlog=None):
+    return SocketTestbedConfig(
+        n_channels=n,
+        link_mbps=(10.0,),
+        prop_delay_s=tuple(0.5e-3 + 0.1e-3 * i for i in range(n)),
+        loss_rates=(loss,),
+        message_bytes=1000,
+        marker_interval_rounds=1,
+        source_backlog=backlog if backlog is not None else 4 * n,
+        seed=seed,
+        reliability=mode,
+        reliability_options=RELIABLE_OPTIONS if mode == "reliable" else None,
+    )
+
+
+def _run_with_faults(config, fast, schedule, fault_seed):
+    """One run with an optional fault schedule installed post-build.
+
+    The schedule must be installed *after* the testbed claims each
+    channel's ``on_deliver`` (the injector interposes on the current
+    handler), and with the same seed on both runs of a pair — the
+    injector RNG is per-channel-seeded, so the fault draws replay
+    identically and ref/fast equivalence stays well-defined.
+    """
+    config = dataclasses.replace(config, fast=fast)
+    sim = Simulator()
+    testbed = build_socket_testbed(sim, config)
+    installed = None
+    if schedule is not None:
+        installed = schedule.install(
+            sim, [link.ab for link in testbed.links], seed=fault_seed
+        )
+    sim.run(until=DURATION_S, batch=fast)
+    records = [(d.time, d.seq) for d in testbed.deliveries]
+    return records, installed, testbed
+
+
+class TestReliabilityModeEquivalence:
+    """All three reliability modes ride the fast path bit-identically.
+
+    These mirror the per-mode benchmark rows (``run_reliability_mode_bench``)
+    as deterministic regression tests: clean and persistently-lossy runs,
+    plus reliable-mode recovery through a channel crash — each asserting
+    the fast path's ``(time, seq)`` records equal the reference path's.
+    """
+
+    MODES = ("best_effort", "quasi_fifo", "reliable")
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_clean_runs_identical(self, mode, seed):
+        config = _mode_config(mode, seed=seed)
+        ref_records, _, _ = _run_with_faults(config, False, None, 0)
+        fast_records, _, _ = _run_with_faults(config, True, None, 0)
+        assert ref_records
+        assert fast_records == ref_records
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_lossy_runs_identical(self, mode):
+        """10% Bernoulli loss for the whole run, never stopped — the
+        regime the benchmark's per-mode equivalence column runs in."""
+        config = _mode_config(mode, loss=0.1, seed=3)
+        ref_records, _, _ = _run_with_faults(config, False, None, 0)
+        fast_records, _, _ = _run_with_faults(config, True, None, 0)
+        assert ref_records
+        assert fast_records == ref_records
+
+    def test_reliable_lossy_delivers_exactly_once_in_order(self):
+        config = _mode_config("reliable", loss=0.1, seed=3)
+        records, _, testbed = _run_with_faults(config, True, None, 0)
+        seqs = [seq for _, seq in records]
+        assert seqs == list(range(len(seqs)))
+        arq = testbed.sender.reliable
+        assert arq is not None and arq.stats.retransmissions > 0
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_reliable_channel_crash_identical(self, seed):
+        """Reliable mode under 10% loss plus a one-channel crash: both
+        paths recover identically (the injector forces faulted channels
+        onto the classic per-packet pump on both runs, and the crash
+        drops replay from the same per-channel RNG)."""
+        config = _mode_config("reliable", loss=0.1, seed=seed)
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.10, channel=0, kind="crash", duration=0.10)]
+        )
+        ref_records, ref_faults, _ = _run_with_faults(
+            config, False, schedule, seed
+        )
+        fast_records, fast_faults, _ = _run_with_faults(
+            config, True, schedule, seed
+        )
+        assert ref_records
+        assert fast_records == ref_records
+        assert ref_faults.crash_drops > 0
+        assert fast_faults.crash_drops == ref_faults.crash_drops
+        seqs = [seq for _, seq in fast_records]
+        assert seqs == list(range(len(seqs)))
+
+    def test_reliable_persistent_loss_schedule_identical(self):
+        """PR-5's persistent-loss family (fractional crashes on every
+        channel for half the run) through the fast path."""
+        config = _mode_config("reliable", seed=7)
+        schedule = persistent_loss_schedule(
+            config.n_channels, 0.1, start=0.0, until=DURATION_S / 2
+        )
+        ref_records, _, ref_bed = _run_with_faults(config, False, schedule, 2)
+        fast_records, _, fast_bed = _run_with_faults(config, True, schedule, 2)
+        assert ref_records
+        assert fast_records == ref_records
+        for testbed in (ref_bed, fast_bed):
+            arq = testbed.sender.reliable
+            assert arq is not None and arq.stats.retransmissions > 0
+
+
+class TestFastPathCounters:
+    """The fast sender's ``stats()`` counters actually count."""
+
+    def test_batched_pump_counters_nonzero(self):
+        config = _mode_config("quasi_fifo", seed=1)
+        _, _, testbed = _run_with_faults(config, True, None, 0)
+        stats = testbed.sender.stats()
+        assert stats["batched_pumps"] > 0
+        assert stats["batched_packets"] > stats["batched_pumps"]
+        assert "burst_submits" not in stats  # no ARQ in quasi_fifo mode
+
+    def test_reliable_arq_counters_nonzero(self):
+        config = _mode_config("reliable", seed=1)
+        _, _, testbed = _run_with_faults(config, True, None, 0)
+        stats = testbed.sender.stats()
+        assert stats["batched_pumps"] > 0
+        assert stats["batched_packets"] > 0
+        assert stats["burst_submits"] > 0
+        assert stats["sack_scans"] > 0
+        arq = testbed.sender.reliable
+        assert arq.stats.acked > 0

@@ -343,3 +343,40 @@ class TestStepSemantics:
         doomed.cancel()
         assert sim.step() is True
         assert seen == ["live"]
+
+
+class TestEntryFreeList:
+    """Slot-free heap entries are recycled through the engine free-list."""
+
+    def test_schedule_call_reuses_retired_entries(self, sim):
+        seen = []
+        for i in range(5):
+            sim.schedule_call(float(i + 1), lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+        assert sim.entries_reused == 0  # nothing retired before first batch
+        for i in range(5):
+            sim.schedule_call(sim.now + i + 1, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4] * 2
+        assert sim.entries_reused == 5
+
+    def test_schedule_many_draws_from_pool(self, sim):
+        sim.schedule_call(1.0, lambda: None)
+        sim.run()
+        seen = []
+        count = sim.schedule_many(
+            [(sim.now + 1.0, lambda: seen.append("a")),
+             (sim.now + 2.0, lambda: seen.append("b"))]
+        )
+        assert count == 2
+        sim.run()
+        assert seen == ["a", "b"]
+        assert sim.entries_reused >= 1
+
+    def test_handle_scheduled_events_are_not_pooled(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule_call(2.0, lambda: None)
+        sim.run()
+        assert sim.entries_reused == 0
