@@ -2,7 +2,7 @@
 
 .PHONY: install test bench experiments quick-experiments examples clean \
 	endpoints-smoke chaos-smoke reliability-smoke fabric-smoke \
-	fast-reliable-smoke lint-endpoints
+	fast-reliable-smoke sprinklers-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -59,6 +59,17 @@ fast-reliable-smoke:
 		tests/transport/test_reliability.py \
 		tests/core/test_numpy_kernel.py
 	PYTHONPATH=src pytest benchmarks/test_bench_sim.py -x -q
+
+# Fast confidence check for the synchronization-model work: the
+# Sprinklers discipline unit/property tests (in-order proof obligations),
+# the sync-model family tests (incl. the zero-marker-codec regression),
+# then the quick head-to-head benchmark, which asserts reorder rate 0 and
+# receiver high-water mark 0 for Sprinklers on every stable transport.
+sprinklers-smoke:
+	PYTHONPATH=src pytest tests/core/test_sprinklers.py \
+		tests/transport/test_sync_model.py
+	SPRINKLERS_BENCH_QUICK=1 PYTHONPATH=src pytest \
+		benchmarks/test_bench_sprinklers.py -x -q
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

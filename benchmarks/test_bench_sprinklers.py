@@ -1,0 +1,118 @@
+"""The Sprinklers vs SRR+markers head-to-head (ISSUE 8 acceptance run).
+
+Runs the full :mod:`repro.experiments.sprinklers` comparison — all five
+transports, chaos faults, flow-count scale — and asserts the
+marker-free acceptance bars:
+
+* **zero reordering** for Sprinklers on every stable transport (socket
+  reference, fast path, session, duplex).  TCP channels are elastic
+  (per-connection congestion state skews arrival order), so TCP's
+  reorder rate is recorded as a data point, not gated;
+* **zero receiver memory**: the Sprinklers high-water mark is 0 packets
+  on every transport (direct reception buffers nothing), while
+  SRR+markers holds a resequencer backlog;
+* **zero markers**: the marker-free path sends no control packets;
+* **goodput parity**: Sprinklers is within 10% of SRR+markers on every
+  stable transport (in practice it is slightly ahead — no marker
+  bandwidth);
+* at scale, every submitted packet is delivered exactly once and Jain's
+  index across equal-weight flows stays >= 0.95.
+
+Results are written to ``BENCH_sprinklers.json`` at the repo root so the
+numbers are tracked across PRs.
+
+Environment knobs (for the CI smoke job and local quick runs):
+
+* ``SPRINKLERS_BENCH_QUICK=1`` — short runs (the CI smoke setting).
+* ``SPRINKLERS_BENCH_FLOWS`` — scale-leg flow count (default 10000).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.sprinklers import (
+    STABLE_TRANSPORTS,
+    TRANSPORTS,
+    run_sprinklers,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sprinklers.json"
+
+QUICK = os.environ.get("SPRINKLERS_BENCH_QUICK", "") == "1"
+N_FLOWS = int(os.environ.get("SPRINKLERS_BENCH_FLOWS", "10000"))
+GOODPUT_PARITY = 0.90
+MIN_JAIN = 0.95
+
+
+def test_bench_sprinklers_head_to_head():
+    """Sprinklers acceptance bars on all five transports + JSON."""
+    started = time.perf_counter()
+    if QUICK:
+        result = run_sprinklers(quick=True)
+    else:
+        result = run_sprinklers(scale_flows=N_FLOWS)
+    wall_s = time.perf_counter() - started
+
+    assert {row.transport for row in result.head_to_head} == set(TRANSPORTS)
+    for transport in STABLE_TRANSPORTS:
+        sprinklers = result.row(transport, "sprinklers")
+        srr = result.row(transport, "srr")
+        assert sprinklers.out_of_order == 0, (
+            f"{transport}: Sprinklers reordered on stable channels:\n"
+            + result.render()
+        )
+        assert sprinklers.receiver_hwm == 0, (
+            f"{transport}: marker-free receiver buffered packets:\n"
+            + result.render()
+        )
+        assert sprinklers.markers_sent == 0
+        assert sprinklers.goodput_mbps >= GOODPUT_PARITY * srr.goodput_mbps, (
+            f"{transport}: Sprinklers goodput fell behind SRR+markers:\n"
+            + result.render()
+        )
+    # TCP: elastic channels — reorder is measured, not gated; but direct
+    # reception must still hold zero receiver memory.
+    tcp = result.row("tcp", "sprinklers")
+    assert tcp.receiver_hwm == 0
+
+    for row in result.chaos:
+        assert row.duplicates == 0
+
+    for row in result.scale:
+        assert row.delivered == row.total, (
+            f"{row.discipline}: lost packets at {row.n_flows} flows"
+        )
+        assert row.jain_flows >= MIN_JAIN
+    sprinklers_scale = [
+        row for row in result.scale if row.discipline == "sprinklers"
+    ]
+    assert all(row.receiver_hwm == 0 for row in sprinklers_scale)
+
+    report = {
+        "workload": {
+            "transports": list(TRANSPORTS),
+            "stable_transports": list(STABLE_TRANSPORTS),
+            "scale_flows": result.scale[0].n_flows if result.scale else 0,
+            "quick": QUICK,
+        },
+        "head_to_head": [
+            dataclasses.asdict(row) for row in result.head_to_head
+        ],
+        "chaos": [dataclasses.asdict(row) for row in result.chaos],
+        "scale": [dataclasses.asdict(row) for row in result.scale],
+        "acceptance": {
+            "stable_reorder_rate": 0.0,
+            "stable_receiver_hwm": 0,
+            "goodput_parity": GOODPUT_PARITY,
+            "min_jain": MIN_JAIN,
+        },
+        "wall_clock_s": wall_s,
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(result.render())

@@ -36,6 +36,10 @@ class AddressHashing(LoadSharer):
         environment="Routers (per-destination pinning)",
     )
     simulatable = False
+    #: hash synchronization: per-flow pinning means arrival order is
+    #: delivery order — receiver mode ``"direct"``, no resequencer, no
+    #: marker codec (see repro.transport.sync_model).
+    marker_free = True
 
     def __init__(self, n: int) -> None:
         if n < 1:

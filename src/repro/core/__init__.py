@@ -12,6 +12,9 @@ Public surface:
 * Receiver: :class:`Resequencer` (Theorem 4.1), :class:`SRRReceiver`
   (marker recovery, Theorem 5.1), :class:`NullResequencer` (ablation).
 * Fairness: :func:`srr_fairness_report` (Theorem 3.2 bound).
+* Marker-free striping: :class:`SprinklersDiscipline` (per-flow
+  power-of-two stripes over :func:`stripe_size_for` /
+  :class:`FlowRateEstimator` — in-order without markers or resequencing).
 """
 
 from repro.core.packet import Codepoint, MarkerPacket, Packet, is_marker
@@ -72,6 +75,11 @@ from repro.core.fairness import (
     max_pairwise_imbalance,
     normalized_shares,
     srr_fairness_report,
+)
+from repro.core.sprinklers import (
+    FlowRateEstimator,
+    SprinklersDiscipline,
+    stripe_size_for,
 )
 from repro.core.session import (
     LocalChecker,
@@ -137,6 +145,9 @@ __all__ = [
     "max_pairwise_imbalance",
     "jain_fairness_index",
     "normalized_shares",
+    "SprinklersDiscipline",
+    "FlowRateEstimator",
+    "stripe_size_for",
     "StripeConfig",
     "StripeSenderSession",
     "StripeReceiverSession",

@@ -159,6 +159,13 @@ class PacketPool:
       the packet cannot be retransmitted.  The reliability layer keeps
       unacknowledged packets in its retransmit buffer, so reliable-mode
       harnesses only pool when the run is loss-free.
+    * **marker-free receive** (hash-synchronized disciplines, reception
+      mode ``"direct"``): delivery happens *at arrival* with structurally
+      zero receiver buffering, so release-at-delivery is always safe —
+      no resequencer ever holds a reference past the delivery callback,
+      and reliable mode (the one path that would) is unavailable without
+      a marker stream.  This is the cheapest pooling contract of any
+      reception mode and is asserted by the fast-path stats tests.
     * a reacquired packet gets a **fresh** ``uid``, so tracing and dedup
       logic see it as the new logical packet it is.
     """

@@ -225,8 +225,37 @@ class NullResequencer:
         """Physical-order delivery never blocked; nothing to restore."""
 
 
+class DirectReception(NullResequencer):
+    """Marker-free reception: every data arrival *is* a delivery.
+
+    The receiver half of hash-synchronized disciplines (address hashing,
+    Sprinklers): per-flow channel pinning makes physical arrival order the
+    delivery order, so there is nothing to resequence — ``buffered`` and
+    ``max_buffered`` are structurally zero, and a delivered packet has no
+    surviving reference inside the engine (the pooling contract:
+    :class:`~repro.core.packet.PacketPool` may recycle it at delivery,
+    not at drain).
+
+    Unlike the :class:`NullResequencer` ablation — which rides the marker
+    pipeline and silently swallows the marker stream — this engine should
+    never see a marker at all; any that arrive (a misconfigured sender)
+    are counted in :attr:`stray_markers` and dropped undecoded.
+    """
+
+    def __init__(self, n_channels: int, on_deliver=None) -> None:
+        super().__init__(n_channels, on_deliver)
+        #: markers that reached a marker-free receiver (sender misconfig)
+        self.stray_markers = 0
+
+    def push(self, channel: int, packet: Any) -> List[Any]:
+        if is_marker(packet):
+            self.stray_markers += 1
+            return []
+        return super().push(channel, packet)
+
+
 #: Receiver modes understood by :func:`make_resequencer`.
-RESEQ_MODES = ("marker", "plain", "none", "mppp", "bonding")
+RESEQ_MODES = ("marker", "plain", "none", "direct", "mppp", "bonding")
 
 
 def make_resequencer(
@@ -249,6 +278,8 @@ def make_resequencer(
       any :class:`~repro.core.cfq.CausalFQ`).
     * ``"none"`` — physical arrival order (the Figure 15 ablation;
       needs only ``n_channels``).
+    * ``"direct"`` — marker-free delivery at arrival (hash-synchronized
+      disciplines; stray markers counted, never decoded).
     * ``"mppp"`` — RFC 1717 sequence-number resequencing (baseline;
       ``sim`` enables the gap timeout).
     * ``"bonding"`` — BONDING-style frame alignment (baseline).
@@ -272,6 +303,8 @@ def make_resequencer(
         return Resequencer(algorithm, on_deliver=on_deliver)
     if mode == "none":
         return NullResequencer(n_channels, on_deliver=on_deliver)
+    if mode == "direct":
+        return DirectReception(n_channels, on_deliver=on_deliver)
     if mode == "mppp":
         from repro.baselines.mppp import MpppReceiver
 

@@ -99,6 +99,11 @@ class StripeSenderSession:
         checkpoint_every_rounds: stamp a sender-round checkpoint onto the
             markers this often (0 disables; see LocalChecker).
         retry_timeout: seconds before an unacked RESET is retransmitted.
+        striper_factory: optional ``(config, active_ports) -> Striper``
+            override for each epoch's striper — how non-SRR disciplines
+            (any registry entry, e.g. marker-free Sprinklers) ride the
+            session layer's reset/reconfiguration machinery.  Default
+            builds the paper's SRR striper from the config's quanta.
 
     Upper layers call :meth:`submit`; during a reset, packets queue and are
     replayed into the new epoch's striper.  With a fabric attached
@@ -117,6 +122,9 @@ class StripeSenderSession:
         marker_policy: Optional[MarkerPolicy] = None,
         retry_timeout: float = 0.25,
         max_retries: int = 20,
+        striper_factory: Optional[
+            Callable[[StripeConfig, List[ChannelPort]], Striper]
+        ] = None,
     ) -> None:
         if config.active_channels is None:
             config = StripeConfig(
@@ -134,6 +142,7 @@ class StripeSenderSession:
         self.epoch = 0
         self.config = config
         self.state = self.RUNNING
+        self.striper_factory = striper_factory
         self.striper = self._make_striper(config)
         self._pending_during_reset: List[Any] = []
         self._retry_event: Optional[Event] = None
@@ -156,6 +165,8 @@ class StripeSenderSession:
 
     def _make_striper(self, config: StripeConfig) -> Striper:
         active = [self.all_ports[i] for i in config.active_channels]
+        if self.striper_factory is not None:
+            return self.striper_factory(config, active)
         return Striper(
             TransformedLoadSharer(config.algorithm()),
             active,
@@ -426,6 +437,13 @@ class StripeReceiverSession:
         send_control: reverse-path transmit function for ACKs/requests.
         on_deliver: in-order data callback.
         checker: optional :class:`LocalChecker` for self-stabilization.
+        receiver_factory: optional ``(config, on_deliver) -> receiver``
+            override for each epoch's reception engine (anything with
+            ``push(channel, packet)``) — the receiver half of non-SRR
+            disciplines, e.g.
+            :class:`~repro.core.resequencer.DirectReception` for
+            marker-free schemes.  Default builds the paper's
+            simulated-sender :class:`~repro.core.markers.SRRReceiver`.
     """
 
     def __init__(
@@ -436,6 +454,9 @@ class StripeReceiverSession:
         send_control: Callable[[Any], None],
         on_deliver: Optional[Callable[[Any], None]] = None,
         checker: Optional["LocalChecker"] = None,
+        receiver_factory: Optional[
+            Callable[[StripeConfig, Callable[[Any], None]], Any]
+        ] = None,
     ) -> None:
         if config.active_channels is None:
             config = StripeConfig(
@@ -452,6 +473,7 @@ class StripeReceiverSession:
             checker.attach(self)
         self.epoch = 0
         self.config = config
+        self.receiver_factory = receiver_factory
         self.receiver = self._make_receiver(config)
         #: epoch each physical channel's stream is currently in
         self._channel_epoch = [0] * n_ports
@@ -464,7 +486,9 @@ class StripeReceiverSession:
         self.probes_seen = 0
         self.probe_acks_sent = 0
 
-    def _make_receiver(self, config: StripeConfig) -> SRRReceiver:
+    def _make_receiver(self, config: StripeConfig) -> Any:
+        if self.receiver_factory is not None:
+            return self.receiver_factory(config, self._deliver)
         receiver = SRRReceiver(
             config.algorithm(),
             on_deliver=self._deliver,
@@ -519,7 +543,11 @@ class StripeReceiverSession:
                     count_packets=packet.config.count_packets,
                     active_channels=tuple(range(packet.config.n_channels)),
                 )
-            discarded = sum(len(b) for b in self.receiver.buffers)
+            # Marker-free reception engines hold no per-channel buffers
+            # (delivery at arrival), so there is nothing to discard.
+            discarded = sum(
+                len(b) for b in getattr(self.receiver, "buffers", ())
+            )
             self.reset_discards += discarded
             self.receiver = self._make_receiver(self.config)
             self.resets_seen += 1

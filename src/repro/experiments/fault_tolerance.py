@@ -79,11 +79,15 @@ def build_session_testbed(
     reliability: str = "quasi_fifo",
     reliability_options: Optional[dict] = None,
     closed_loop: bool = True,
+    discipline: Optional[str] = None,
+    discipline_options: Optional[dict] = None,
 ) -> SessionTestbed:
     """Two hosts, N links, session-managed striped UDP, closed-loop source.
 
     With ``closed_loop=False`` no source is created; the caller paces
-    submissions (e.g. through an attached fabric).
+    submissions (e.g. through an attached fabric).  ``discipline`` swaps
+    the paper's SRR for any registry discipline on both ends (marker-free
+    ones run without markers and without a resequencer).
     """
     link_mbps = list(link_mbps)
     loss_rates = list(loss_rates)
@@ -137,6 +141,8 @@ def build_session_testbed(
         prober_options=prober_options,
         reliability=reliability,
         reliability_options=arq_options.get("sender"),
+        discipline=discipline,
+        discipline_options=discipline_options,
     )
     deliveries: List[Tuple[float, int]] = []
     receiver = SessionSocketReceiver(
@@ -149,6 +155,8 @@ def build_session_testbed(
         failure_detector=failure_detector,
         reliability=reliability,
         reliability_options=arq_options.get("receiver"),
+        discipline=discipline,
+        discipline_options=discipline_options,
     )
 
     def submit_backlog() -> int:

@@ -185,6 +185,12 @@ def _run_scalability(quick: bool = False, fast: bool = False):
     return run_scalability(fast=fast)
 
 
+def _run_sprinklers(quick: bool = False):
+    from repro.experiments.sprinklers import run_sprinklers
+
+    return run_sprinklers(quick=quick)
+
+
 def _run_tcp_channels(quick: bool = False):
     from repro.experiments.tcp_channels import run_tcp_channels
 
@@ -301,6 +307,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "scalability", "Title claim (extension)",
             "Throughput / ordering / recovery vs channel count",
             _run_scalability, fast_supported=True,
+        ),
+        Experiment(
+            "sprinklers", "Synchronization models (extension)",
+            "Sprinklers vs SRR+markers: reorder, memory, chaos, scale "
+            "on all five transports",
+            _run_sprinklers,
         ),
         Experiment(
             "tcp_channels", "Section 2 (extension)",

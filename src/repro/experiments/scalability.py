@@ -10,7 +10,11 @@ sequence space).  This experiment measures, for N = 2..16 equal links:
 * marker bandwidth overhead (stays a small, roughly constant fraction),
 * resynchronization time after a loss burst (stays within a few marker
   periods — it does not grow with N, because every channel resynchronizes
-  independently; condition C1 is the only global coupling).
+  independently; condition C1 is the only global coupling),
+* Jain's fairness index across per-channel data carried (SRR's equal-share
+  guarantee surfaced end to end: should sit at ~1.0 for every N),
+* the receiver's high-water-mark memory (max resequencer packets buffered
+  — the bounded-memory claim, which must not grow with N on clean links).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.reorder import analyze_order
+from repro.core.fairness import jain_fairness_index
 from repro.experiments.socket_harness import (
     SocketTestbedConfig,
     build_socket_testbed,
@@ -36,6 +41,12 @@ class ScalabilityRow:
     out_of_order: int
     marker_overhead_fraction: float
     recovery_time_s: Optional[float]
+    #: Jain's fairness index across per-channel data carried: 1.0 means
+    #: the striper spread the stream perfectly evenly over the N links.
+    jain_channels: float = 1.0
+    #: receiver high-water-mark memory (max packets ever buffered in the
+    #: resequencer) — the paper's bounded-memory claim, per channel count.
+    receiver_hwm_packets: int = 0
 
     def render(self) -> str:
         recovery = (
@@ -45,7 +56,8 @@ class ScalabilityRow:
         return (
             f"{self.n_channels:>4} {self.goodput_mbps:>8.2f} "
             f"{self.per_channel_mbps:>8.2f} {self.out_of_order:>6} "
-            f"{self.marker_overhead_fraction:>9.4%} {recovery}"
+            f"{self.marker_overhead_fraction:>9.4%} {recovery} "
+            f"{self.jain_channels:>6.4f} {self.receiver_hwm_packets:>5}"
         )
 
 
@@ -56,7 +68,7 @@ class ScalabilityResult:
     def render(self) -> str:
         header = (
             f"{'N':>4} {'Mbps':>8} {'per-ch':>8} {'OOO':>6} "
-            f"{'markers':>9} {'recovery':>10}"
+            f"{'markers':>9} {'recovery':>10} {'jain':>6} {'hwm':>5}"
         )
         return "\n".join(
             [header, "-" * len(header)]
@@ -109,10 +121,14 @@ def run_scalability(
         )
         marker_bytes = 0
         data_bytes = 0
+        per_channel_data: List[float] = []
         for port in testbed.sender.ports:
             marker_bytes += port.sent_markers * 32
             data_bytes += port.sent_data * message_bytes
+            per_channel_data.append(float(port.sent_data))
         overhead = marker_bytes / data_bytes if data_bytes else 0.0
+        jain = jain_fairness_index(per_channel_data)
+        hwm = int(testbed.receiver.receiver_state().get("max_buffered", 0))
 
         # --- recovery probe: a loss burst, then measure resync time ------
         recovery_time: Optional[float] = None
@@ -156,6 +172,8 @@ def run_scalability(
                 out_of_order=report.out_of_order,
                 marker_overhead_fraction=overhead,
                 recovery_time_s=recovery_time,
+                jain_channels=jain,
+                receiver_hwm_packets=hwm,
             )
         )
     return ScalabilityResult(rows)

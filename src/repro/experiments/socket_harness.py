@@ -57,6 +57,11 @@ class SocketTestbedConfig:
     #: discipline (its own receiver half for mppp/bonding, plain logical
     #: reception for causal policies, arrival order for non-causal ones).
     discipline: Optional[str] = None
+    #: extra keyword options forwarded to ``make_discipline`` (e.g.
+    #: ``{"initial_share": 1.0}`` so Sprinklers provisions its full stripe
+    #: for the harness's single flowless closed-loop aggregate instead of
+    #: growing — and reordering — through mid-stream resizes).
+    discipline_options: Optional[dict] = None
     buffer_packets: Optional[int] = None
     use_credit: bool = False
     source_backlog: int = 16
@@ -216,6 +221,7 @@ def build_socket_testbed(
         options = dict(
             quantum=float(config.message_bytes), seed=config.seed
         )
+        options.update(config.discipline_options or {})
         algorithm_s = make_discipline(
             config.discipline, config.n_channels, **options
         )

@@ -43,11 +43,15 @@ def build_tcp_striped(
     seed: int = 0,
     failure_detector=None,
     closed_loop: bool = True,
+    discipline: str | None = None,
+    discipline_options: dict | None = None,
 ) -> Tuple[StripedTcpSender, StripedTcpReceiver, list]:
     """Two hosts, one link per TCP channel, closed-loop striped stream.
 
     With ``closed_loop=False`` no source is created; the caller paces
-    submissions (e.g. through an attached fabric).
+    submissions (e.g. through an attached fabric).  ``discipline`` swaps
+    the default SRR for any registry discipline on both ends (both halves
+    resolve the same name, so the receiver mode follows automatically).
     """
     s = Stack(sim, "S")
     r = Stack(sim, "R")
@@ -73,13 +77,20 @@ def build_tcp_striped(
         dst_ips.append(f"10.{70 + index}.0.2")
     ts = TcpLayer(s, sim)
     tr = TcpLayer(r, sim)
+    def spec():
+        if discipline is not None:
+            return discipline
+        return SRR([1000.0] * n_channels)
+
     receiver = StripedTcpReceiver(
-        tr, n_channels, SRR([1000.0] * n_channels),
+        tr, n_channels, spec(),
         failure_detector=failure_detector,
+        discipline_options=discipline_options,
     )
     sender = StripedTcpSender(
-        ts, dst_ips[0], n_channels, SRR([1000.0] * n_channels),
+        ts, dst_ips[0], n_channels, spec(),
         dst_ips=dst_ips,
+        discipline_options=discipline_options,
     )
     sender.start()
     if closed_loop:

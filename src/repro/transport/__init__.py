@@ -7,8 +7,14 @@
 * :mod:`repro.transport.credit` — Kung/Chapman credit-based flow control
   (section 6.3).
 * :mod:`repro.transport.endpoint` — the transport-agnostic striping
-  endpoint layer: channel-port protocol, sender/receiver pipelines, the
-  discipline registry, and the dead-channel watchdog.
+  endpoint layer: channel-port protocol and sender/receiver pipelines.
+* :mod:`repro.transport.discipline` — the striping-discipline registry
+  with its receiver-mode and synchronization-model axes.
+* :mod:`repro.transport.sync_model` — synchronization models: how the
+  endpoints agree on packet order (marker-based, hash-based/marker-free,
+  header-based).
+* :mod:`repro.transport.health` — channel-health machinery: failure
+  detection, the channel lifecycle, the sender stall watch.
 * :mod:`repro.transport.socket_striping` — striping across UDP sockets at
   the transport layer (section 6.3's experimental harness).
 * :mod:`repro.transport.fabric` — the multi-tenant session fabric: a
@@ -18,14 +24,23 @@
 
 from repro.transport.endpoint import (
     DISCIPLINES,
+    SYNC_MODELS,
     ChannelFailureDetector,
+    ChannelLifecycleManager,
     ChannelPort,
     FastStriper,
+    HashSyncModel,
+    HeaderSyncModel,
+    MarkerSyncModel,
+    SenderHealthMonitor,
     StripeReceiverPipeline,
     StripeSenderPipeline,
+    SynchronizationModel,
     make_discipline,
+    make_sync_model,
     receiver_mode_for,
     resolve_discipline,
+    sync_model_for,
 )
 from repro.transport.udp import UDP_HEADER_BYTES, UdpDatagram, UdpLayer, UdpSocket
 from repro.transport.tcp import (
@@ -69,9 +84,18 @@ __all__ = [
     "StripeReceiverPipeline",
     "FastStriper",
     "DISCIPLINES",
+    "SYNC_MODELS",
     "make_discipline",
     "resolve_discipline",
     "receiver_mode_for",
+    "sync_model_for",
+    "make_sync_model",
+    "SynchronizationModel",
+    "MarkerSyncModel",
+    "HashSyncModel",
+    "HeaderSyncModel",
+    "ChannelLifecycleManager",
+    "SenderHealthMonitor",
     "UdpChannelPort",
     "FastChannelPort",
     "FastStripedSender",

@@ -74,14 +74,16 @@ def connect_duplex(
     stack_b: Stack,
     a_to_b: Sequence[Tuple[str, int]],
     b_to_a: Sequence[Tuple[str, int]],
-    algorithm_factory,
-    buffer_packets: int,
+    algorithm_factory=None,
+    buffer_packets: int = 0,
     marker_policy: Optional[MarkerPolicy] = None,
     base_port_a: int = 7000,
     base_port_b: int = 7100,
     advertise_every: int = 1,
     reliability: str = "quasi_fifo",
     reliability_options: Optional[dict] = None,
+    discipline: Optional[str] = None,
+    discipline_options: Optional[dict] = None,
 ) -> Tuple[DuplexStripedEndpoint, DuplexStripedEndpoint]:
     """Build two endpoints with marker-piggybacked FCVC in both directions.
 
@@ -91,7 +93,8 @@ def connect_duplex(
         b_to_a: per-channel ``(a_ip, port)`` targets for B's data (ports
             must be ``base_port_a + i``).
         algorithm_factory: zero-arg callable building the (identical)
-            SRR-family algorithm for each striper/resequencer instance.
+            SRR-family algorithm for each striper/resequencer instance
+            (mutually exclusive with ``discipline``).
         buffer_packets: per-channel receiver buffer (the FCVC bound).
         reliability: ``"reliable"`` arms selective-repeat ARQ in *both*
             directions, with SACKs piggybacked on the reverse markers
@@ -100,12 +103,53 @@ def connect_duplex(
         reliability_options: forwarded to both ARQ halves (sender keys
             are passed to the senders, receiver keys to the receivers —
             use ``{"sender": {...}, "receiver": {...}}``).
+        discipline: optional registry discipline name replacing the
+            SRR-family ``algorithm_factory`` on both sides.  A
+            **marker-free** discipline (Sprinklers, address hashing)
+            builds the *marker-free duplex variant*: no marker stream in
+            either direction, hence no credit or SACK piggybacking — and
+            none is needed, because direct reception buffers nothing
+            (FCVC bounds resequencer memory, which is structurally zero
+            here).  Reliable mode is rejected for marker-free duplex:
+            its SACKs have no markers to ride on.
+        discipline_options: forwarded to ``make_discipline``.
     """
-    if marker_policy is None:
-        marker_policy = MarkerPolicy(interval_rounds=1)
     n = len(a_to_b)
     if len(b_to_a) != n:
         raise ValueError("both directions must have the same channel count")
+    mode = "marker"
+    if discipline is not None:
+        if algorithm_factory is not None:
+            raise ValueError("pass either algorithm_factory or discipline")
+        from repro.transport.endpoint import (
+            make_discipline,
+            receiver_mode_for,
+        )
+
+        _options = dict(discipline_options or {})
+
+        def algorithm_factory():
+            return make_discipline(discipline, n, **_options)
+
+        mode = receiver_mode_for(algorithm_factory(), markers=True)
+    elif algorithm_factory is None:
+        raise ValueError("need an algorithm_factory or a discipline")
+    marker_free = mode == "direct"
+    if marker_free:
+        if reliability == "reliable":
+            raise ValueError(
+                "marker-free duplex cannot be reliable: piggybacked SACKs "
+                "need a marker stream to ride on"
+            )
+        return _connect_duplex_marker_free(
+            sim, stack_a, stack_b, a_to_b, b_to_a, algorithm_factory,
+            buffer_packets=buffer_packets,
+            base_port_a=base_port_a, base_port_b=base_port_b,
+            reliability=reliability,
+            reliability_options=reliability_options,
+        )
+    if marker_policy is None:
+        marker_policy = MarkerPolicy(interval_rounds=1)
 
     credit_a = CreditSender(n, initial_credit=buffer_packets)  # A's data out
     credit_b = CreditSender(n, initial_credit=buffer_packets)  # B's data out
@@ -113,15 +157,21 @@ def connect_duplex(
     sender_options = options.get("sender")
     receiver_options = options.get("receiver")
 
+    def receiver_algorithm():
+        algorithm = algorithm_factory()
+        if mode in ("marker", "plain") and hasattr(algorithm, "algorithm"):
+            algorithm = algorithm.algorithm
+        return algorithm
+
     # Receivers first (their credit state feeds the marker decorators).
     receiver_a = StripedSocketReceiver(
-        sim, stack_a, n, algorithm_factory(),
-        base_port=base_port_a, buffer_packets=buffer_packets,
+        sim, stack_a, n, receiver_algorithm(),
+        base_port=base_port_a, buffer_packets=buffer_packets, mode=mode,
         reliability=reliability, reliability_options=receiver_options,
     )
     receiver_b = StripedSocketReceiver(
-        sim, stack_b, n, algorithm_factory(),
-        base_port=base_port_b, buffer_packets=buffer_packets,
+        sim, stack_b, n, receiver_algorithm(),
+        base_port=base_port_b, buffer_packets=buffer_packets, mode=mode,
         reliability=reliability, reliability_options=receiver_options,
     )
     # Manual credit accounting (no standalone advertisement sockets).
@@ -184,6 +234,63 @@ def connect_duplex(
             lambda sack: sender_b.striper.force_marker_batch()
         )
 
+    return (
+        DuplexStripedEndpoint(sender=sender_a, receiver=receiver_a),
+        DuplexStripedEndpoint(sender=sender_b, receiver=receiver_b),
+    )
+
+
+def _connect_duplex_marker_free(
+    sim: Simulator,
+    stack_a: Stack,
+    stack_b: Stack,
+    a_to_b: Sequence[Tuple[str, int]],
+    b_to_a: Sequence[Tuple[str, int]],
+    sharer_factory,
+    *,
+    buffer_packets: int,
+    base_port_a: int,
+    base_port_b: int,
+    reliability: str,
+    reliability_options: Optional[dict],
+) -> Tuple[DuplexStripedEndpoint, DuplexStripedEndpoint]:
+    """The duplex variant for hash-synchronized (marker-free) disciplines.
+
+    Strictly less machinery than the marker path: no marker stream, no
+    credit piggybacking, no keepalives — each direction is two independent
+    direct-reception pipelines.  The FCVC scheme isn't dropped so much as
+    made redundant: its job is bounding *resequencer* memory, and direct
+    reception holds zero packets by construction (``buffer_packets`` still
+    applies the physical per-channel drop rule if set).
+    """
+    n = len(a_to_b)
+    options = reliability_options or {}
+    receiver_a = StripedSocketReceiver(
+        sim, stack_a, n, None,
+        base_port=base_port_a,
+        buffer_packets=buffer_packets or None,
+        mode="direct",
+        reliability=reliability,
+        reliability_options=options.get("receiver"),
+    )
+    receiver_b = StripedSocketReceiver(
+        sim, stack_b, n, None,
+        base_port=base_port_b,
+        buffer_packets=buffer_packets or None,
+        mode="direct",
+        reliability=reliability,
+        reliability_options=options.get("receiver"),
+    )
+    sender_a = StripedSocketSender(
+        sim, stack_a, a_to_b, sharer_factory(),
+        reliability=reliability,
+        reliability_options=options.get("sender"),
+    )
+    sender_b = StripedSocketSender(
+        sim, stack_b, b_to_a, sharer_factory(),
+        reliability=reliability,
+        reliability_options=options.get("sender"),
+    )
     return (
         DuplexStripedEndpoint(sender=sender_a, receiver=receiver_a),
         DuplexStripedEndpoint(sender=sender_b, receiver=receiver_b),

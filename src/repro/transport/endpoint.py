@@ -12,18 +12,23 @@ dead-channel watchdog.  This module is the single copy.
   optional ``send_burst`` + ``free_capacity`` (enables the batched fast
   pump), ``close``, and an ``on_unblocked`` callback slot.
 * :class:`StripeSenderPipeline` — kernel-driven stripe pump over any port
-  list: marker placement via :class:`~repro.core.striper.MarkerPolicy`,
-  the batched :class:`FastStriper` when the ports support bursts, FCVC
-  credit integration, keepalive markers, and packet-wrapping disciplines
-  (MPPP headers, BONDING frames).
+  list: the batched :class:`FastStriper` when the ports support bursts,
+  FCVC credit integration, and packet-wrapping disciplines (MPPP headers,
+  BONDING frames).
 * :class:`StripeReceiverPipeline` — per-channel buffering with the
-  physical buffer-cap drop rule, logical reception via
-  :func:`~repro.core.resequencer.make_resequencer` (marker resync per
-  condition C1 in marker mode), piggybacked-credit extraction, credit
-  issuance, and pluggable :class:`ChannelFailureDetector` support.
-* :func:`make_discipline` / :func:`resolve_discipline` — one registry for
-  every striping policy in the repo (SRR family and the five section-2.1
-  baselines), so any ``(s0, f, g)`` scheme plugs into any transport.
+  physical buffer-cap drop rule, plus everything order-related delegated
+  to the discipline's synchronization model.
+
+How sender and receiver agree on order is **not** this module's business
+any more: each pipeline owns a
+:class:`~repro.transport.sync_model.SynchronizationModel` (marker
+placement/keepalive and simulated-sender reception for the paper's
+schemes, direct delivery for marker-free hash schemes, header reception
+for MPPP/BONDING), built from the discipline registry's ``sync_model``
+axis (:mod:`repro.transport.discipline`).  Channel-health machinery
+(failure detection, lifecycle, stall watch) lives in
+:mod:`repro.transport.health`.  Both are re-exported here for
+compatibility.
 
 The module deliberately imports nothing from :mod:`repro.net`,
 :mod:`repro.sim`, or the concrete transports: a pipeline only sees ports
@@ -47,22 +52,55 @@ from typing import (
 )
 
 from repro.core.cfq import CausalFQ
-from repro.core.markers import (
-    MarkerDecodeError,
-    decode_marker,
-    piggybacked_credit,
-    piggybacked_sack,
-)
 from repro.core.packet import Packet, is_marker
-from repro.core.resequencer import make_resequencer
 from repro.core.striper import MarkerPolicy, Striper
-from repro.core.transform import LoadSharer, TransformedLoadSharer
 from repro.sim.trace import NULL_TRACER, Tracer
+from repro.transport.discipline import (
+    DISCIPLINES,
+    SYNC_MODELS,
+    make_discipline,
+    receiver_mode_for,
+    resolve_discipline,
+    sync_model_for,
+)
+from repro.transport.health import (
+    ChannelFailureDetector,
+    ChannelLifecycleManager,
+    SenderHealthMonitor,
+)
 from repro.transport.reliability import (
     RELIABILITY_MODES,
     ReliableReceiver,
     ReliableSender,
 )
+from repro.transport.sync_model import (
+    HashSyncModel,
+    HeaderSyncModel,
+    MarkerSyncModel,
+    SynchronizationModel,
+    make_sync_model,
+)
+
+__all__ = [
+    "DISCIPLINES",
+    "SYNC_MODELS",
+    "ChannelFailureDetector",
+    "ChannelLifecycleManager",
+    "ChannelPort",
+    "FastStriper",
+    "HashSyncModel",
+    "HeaderSyncModel",
+    "MarkerSyncModel",
+    "SenderHealthMonitor",
+    "StripeReceiverPipeline",
+    "StripeSenderPipeline",
+    "SynchronizationModel",
+    "make_discipline",
+    "make_sync_model",
+    "receiver_mode_for",
+    "resolve_discipline",
+    "sync_model_for",
+]
 
 #: A value safely larger than any queue limit, used for unbounded queues.
 _UNBOUNDED = 1 << 30
@@ -100,145 +138,6 @@ class ChannelPort(Protocol):
 
     @property
     def queue_length(self) -> int: ...
-
-
-# --------------------------------------------------------------------- #
-# discipline registry: any (s0, f, g) scheme -> any transport
-
-
-def _make_srr(n: int, **options: Any) -> LoadSharer:
-    from repro.core.srr import SRR
-
-    quanta = options.get("quanta")
-    if quanta is None:
-        quanta = [float(options.get("quantum", 1500.0))] * n
-    return TransformedLoadSharer(
-        SRR(quanta, count_packets=options.get("count_packets", False))
-    )
-
-
-def _make_rr(n: int, **options: Any) -> LoadSharer:
-    from repro.core.srr import make_rr
-
-    return TransformedLoadSharer(make_rr(n))
-
-
-def _make_grr(n: int, **options: Any) -> LoadSharer:
-    from repro.core.srr import make_grr
-
-    weights = options.get("weights")
-    if weights is None:
-        weights = [1.0] * n
-    return TransformedLoadSharer(make_grr(weights))
-
-
-def _make_sqf(n: int, **options: Any) -> LoadSharer:
-    from repro.baselines.sqf import ShortestQueueFirst
-
-    return ShortestQueueFirst(n)
-
-
-def _make_random(n: int, **options: Any) -> LoadSharer:
-    import random
-
-    from repro.baselines.random_selection import RandomSelection
-
-    return RandomSelection(n, random.Random(options.get("seed", 0)))
-
-
-def _make_hash(n: int, **options: Any) -> LoadSharer:
-    from repro.baselines.address_hash import AddressHashing
-
-    return AddressHashing(n)
-
-
-def _make_mppp(n: int, **options: Any) -> LoadSharer:
-    from repro.baselines.mppp import MPPP_HEADER_BYTES, MpppDiscipline
-
-    return MpppDiscipline(
-        n, header_bytes=options.get("header_bytes", MPPP_HEADER_BYTES)
-    )
-
-
-def _make_bonding(n: int, **options: Any) -> LoadSharer:
-    from repro.baselines.bonding import BondingDiscipline
-
-    return BondingDiscipline(n, frame_bytes=options.get("frame_bytes", 512))
-
-
-#: Named striping disciplines: factory(n_channels, **options) -> LoadSharer.
-DISCIPLINES: Dict[str, Callable[..., LoadSharer]] = {
-    "srr": _make_srr,
-    "rr": _make_rr,
-    "grr": _make_grr,
-    "sqf": _make_sqf,
-    "random_selection": _make_random,
-    "random": _make_random,
-    "address_hash": _make_hash,
-    "hash": _make_hash,
-    "mppp": _make_mppp,
-    "bonding": _make_bonding,
-}
-
-
-def make_discipline(name: str, n_channels: int, **options: Any) -> LoadSharer:
-    """Build a named striping discipline for ``n_channels`` channels.
-
-    Names: ``srr`` (quanta/quantum/count_packets options), ``rr``, ``grr``
-    (weights), ``sqf``, ``random_selection``/``random`` (seed),
-    ``address_hash``/``hash``, ``mppp`` (header_bytes), ``bonding``
-    (frame_bytes).
-    """
-    factory = DISCIPLINES.get(name)
-    if factory is None:
-        raise ValueError(
-            f"unknown discipline {name!r}; known: {sorted(set(DISCIPLINES))}"
-        )
-    return factory(n_channels, **options)
-
-
-def resolve_discipline(
-    spec: Any, n_channels: int, **options: Any
-) -> LoadSharer:
-    """Normalize any striping-policy spec to a :class:`LoadSharer`.
-
-    Accepts a discipline name (see :func:`make_discipline`), a
-    :class:`~repro.core.cfq.CausalFQ` algorithm (wrapped via the paper's
-    transformation), or any ready-made load sharer (two-phase
-    ``choose``/``notify_sent`` object).
-    """
-    if isinstance(spec, str):
-        sharer = make_discipline(spec, n_channels, **options)
-    elif isinstance(spec, CausalFQ):
-        sharer = TransformedLoadSharer(spec)
-    elif isinstance(spec, LoadSharer) or (
-        hasattr(spec, "choose") and hasattr(spec, "notify_sent")
-    ):
-        sharer = spec
-    else:
-        raise TypeError(f"cannot use {type(spec).__name__} as a discipline")
-    if sharer.n_channels != n_channels:
-        raise ValueError(
-            f"policy expects {sharer.n_channels} channels, got {n_channels}"
-        )
-    return sharer
-
-
-def receiver_mode_for(spec: Any, markers: bool = False) -> str:
-    """The resequencing mode matching a sender-side discipline.
-
-    Disciplines that bring their own receiver half declare it via a
-    ``receiver_mode`` attribute (MPPP, BONDING).  Simulatable (causal)
-    policies get logical reception — ``"marker"`` when the sender emits
-    markers, ``"plain"`` otherwise.  Non-causal policies cannot be
-    simulated at all, so they fall back to physical arrival order.
-    """
-    mode = getattr(spec, "receiver_mode", None)
-    if mode is not None:
-        return mode
-    if isinstance(spec, CausalFQ) or getattr(spec, "simulatable", False):
-        return "marker" if markers else "plain"
-    return "none"
 
 
 # --------------------------------------------------------------------- #
@@ -493,7 +392,8 @@ class StripeSenderPipeline:
         ports: one :class:`ChannelPort` per channel.
         discipline: anything :func:`resolve_discipline` accepts — a name,
             a :class:`~repro.core.cfq.CausalFQ`, or a load sharer.
-        marker_policy: marker emission policy (SRR-family only).
+        marker_policy: marker emission policy (marker-synchronized
+            disciplines only; marker-free disciplines reject one).
         marker_decorator / on_marker: per-marker hooks (credit piggyback).
         credit: optional FCVC :class:`~repro.transport.credit.CreditSender`;
             its ``on_unblocked`` is pointed at the pump.
@@ -555,6 +455,19 @@ class StripeSenderPipeline:
             discipline, len(self.ports), **(discipline_options or {})
         )
         self.sharer = sharer
+        # The discipline's synchronization model, sender half: custody of
+        # the marker policy (rejected outright by marker-free models) and
+        # the keepalive refresh.  Marker *mechanics* stay in the striper —
+        # the model decides whether they are armed at all.
+        family = sync_model_for(sharer, markers=marker_policy is not None)
+        if family == "hash":
+            self.sync: Any = HashSyncModel(
+                len(self.ports), marker_policy=marker_policy
+            )
+        elif family == "header":
+            self.sync = HeaderSyncModel(marker_policy=marker_policy)
+        else:
+            self.sync = MarkerSyncModel(marker_policy=marker_policy)
         #: discipline-supplied packet transformation (MPPP headers,
         #: BONDING frames); None for the paper's no-modification schemes.
         self._wrap = getattr(sharer, "wrap_packet", None)
@@ -587,11 +500,18 @@ class StripeSenderPipeline:
         self.striper = striper_cls(
             sharer,
             self.ports,
-            marker_policy,
+            self.sync.marker_policy,
             on_marker=on_marker,
             marker_decorator=marker_decorator,
             tracer=tracer,
             clock=clock,
+        )
+        # Models that must see traffic before striping opt in; no current
+        # model does, so the submit paths stay branch-free by default.
+        self._sync_observer = (
+            self.sync.on_submit_burst
+            if getattr(self.sync, "observes_submissions", False)
+            else None
         )
         self.credit = credit
         if credit is not None:
@@ -607,14 +527,8 @@ class StripeSenderPipeline:
         self._fabric_backlog_limit = 0
         if fabric is not None:
             self.attach_fabric(fabric)
-        self._keepalive_s = marker_keepalive_s
-        self._markers_at_last_tick = 0
         if marker_keepalive_s is not None:
-            if marker_policy is None:
-                raise ValueError("keepalive markers need a marker policy")
-            if sim is None:
-                raise ValueError("keepalive markers need an event scheduler")
-            sim.schedule(marker_keepalive_s, self._keepalive_tick)
+            self.sync.start_keepalive(self.striper, sim, marker_keepalive_s)
 
     # ------------------------------------------------------------------ #
     # multi-flow fabric mount
@@ -679,6 +593,7 @@ class StripeSenderPipeline:
         """Submit one application message of ``size`` bytes for striping."""
         packet = Packet(size=size, seq=self.messages_submitted, payload=payload)
         if flow_id is not None:
+            packet.flow = flow_id
             self.submit(flow_id, packet)
             return packet
         self.messages_submitted += 1
@@ -705,12 +620,16 @@ class StripeSenderPipeline:
         self._submit_many(packets)
 
     def _submit(self, packet: Any) -> None:
+        if self._sync_observer is not None:
+            self._sync_observer((packet,))
         if self.reliable is not None:
             self.reliable.submit(packet)
         else:
             self._stripe(packet)
 
     def _submit_many(self, packets: Sequence[Any]) -> None:
+        if self._sync_observer is not None:
+            self._sync_observer(packets)
         if self.reliable is not None:
             self.reliable.submit_many(list(packets))
         else:
@@ -782,416 +701,15 @@ class StripeSenderPipeline:
 
     def close(self) -> None:
         self._closed = True
+        self.sync.stop()
         for port in self.ports:
             close = getattr(port, "close", None)
             if close is not None:
                 close()
 
-    def _keepalive_tick(self) -> None:
-        if self._closed:
-            # A finished endpoint must stop generating sim events (and must
-            # not force markers into closed ports).
-            return
-        if self.striper.markers_sent == self._markers_at_last_tick:
-            self.striper.force_marker_batch()
-        self._markers_at_last_tick = self.striper.markers_sent
-        self.sim.schedule(self._keepalive_s, self._keepalive_tick)
-
 
 # --------------------------------------------------------------------- #
 # receiver side
-
-
-class ChannelFailureDetector:
-    """Receiver-side dead-channel watchdog, transport-agnostic.
-
-    Every ``check_interval`` seconds it compares per-channel arrival
-    times; a channel that saw nothing for ``silence_threshold`` seconds
-    while the others progressed is declared dead and reported through the
-    bound failure callback — a session receiver reconfigures the sender,
-    a plain pipeline writes the channel off so delivery keeps flowing.
-    """
-
-    def __init__(
-        self,
-        sim: Any,
-        silence_threshold: float = 0.25,
-        check_interval: float = 0.05,
-    ) -> None:
-        self.sim = sim
-        self.silence_threshold = silence_threshold
-        self.check_interval = check_interval
-        self.receiver: Any = None
-        self.last_arrival: List[float] = []
-        self.failed: set = set()
-        self.failures_reported: List[int] = []
-        self._on_failure: Optional[Callable[[int], Any]] = None
-        self._on_revival: Optional[Callable[[int], Any]] = None
-        self._active: Optional[Callable[[], Sequence[int]]] = None
-        self._started = False
-
-    def bind(
-        self,
-        n_channels: int,
-        on_failure: Callable[[int], Any],
-        active_channels: Optional[Callable[[], Sequence[int]]] = None,
-        on_revival: Optional[Callable[[int], Any]] = None,
-    ) -> None:
-        """Generic wiring: watch ``n_channels``, report via ``on_failure``.
-
-        ``active_channels`` yields the channel set currently expected to
-        carry traffic (a session's live subset); by default every channel
-        not yet declared failed.  ``on_revival`` is stored for lifecycle
-        subclasses; the fail-only detector never invokes it.
-        """
-        self.last_arrival = [0.0] * n_channels
-        self._on_failure = on_failure
-        self._on_revival = on_revival
-        if active_channels is None:
-            active_channels = lambda: [  # noqa: E731
-                i for i in range(n_channels) if i not in self.failed
-            ]
-        self._active = active_channels
-
-    def attach(self, receiver: Any) -> None:
-        """Session-receiver wiring (compatibility surface).
-
-        The receiver must expose ``n_ports``, ``request_drop_channel`` and
-        ``session.config.active_channels``.
-        """
-        self.receiver = receiver
-        self.bind(
-            receiver.n_ports,
-            receiver.request_drop_channel,
-            lambda: receiver.session.config.active_channels,
-        )
-
-    def note_arrival(self, port_index: int) -> None:
-        if not 0 <= port_index < len(self.last_arrival):
-            # A negative index would silently alias last_arrival[-1] and an
-            # oversized one would vanish — both are wiring bugs upstream.
-            raise ValueError(
-                f"arrival on port {port_index}, but the detector watches "
-                f"{len(self.last_arrival)} channels (was bind() called?)"
-            )
-        self.last_arrival[port_index] = self.sim.now
-        if not self._started:
-            self._started = True
-            self.sim.schedule(self.check_interval, self._check)
-
-    def _check(self) -> None:
-        if self._on_failure is None or self._active is None:
-            return
-        now = self.sim.now
-        active = list(self._active())
-        alive = [
-            i
-            for i in active
-            if now - self.last_arrival[i] < self.silence_threshold
-        ]
-        if alive and len(alive) < len(active):
-            for index in active:
-                if index not in alive and index not in self.failed:
-                    self.failed.add(index)
-                    self.failures_reported.append(index)
-                    self._on_failure(index)
-        self.sim.schedule(self.check_interval, self._check)
-
-    def note_suspect(self, channel: int) -> None:
-        """An external signal suspects ``channel`` (ARQ max-retry
-        escalation: a packet that keeps dying on one channel looks
-        exactly like that channel dying).
-
-        Declares the channel failed through the same path a silence
-        detection would, once; lifecycle subclasses then run their
-        normal probing/revival machinery on it.
-        """
-        if self._on_failure is None:
-            raise ValueError(
-                f"suspect on channel {channel}, but the detector is not "
-                "bound (was bind() called?)"
-            )
-        if not 0 <= channel < len(self.last_arrival):
-            raise ValueError(
-                f"suspect on channel {channel}, but the detector watches "
-                f"{len(self.last_arrival)} channels"
-            )
-        if channel in self.failed:
-            return
-        self.failed.add(channel)
-        self.failures_reported.append(channel)
-        self._on_failure(channel)
-
-
-class ChannelLifecycleManager(ChannelFailureDetector):
-    """Full channel lifecycle: ``active -> failed -> probing -> revived``.
-
-    Generalizes the fail-only watchdog.  A failed channel that shows signs
-    of life again (sender probes, or data arrivals from stale in-flight
-    packets) moves to ``probing``; once it has produced
-    ``revival_arrivals`` arrivals *and* its hold-down has elapsed it is
-    declared ``revived`` — the bound revival callback re-admits it (a plain
-    pipeline un-fails its resequencer; a session receiver acknowledges the
-    sender's probes so the sender rejoins the channel via a RESET).
-
-    Flap damping: each failure that follows a revival within
-    ``flap_window`` seconds doubles the channel's hold-down (capped at
-    ``max_down_time``), so an intermittent link is re-admitted ever more
-    reluctantly instead of thrashing the bundle with resets.
-    """
-
-    #: lifecycle states, as stored in :attr:`state`
-    ACTIVE = "active"
-    FAILED = "failed"
-    PROBING = "probing"
-    REVIVED = "revived"
-
-    def __init__(
-        self,
-        sim: Any,
-        silence_threshold: float = 0.25,
-        check_interval: float = 0.05,
-        *,
-        revival_arrivals: int = 2,
-        min_down_time: float = 0.2,
-        flap_window: float = 2.0,
-        flap_factor: float = 2.0,
-        max_down_time: float = 5.0,
-    ) -> None:
-        super().__init__(sim, silence_threshold, check_interval)
-        if revival_arrivals < 1:
-            raise ValueError("revival_arrivals must be >= 1")
-        self.revival_arrivals = revival_arrivals
-        self.min_down_time = min_down_time
-        self.flap_window = flap_window
-        self.flap_factor = flap_factor
-        self.max_down_time = max_down_time
-        self.state: List[str] = []
-        self.revivals_reported: List[int] = []
-        self.flap_counts: List[int] = []
-        self._failed_at: List[float] = []
-        self._life_seen: List[int] = []
-        self._hold_down: List[float] = []
-        self._revived_at: List[float] = []
-
-    def bind(
-        self,
-        n_channels: int,
-        on_failure: Callable[[int], Any],
-        active_channels: Optional[Callable[[], Sequence[int]]] = None,
-        on_revival: Optional[Callable[[int], Any]] = None,
-    ) -> None:
-        self._user_on_failure = on_failure
-        super().bind(
-            n_channels, self._note_failure, active_channels, on_revival
-        )
-        self.state = [self.ACTIVE] * n_channels
-        self.flap_counts = [0] * n_channels
-        self._failed_at = [0.0] * n_channels
-        self._life_seen = [0] * n_channels
-        self._hold_down = [self.min_down_time] * n_channels
-        self._revived_at = [float("-inf")] * n_channels
-
-    def attach(self, receiver: Any) -> None:
-        super().attach(receiver)
-        # Let the session receiver consult us when sender probes arrive
-        # (gating the ProbeAck behind hold-down + revival threshold) and
-        # tell us when a rejoin RESET re-activates a channel.
-        session = getattr(receiver, "session", None)
-        if session is not None and hasattr(session, "lifecycle"):
-            session.lifecycle = self
-
-    def channel_state(self, channel: int) -> str:
-        return self.state[channel]
-
-    def hold_down(self, channel: int) -> float:
-        """Current flap-damped hold-down of ``channel``, in seconds."""
-        return self._hold_down[channel]
-
-    # -- failure path -------------------------------------------------- #
-
-    def _note_failure(self, channel: int) -> None:
-        now = self.sim.now
-        self.state[channel] = self.FAILED
-        self._failed_at[channel] = now
-        self._life_seen[channel] = 0
-        if now - self._revived_at[channel] < self.flap_window:
-            # Flapping: it died again right after we let it back in.
-            self.flap_counts[channel] += 1
-            self._hold_down[channel] = min(
-                self._hold_down[channel] * self.flap_factor,
-                self.max_down_time,
-            )
-        else:
-            self._hold_down[channel] = self.min_down_time
-        self._user_on_failure(channel)
-
-    # -- revival path -------------------------------------------------- #
-
-    def note_arrival(self, port_index: int) -> None:
-        """Every physical arrival — data, marker, or probe — is a life sign.
-
-        On a failed channel, arrivals move it to ``probing`` and count
-        toward the revival threshold; revival itself fires here too, so a
-        plain pipeline (no probes) still revives on returning data.
-        """
-        super().note_arrival(port_index)
-        if self.state and self.state[port_index] in (
-            self.FAILED,
-            self.PROBING,
-        ):
-            self.state[port_index] = self.PROBING
-            self._life_seen[port_index] += 1
-            self._try_revive(port_index)
-
-    def note_probe(self, port_index: int) -> bool:
-        """Should a sender probe on ``port_index`` be acknowledged?
-
-        Life signals are counted by :meth:`note_arrival` (the transport
-        reports every arrival, probes included); this method only
-        *evaluates* the channel's standing — and performs the revival
-        transition when the threshold and hold-down have been cleared.
-        Returns True when the probe should be acknowledged.
-        """
-        if not 0 <= port_index < len(self.state):
-            raise ValueError(
-                f"probe on port {port_index}, but the lifecycle manager "
-                f"watches {len(self.state)} channels (was bind() called?)"
-            )
-        self.last_arrival[port_index] = self.sim.now
-        if self.state[port_index] in (self.ACTIVE, self.REVIVED):
-            return True
-        return self._try_revive(port_index)
-
-    def note_rejoin(self, active_channels: Sequence[int]) -> None:
-        """A reconfiguration re-activated channels (rejoin RESET installed).
-
-        Rearms silence detection for every re-admitted channel: clears the
-        ``failed`` latch (so a second death is reported again) and resets
-        its arrival clock (its ``last_arrival`` is stale from the outage,
-        which would otherwise re-fail it on the next check).
-        """
-        now = self.sim.now
-        for channel in active_channels:
-            if channel in self.failed or self.state[channel] != self.ACTIVE:
-                self.failed.discard(channel)
-                self.last_arrival[channel] = now
-                if self.state[channel] != self.REVIVED:
-                    self._revived_at[channel] = now
-                self.state[channel] = self.ACTIVE
-
-    def _try_revive(self, channel: int) -> bool:
-        now = self.sim.now
-        if self._life_seen[channel] < self.revival_arrivals:
-            return False
-        if now - self._failed_at[channel] < self._hold_down[channel]:
-            return False  # hysteresis: not convinced yet, keep damping
-        self.state[channel] = self.REVIVED
-        self.revivals_reported.append(channel)
-        self._revived_at[channel] = now
-        self.failed.discard(channel)
-        if self._on_revival is not None:
-            self._on_revival(channel)
-        return True
-
-
-class SenderHealthMonitor:
-    """Sender-side channel health: queue-stall and credit-starvation watch.
-
-    The receiver-side detector sees silence; the sender sees *backpressure*.
-    Every ``check_interval`` seconds each port is examined: a port that is
-    blocked (its transmit queue full, or its FCVC credit exhausted) and
-    makes no drain progress for ``stall_timeout`` seconds while traffic is
-    pending is declared stalled and reported through the bound callback —
-    a session sender excludes the channel via a reconfiguration RESET
-    without waiting for the receiver to notice the silence.
-    """
-
-    def __init__(
-        self,
-        sim: Any,
-        stall_timeout: float = 0.25,
-        check_interval: float = 0.05,
-    ) -> None:
-        self.sim = sim
-        self.stall_timeout = stall_timeout
-        self.check_interval = check_interval
-        self.stalled: set = set()
-        self.stalls_reported: List[int] = []
-        self._ports: List[Any] = []
-        self._on_stall: Optional[Callable[[int], Any]] = None
-        self._credit: Any = None
-        self._backlog: Callable[[], int] = lambda: 1
-        self._last_progress: List[float] = []
-        self._last_queue: List[int] = []
-        self._last_drained: List[int] = []
-
-    def bind(
-        self,
-        ports: Sequence[Any],
-        on_stall: Callable[[int], Any],
-        *,
-        credit: Any = None,
-        backlog_fn: Optional[Callable[[], int]] = None,
-    ) -> None:
-        """Watch ``ports``; report stalled port indices via ``on_stall``.
-
-        ``credit`` (a :class:`~repro.transport.credit.CreditSender`) adds
-        credit starvation as a blocking condition; ``backlog_fn`` reports
-        pending traffic (no backlog means an idle sender, never a stall).
-        """
-        self._ports = list(ports)
-        self._on_stall = on_stall
-        self._credit = credit
-        if backlog_fn is not None:
-            self._backlog = backlog_fn
-        now = self.sim.now
-        self._last_progress = [now] * len(self._ports)
-        self._last_queue = [port.queue_length for port in self._ports]
-        self._last_drained = [
-            getattr(port, "drained", 0) for port in self._ports
-        ]
-        self.sim.schedule(self.check_interval, self._check)
-
-    def clear(self, port_index: int) -> None:
-        """Forget a stall (the channel was reset/revived); re-arm the watch."""
-        self.stalled.discard(port_index)
-        self._last_progress[port_index] = self.sim.now
-
-    def _check(self) -> None:
-        now = self.sim.now
-        backlogged = self._backlog() > 0
-        for i, port in enumerate(self._ports):
-            qlen = port.queue_length
-            blocked = not port.can_accept()
-            if (
-                self._credit is not None
-                and self._credit.available(i) <= 0
-            ):
-                blocked = True
-            drained = getattr(port, "drained", None)
-            if drained is not None:
-                # Transmission completions are the real progress signal: a
-                # saturated queue sits at its limit between checks even
-                # while frames flow through it.
-                progressed = drained > self._last_drained[i]
-                self._last_drained[i] = drained
-            else:
-                progressed = qlen < self._last_queue[i]
-            self._last_queue[i] = qlen
-            # Traffic is pending if the pipeline has backlog *or* this
-            # port itself still holds undrained packets.
-            if progressed or not blocked or not (backlogged or qlen > 0):
-                self._last_progress[i] = now
-            elif (
-                i not in self.stalled
-                and now - self._last_progress[i] >= self.stall_timeout
-            ):
-                self.stalled.add(i)
-                self.stalls_reported.append(i)
-                assert self._on_stall is not None
-                self._on_stall(i)
-        self.sim.schedule(self.check_interval, self._check)
 
 
 class StripeReceiverPipeline:
@@ -1199,17 +717,21 @@ class StripeReceiverPipeline:
 
     Arrivals enter via :meth:`push` (or the per-channel closures from
     :meth:`channel_handler`); the pipeline applies the physical buffer-cap
-    drop rule, extracts piggybacked credits from markers, feeds the
-    resequencer built by
-    :func:`~repro.core.resequencer.make_resequencer`, and reports
-    consumption to the FCVC credit layer.
+    drop rule and reports consumption to the FCVC credit layer.  Ordering
+    is the synchronization model's job: the discipline's model
+    (:func:`~repro.transport.sync_model.make_sync_model`) builds the
+    reception engine, handles marker arrivals (piggybacked credit/SACK
+    extraction, condition-C1 resync) or — for marker-free disciplines —
+    delivers at arrival with no resequencer and no marker-decode path
+    allocated at all.
 
     Args:
         n_channels: striped channel count.
         algorithm: the sender's CFQ algorithm (simulated for logical
             reception); None for modes that need none.
-        mode: resequencing mode (``marker``/``plain``/``none``/``mppp``/
-            ``bonding``).
+        mode: resequencing mode (``marker``/``plain``/``none``/``direct``/
+            ``mppp``/``bonding``), normally from
+            :func:`~repro.transport.discipline.receiver_mode_for`.
         on_message: callback for in-order application messages.
         buffer_packets: per-channel physical buffer cap; data arrivals
             beyond it are dropped (counted) — the loss credit flow
@@ -1263,14 +785,6 @@ class StripeReceiverPipeline:
         #: Packet-pool harnesses switch this off: a retained reference
         #: would alias the recycled object's next life.
         self.retain_delivered = True
-        #: invoked as fn(channel, credit) when a piggybacked credit rides
-        #: an arriving marker (the reverse direction's flow-control state).
-        self.credit_sink: Optional[Callable[[int, int], None]] = None
-        #: invoked as fn(SackInfo) when a piggybacked SACK rides an
-        #: arriving marker (acks for the reverse direction's sender).
-        self.sack_sink: Optional[Callable[[Any], None]] = None
-        #: undecodable marker frames dropped by :meth:`push_wire`
-        self.marker_decode_errors = 0
         self.reliability = reliability
         self.reliable: Optional[ReliableReceiver] = None
         if reliability == "reliable":
@@ -1283,12 +797,13 @@ class StripeReceiverPipeline:
         self.credit = credit
         if clock is None and sim is not None:
             clock = lambda: sim.now  # noqa: E731
-        # Bind the resequencer's delivery callback directly to its
-        # destination (ARQ receiver or final delivery) — one less call
-        # per delivered packet; ``reliable`` is fixed at construction.
-        self.resequencer = make_resequencer(
-            algorithm,
+        # The synchronization model binds the reception engine's delivery
+        # callback directly to its destination (ARQ receiver or final
+        # delivery) — one less call per delivered packet; ``reliable`` is
+        # fixed at construction.
+        self.sync = make_sync_model(
             mode,
+            algorithm,
             n_channels=n_channels,
             on_deliver=(
                 self.reliable.push if self.reliable is not None
@@ -1297,6 +812,10 @@ class StripeReceiverPipeline:
             clock=clock,
             sim=sim,
         )
+        #: the reception engine (compatibility name: every harness and
+        #: test reads ``receiver.resequencer``); for marker-free models a
+        #: zero-buffer :class:`~repro.core.resequencer.DirectReception`.
+        self.resequencer = self.sync.receiver
         self._pushed_data: List[int] = [0] * n_channels
         self._credited: List[int] = [0] * n_channels
         self.failed_channels: set = set()
@@ -1305,6 +824,32 @@ class StripeReceiverPipeline:
             failure_detector.bind(
                 n_channels, self.fail_channel, on_revival=self.revive_channel
             )
+
+    # -- synchronization-model state forwarded for the transports ------ #
+
+    @property
+    def credit_sink(self) -> Optional[Callable[[int, int], None]]:
+        return self.sync.credit_sink
+
+    @credit_sink.setter
+    def credit_sink(self, fn: Optional[Callable[[int, int], None]]) -> None:
+        self.sync.credit_sink = fn
+
+    @property
+    def sack_sink(self) -> Optional[Callable[[Any], None]]:
+        return self.sync.sack_sink
+
+    @sack_sink.setter
+    def sack_sink(self, fn: Optional[Callable[[Any], None]]) -> None:
+        self.sync.sack_sink = fn
+
+    @property
+    def marker_decode_errors(self) -> int:
+        return self.sync.marker_decode_errors
+
+    def receiver_state(self) -> Dict[str, Any]:
+        """The synchronization model's introspectable receiver state."""
+        return self.sync.receiver_state()
 
     # ------------------------------------------------------------------ #
 
@@ -1325,14 +870,9 @@ class StripeReceiverPipeline:
                 self.buffer_drops += 1
                 return []
             self._pushed_data[channel] += 1
+            out = self.resequencer.push(channel, packet)
         else:
-            piggyback = piggybacked_credit(packet)
-            if piggyback is not None and self.credit_sink is not None:
-                self.credit_sink(*piggyback)
-            sack = piggybacked_sack(packet)
-            if sack is not None and self.sack_sink is not None:
-                self.sack_sink(sack)
-        out = self.resequencer.push(channel, packet)
+            out = self.sync.on_marker(channel, packet)
         if self.credit is not None:
             self._issue_credits()
         return out
@@ -1340,15 +880,14 @@ class StripeReceiverPipeline:
     def push_wire(self, channel: int, data: bytes) -> List[Any]:
         """Physical arrival of an *encoded marker frame* on ``channel``.
 
-        Decodes via :func:`~repro.core.markers.decode_marker`; malformed
-        frames (truncated, oversized, corrupt) are counted in
-        :attr:`marker_decode_errors` and dropped instead of surfacing
-        struct errors into the arrival path.
+        The synchronization model owns the codec: marker models decode
+        (malformed frames counted in :attr:`marker_decode_errors` and
+        dropped instead of surfacing struct errors into the arrival
+        path); marker-free models count the stray frame and drop it
+        without ever touching the codec.
         """
-        try:
-            marker = decode_marker(data)
-        except MarkerDecodeError:
-            self.marker_decode_errors += 1
+        marker = self.sync.decode_wire(data)
+        if marker is None:
             return []
         return self.push(channel, marker)
 

@@ -68,6 +68,12 @@ class SessionSocketSender:
             so excluded channels are probed with exponential backoff and
             rejoined (fresh quanta via RESET) once they answer.
         prober_options: forwarded to the prober's constructor.
+        discipline: optional registry discipline name replacing the
+            paper's SRR in every epoch's striper (the receiver must be
+            built with the same name).  Marker-free disciplines
+            (``sprinklers``, ``address_hash``) drop the marker policy —
+            nothing at the far end would decode it.
+        discipline_options: forwarded to ``make_discipline``.
     """
 
     def __init__(
@@ -84,6 +90,8 @@ class SessionSocketSender:
         reliability: str = "quasi_fifo",
         reliability_options: Optional[dict] = None,
         fabric: Any = None,
+        discipline: Optional[str] = None,
+        discipline_options: Optional[dict] = None,
     ) -> None:
         self.sim = sim
         self.stack = stack
@@ -111,8 +119,34 @@ class SessionSocketSender:
             self.ports = _wrap_recording_ports(
                 self.ports, lambda c, p: self.reliable.note_sent(c, p)
             )
+        striper_factory = None
+        if discipline is not None:
+            from repro.core.striper import Striper
+            from repro.transport.discipline import (
+                make_discipline,
+                receiver_mode_for,
+            )
+
+            options = dict(discipline_options or {})
+            probe = make_discipline(discipline, len(self.ports), **options)
+            if hasattr(probe, "wrap_packet"):
+                raise ValueError(
+                    f"session transport cannot run {discipline!r}: the "
+                    "epoch striper moves whole packets, not fragments"
+                )
+            if receiver_mode_for(probe) != "marker":
+                marker_policy = None  # nothing at the far end decodes them
+
+            def striper_factory(cfg: StripeConfig, active: List[Any]):
+                return Striper(
+                    make_discipline(discipline, len(active), **options),
+                    active,
+                    marker_policy,
+                )
+
         self.session = StripeSenderSession(
-            sim, self.ports, config, marker_policy=marker_policy
+            sim, self.ports, config, marker_policy=marker_policy,
+            striper_factory=striper_factory,
         )
         if reliability == "reliable":
             options = dict(reliability_options or {})
@@ -252,6 +286,12 @@ class SessionSocketReceiver:
         control_to / control_port: where ACKs and requests are sent.
         checker: optional :class:`~repro.core.session.LocalChecker`.
         failure_detector: optional :class:`ChannelFailureDetector`.
+        discipline: optional registry discipline name (matching the
+            sender's); each epoch's reception engine is rebuilt in the
+            discipline's own receiver mode — marker-free disciplines get
+            :class:`~repro.core.resequencer.DirectReception`, i.e. no
+            resequencer and no marker decoding across resets either.
+        discipline_options: forwarded to ``make_discipline``.
     """
 
     def __init__(
@@ -268,6 +308,8 @@ class SessionSocketReceiver:
         failure_detector: Optional[ChannelFailureDetector] = None,
         reliability: str = "quasi_fifo",
         reliability_options: Optional[dict] = None,
+        discipline: Optional[str] = None,
+        discipline_options: Optional[dict] = None,
     ) -> None:
         if reliability not in RELIABILITY_MODES:
             raise ValueError(
@@ -295,11 +337,43 @@ class SessionSocketReceiver:
                 **(reliability_options or {}),
             )
 
+        receiver_factory = None
+        if discipline is not None:
+            from repro.core.resequencer import make_resequencer
+            from repro.transport.discipline import (
+                make_discipline,
+                receiver_mode_for,
+            )
+
+            options = dict(discipline_options or {})
+            probe = make_discipline(discipline, n_ports, **options)
+            if hasattr(probe, "wrap_packet"):
+                raise ValueError(
+                    f"session transport cannot run {discipline!r}: the "
+                    "epoch striper moves whole packets, not fragments"
+                )
+            mode = receiver_mode_for(probe)
+
+            def receiver_factory(cfg: StripeConfig, deliver):
+                algorithm = None
+                if mode == "plain":
+                    algorithm = make_discipline(
+                        discipline, cfg.n_channels, **options
+                    ).algorithm
+                return make_resequencer(
+                    algorithm, mode,
+                    n_channels=cfg.n_channels,
+                    on_deliver=deliver,
+                    clock=lambda: sim.now,
+                    sim=sim,
+                )
+
         self.session = StripeReceiverSession(
             sim, n_ports, config,
             send_control=self._send_control,
             on_deliver=self._deliver,
             checker=checker,
+            receiver_factory=receiver_factory,
         )
         self.failure_detector = failure_detector
         if failure_detector is not None:

@@ -21,14 +21,15 @@ and delivery degrades to quasi-FIFO with gaps instead of stalling forever.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.core.cfq import CausalFQ
 from repro.core.packet import Packet
 from repro.transport.endpoint import (
     ChannelFailureDetector,
     StripeReceiverPipeline,
     StripeSenderPipeline,
+    make_discipline,
+    receiver_mode_for,
 )
 from repro.transport.tcp import BulkReceiver, BulkSender, TcpLayer
 
@@ -70,7 +71,10 @@ class StripedTcpSender(StripeSenderPipeline):
         dst: peer address (as reachable per channel — multihomed hosts pass
             per-channel addresses via ``dst_ips``).
         base_port: connection *i* runs ``(src 41000+i) -> (dst base_port+i)``.
-        algorithm: any CFQ algorithm (markers are unnecessary here).
+        algorithm: any discipline spec the endpoint layer resolves — a CFQ
+            algorithm (markers are unnecessary here), a registry name, or
+            a ready-made load sharer (e.g. marker-free Sprinklers).
+        discipline_options: forwarded to ``make_discipline`` for names.
     """
 
     def __init__(
@@ -78,11 +82,12 @@ class StripedTcpSender(StripeSenderPipeline):
         tcp_layer: TcpLayer,
         dst: str,
         n_channels: int,
-        algorithm: CausalFQ,
+        algorithm: Any,
         base_port: int = 8800,
         dst_ips: Optional[Sequence[str]] = None,
         mss: int = 1460,
         max_backlog_bytes: int = 64 * 1024,
+        discipline_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         connections: List[BulkSender] = []
         ports: List[TcpChannelPort] = []
@@ -95,7 +100,7 @@ class StripedTcpSender(StripeSenderPipeline):
             connections.append(sender)
             ports.append(TcpChannelPort(sender, max_backlog_bytes))
         self.connections = connections
-        super().__init__(ports, algorithm)
+        super().__init__(ports, algorithm, discipline_options=discipline_options)
 
     def start(self) -> None:
         for connection in self.connections:
@@ -109,21 +114,42 @@ class StripedTcpReceiver(StripeReceiverPipeline):
     (Theorem 4.1) suffices with no recovery machinery at all — unless a
     connection dies outright, which the optional ``failure_detector``
     turns into assumed-lost gaps instead of a permanent stall.
+
+    The reception mode follows the discipline: a CFQ ``algorithm`` gets
+    plain logical reception (above), while marker-free disciplines
+    (registry name or load-sharer instance with ``marker_free``) get
+    ``"direct"`` — no resequencer at all, since per-flow pinning plus FIFO
+    channels already deliver each flow in order.  ``mode`` overrides the
+    derivation explicitly.
     """
 
     def __init__(
         self,
         tcp_layer: TcpLayer,
         n_channels: int,
-        algorithm: CausalFQ,
+        algorithm: Any,
         base_port: int = 8800,
         on_message: Optional[Callable[[Packet], None]] = None,
         failure_detector: Optional[ChannelFailureDetector] = None,
+        mode: Optional[str] = None,
+        discipline_options: Optional[Dict[str, Any]] = None,
     ) -> None:
+        spec = algorithm
+        if isinstance(spec, str):
+            spec = make_discipline(
+                spec, n_channels, **(discipline_options or {})
+            )
+        if mode is None:
+            mode = receiver_mode_for(spec)
+        # Logical-reception modes simulate the sender's CFQ algorithm;
+        # the other engines (direct, header-based) need no algorithm.
+        cfq = spec if mode in ("marker", "plain") else None
+        if cfq is not None and hasattr(cfq, "algorithm"):
+            cfq = cfq.algorithm
         super().__init__(
             n_channels,
-            algorithm,
-            mode="plain",
+            cfq,
+            mode=mode,
             on_message=on_message,
             failure_detector=failure_detector,
         )

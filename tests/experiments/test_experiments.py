@@ -16,8 +16,8 @@ class TestRegistry:
             "table1", "fig2_3", "fig5_6", "fig8_13", "fig15",
             "grr_worst", "sync_loss", "marker_freq", "marker_pos",
             "credit_fc", "video", "fault_tolerance", "chaos", "reliability",
-            "mtu", "multiflow", "fabric", "scalability", "tcp_channels",
-            "cell_striping", "kernel_bench", "sim_bench",
+            "mtu", "multiflow", "fabric", "scalability", "sprinklers",
+            "tcp_channels", "cell_striping", "kernel_bench", "sim_bench",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -164,6 +164,23 @@ class TestExtensionShapes:
         )
         assert result.scaling_efficiency() > 0.9
         assert all(row.out_of_order == 0 for row in result.rows)
+
+    def test_sprinklers_marker_free_on_stable_transports(self):
+        from repro.experiments.sprinklers import run_sprinklers
+
+        result = run_sprinklers(
+            duration_s=0.4, chaos_total_s=1.2, chaos_seeds=(3,),
+            scale_flows=64,
+        )
+        # Marker-free acceptance on one stable transport + TCP contrast.
+        socket_row = result.row("socket", "sprinklers")
+        assert socket_row.out_of_order == 0
+        assert socket_row.receiver_hwm == 0
+        assert socket_row.markers_sent == 0
+        assert result.row("socket", "srr").markers_sent > 0
+        for row in result.scale:
+            assert row.delivered == row.total
+        assert "sprinklers" in result.render()
 
     def test_chaos_recovers_and_counts_faults(self):
         from repro.experiments.chaos import run_chaos

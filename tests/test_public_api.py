@@ -20,6 +20,7 @@ SURFACE = {
         "SchedulerKernel", "SRRKernel", "SharerKernel", "kernel_for",
         "fq_service_order", "fq_service_order_noncausal",
         "srr_fairness_report", "jain_fairness_index",
+        "SprinklersDiscipline", "FlowRateEstimator", "stripe_size_for",
         "StripeConfig", "StripeSenderSession", "StripeReceiverSession",
         "LocalChecker", "ResetPacket", "ResetAckPacket",
         "ResetRequestPacket",
@@ -44,6 +45,9 @@ SURFACE = {
         "ChannelPort", "StripeSenderPipeline", "StripeReceiverPipeline",
         "FastStriper", "DISCIPLINES", "make_discipline",
         "resolve_discipline", "receiver_mode_for",
+        "SYNC_MODELS", "sync_model_for", "make_sync_model",
+        "SynchronizationModel", "MarkerSyncModel", "HashSyncModel",
+        "HeaderSyncModel",
         "StripedSocketSender", "StripedSocketReceiver", "UdpChannelPort",
         "SessionSocketSender", "SessionSocketReceiver",
         "ChannelFailureDetector", "connect_duplex",

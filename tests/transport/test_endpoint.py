@@ -75,6 +75,26 @@ class TestDisciplineRegistry:
         assert receiver_mode_for(ShortestQueueFirst(2)) == "none"
         assert receiver_mode_for(make_discipline("mppp", 2)) == "mppp"
         assert receiver_mode_for(make_discipline("bonding", 2)) == "bonding"
+        # Marker-free disciplines: direct even when markers are offered.
+        hash_based = make_discipline("address_hash", 2)
+        assert receiver_mode_for(hash_based) == "direct"
+        assert receiver_mode_for(hash_based, markers=True) == "direct"
+        assert receiver_mode_for(make_discipline("sprinklers", 2)) == "direct"
+
+    def test_sync_model_families(self):
+        from repro.transport.endpoint import SYNC_MODELS, sync_model_for
+
+        assert set(SYNC_MODELS) == {"marker", "hash", "header"}
+        assert sync_model_for(SRR([1.0, 1.0]), markers=True) == "marker"
+        assert sync_model_for(make_discipline("rr", 2)) == "marker"
+        assert sync_model_for(ShortestQueueFirst(2)) == "marker"
+        assert sync_model_for(make_discipline("sprinklers", 2)) == "hash"
+        assert sync_model_for(make_discipline("address_hash", 2)) == "hash"
+        assert sync_model_for(make_discipline("mppp", 2)) == "header"
+        assert sync_model_for(make_discipline("bonding", 2)) == "header"
+        assert sync_model_for("direct") == "hash"  # mode strings work too
+        with pytest.raises(ValueError, match="unknown receiver mode"):
+            sync_model_for("telepathy")
 
 
 class TestSharerKernel:
