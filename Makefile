@@ -2,7 +2,7 @@
 
 .PHONY: install test bench experiments quick-experiments examples clean \
 	endpoints-smoke chaos-smoke reliability-smoke fabric-smoke \
-	fast-reliable-smoke sprinklers-smoke lint-endpoints
+	fast-reliable-smoke sprinklers-smoke fec-smoke lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -70,6 +70,20 @@ sprinklers-smoke:
 		tests/transport/test_sync_model.py
 	SPRINKLERS_BENCH_QUICK=1 PYTHONPATH=src pytest \
 		benchmarks/test_bench_sprinklers.py -x -q
+
+# Fast confidence check for the erasure-coding work: the GF(256) codec
+# suite (numpy legs skip gracefully when numpy is absent), the FEC
+# transport-layer unit tests (group lifecycle, gap-skip, escalation,
+# pool contract), the e2e recovery properties (pure-fec acceptance,
+# hybrid exactly-once + fairness envelope, hybrid <= ARQ
+# retransmissions), then the quick sweep benchmark, which asserts
+# hybrid goodput >= pure ARQ at every point (FEC_BENCH_* env knobs).
+fec-smoke:
+	PYTHONPATH=src pytest tests/core/test_fec.py \
+		tests/transport/test_fec_transport.py \
+		tests/properties/test_fec_properties.py
+	FEC_BENCH_TOTAL_S=0.4 FEC_BENCH_RATES=0.03,0.10 \
+		PYTHONPATH=src pytest benchmarks/test_bench_fec.py -x -q
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

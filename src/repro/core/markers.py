@@ -76,6 +76,12 @@ MARKER_CODEC_VERSION = 1
 MARKER_WIRE_BYTES = _MARKER_STRUCT.size
 _FLAG_CREDIT = 0x01
 _FLAG_SACK = 0x02
+#: reserved for FEC group metadata on reverse markers (forward compat:
+#: assigned now so no other extension claims the bit; no payload format
+#: is defined yet, so decoders reject frames carrying it)
+_FLAG_FEC = 0x04
+#: the flag bits this codec version understands
+_KNOWN_FLAGS = _FLAG_CREDIT | _FLAG_SACK | _FLAG_FEC
 #: most SACK blocks a piggybacked marker may carry (wire-size budget)
 MAX_SACK_BLOCKS_WIRE = 2
 
@@ -179,6 +185,20 @@ def decode_marker(data: bytes) -> MarkerPacket:
         raise MarkerDecodeError(f"bad marker magic {magic:#06x}")
     if version != MARKER_CODEC_VERSION:
         raise MarkerDecodeError(f"unsupported marker codec version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        # A flag bit this codec version has never assigned: the frame's
+        # layout past the base header is unknowable, so parsing on would
+        # misread it.  Reject rather than guess.
+        raise MarkerDecodeError(
+            f"unknown marker flag bits {flags & ~_KNOWN_FLAGS:#04x}"
+        )
+    if flags & _FLAG_FEC:
+        # Reserved, not yet specified: a frame claiming an FEC extension
+        # carries bytes this decoder cannot frame.
+        raise MarkerDecodeError(
+            "marker carries the reserved FEC-metadata flag (0x04); "
+            "no extension format is defined for it yet"
+        )
     sack: Optional[SackInfo] = None
     if flags & _FLAG_SACK:
         try:

@@ -34,6 +34,10 @@ class Codepoint:
     MARKER = "marker"
     CREDIT = "credit"
     ACK = "ack"
+    #: erasure-coded parity for a stripe group (:mod:`repro.transport.fec`);
+    #: like markers, parity is distinguished by codepoint so data packets
+    #: stay unmodified (section 2.1).
+    PARITY = "parity"
 
 
 @dataclass(frozen=True)
@@ -90,6 +94,15 @@ class Packet:
     #: striper — the striping layer itself never reads it, preserving the
     #: no-header-on-data property of section 2.1.
     rseq: Optional[int] = None
+    #: FEC group sequence number assigned by :class:`~repro.transport.fec.
+    #: FecSender`; None outside the fec/hybrid reliability modes.  End-to-end
+    #: state like ``seq``/``rseq`` — never read by the striper.
+    fseq: Optional[int] = None
+    #: True for packets reconstructed by the FEC receiver rather than
+    #: received off a channel.  Synthesized packets carry fresh uids and are
+    #: barred from re-entering a :class:`PacketPool` (the original may still
+    #: be in flight or in an ARQ retransmit buffer).
+    synthesized: bool = False
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -139,6 +152,11 @@ class MarkerPacket:
 def is_marker(packet: Any) -> bool:
     """True if ``packet`` is a synchronization marker."""
     return getattr(packet, "codepoint", Codepoint.DATA) == Codepoint.MARKER
+
+
+def is_parity(packet: Any) -> bool:
+    """True if ``packet`` is an FEC parity packet."""
+    return getattr(packet, "codepoint", Codepoint.DATA) == Codepoint.PARITY
 
 
 class PacketPool:
@@ -201,14 +219,26 @@ class PacketPool:
             packet.uid = next(_packet_ids)
             packet.codepoint = Codepoint.DATA
             packet.rseq = None
+            packet.fseq = None
+            packet.synthesized = False
             self.reused += 1
             return packet
         self.allocated += 1
         return Packet(size=size, seq=seq, flow=flow, payload=payload)
 
     def release(self, packet: Any) -> None:
-        """Retire a packet whose lifecycle has provably ended."""
-        if type(packet) is Packet and len(self._free) < self.max_size:
+        """Retire a packet whose lifecycle has provably ended.
+
+        Receiver-synthesized (FEC-reconstructed) packets are refused: the
+        original sender-side packet they stand in for may still live in an
+        ARQ retransmit buffer or arrive late off a channel, so recycling
+        the reconstruction could alias two live logical packets.
+        """
+        if (
+            type(packet) is Packet
+            and not packet.synthesized
+            and len(self._free) < self.max_size
+        ):
             self.released += 1
             self._free.append(packet)
 

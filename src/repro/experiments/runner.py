@@ -151,6 +151,12 @@ def _run_reliability(quick: bool = False):
     return run_reliability(quick=quick)
 
 
+def _run_fec(quick: bool = False):
+    from repro.experiments.fec_recovery import run_fec_recovery
+
+    return run_fec_recovery(quick=quick)
+
+
 def _run_mtu(quick: bool = False):
     from repro.experiments.mtu_fragmentation import run_mtu_fragmentation
 
@@ -290,6 +296,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Best-effort vs selective-repeat ARQ under persistent loss: "
             "completeness, ordering, and retransmission cost",
             _run_reliability,
+        ),
+        Experiment(
+            "fec", "Section 7 (extension)",
+            "Erasure-coded striping: proactive FEC vs ARQ vs hybrid "
+            "under random and bursty loss",
+            _run_fec,
         ),
         Experiment(
             "mtu", "Section 6.2 (extension)",

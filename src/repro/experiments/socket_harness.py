@@ -22,6 +22,7 @@ from repro.sim.engine import Simulator
 from repro.sim.loss import BernoulliLoss, SizeGatedLoss
 from repro.transport.credit import CreditSender
 from repro.transport.endpoint import make_discipline, receiver_mode_for
+from repro.transport.reliability import arq_enabled
 from repro.transport.fast_path import (
     FastStripedReceiver,
     FastStripedSender,
@@ -82,10 +83,11 @@ class SocketTestbedConfig:
     #: (:class:`repro.transport.endpoint.ChannelFailureDetector`);
     #: reference path only.
     failure_detector: Optional[object] = None
-    #: service level (``best_effort | quasi_fifo | reliable``); reliable
-    #: arms selective-repeat ARQ end to end, with acks on a dedicated
-    #: reverse flow (UDP ``ACK_PORT`` on the reference path, the first
-    #: link's reverse channel on the fast path).
+    #: service level (``best_effort | quasi_fifo | reliable | fec |
+    #: hybrid``); reliable/hybrid arm selective-repeat ARQ end to end,
+    #: with acks on a dedicated reverse flow (UDP ``ACK_PORT`` on the
+    #: reference path, the first link's reverse channel on the fast
+    #: path); fec/hybrid add erasure-coded stripe groups.
     reliability: str = "quasi_fifo"
     #: ``{"sender": {...}, "receiver": {...}}`` forwarded to the ARQ halves
     reliability_options: Optional[dict] = None
@@ -106,14 +108,16 @@ class SocketTestbedConfig:
             setattr(self, name, tuple(values))
         if self.fast and self.use_credit:
             raise ValueError("credit flow control requires the reference path")
-        if self.reliability == "reliable" and self.discipline not in (
-            None, "srr",
-        ):
-            raise ValueError("reliable mode requires the SRR discipline")
+        if self.reliability not in (
+            "best_effort", "quasi_fifo",
+        ) and self.discipline not in (None, "srr"):
+            raise ValueError(
+                f"{self.reliability} mode requires the SRR discipline"
+            )
         if self.packet_pool:
             if not self.closed_loop:
                 raise ValueError("packet_pool requires the closed-loop source")
-            if self.reliability == "reliable" and any(
+            if arq_enabled(self.reliability) and any(
                 p > 0 for p in self.loss_rates
             ):
                 raise ValueError(
@@ -249,7 +253,7 @@ def build_socket_testbed(
             config.n_channels, initial_credit=config.buffer_packets
         )
 
-    reliable = config.reliability == "reliable"
+    reliable = arq_enabled(config.reliability)
     arq_options = config.reliability_options or {}
     sender: StripedSocketSender | FastStripedSender
     if config.fast:
@@ -331,8 +335,8 @@ def build_socket_testbed(
             credit_port=CREDIT_PORT if config.use_credit else None,
             failure_detector=config.failure_detector,
             reliability=config.reliability,
-            ack_to="10.10.0.1" if config.reliability == "reliable" else None,
-            ack_port=ACK_PORT if config.reliability == "reliable" else None,
+            ack_to="10.10.0.1" if reliable else None,
+            ack_port=ACK_PORT if reliable else None,
             reliability_options=(config.reliability_options or {}).get(
                 "receiver"
             ),

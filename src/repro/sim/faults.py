@@ -15,8 +15,11 @@ pipelines knows it is being injected against.
   FIFO-preserving), ``duplicate`` (deliver arrivals twice), ``reorder``
   (release a window of arrivals in reversed order — the "occasional
   non-FIFO behaviour" of section 2), ``corrupt`` (discard arrivals, the
-  CRC-failure path), and ``marker_loss`` (drop only control-sized packets
-  — adversarially targets the resync machinery).
+  CRC-failure path), ``marker_loss`` (drop only control-sized packets
+  — adversarially targets the resync machinery), and ``burst_loss``
+  (transmit-side Gilbert–Elliott bursts — the correlated-loss regime
+  FEC groups must survive; a long enough burst erases a whole k+m
+  group).
 * :class:`FaultSchedule` — an ordered set of events with an installation
   hook that wires injectors onto live :class:`~repro.sim.channel.Channel`
   objects (transmit side via a wrapping loss model and pause/resume,
@@ -36,7 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
-from repro.sim.loss import LossModel
+from repro.sim.loss import GilbertElliottLoss, LossModel
 
 #: Every fault kind the injector understands.
 FAULT_KINDS = (
@@ -47,6 +50,7 @@ FAULT_KINDS = (
     "reorder",
     "corrupt",
     "marker_loss",
+    "burst_loss",
 )
 
 #: Kinds for which the protocol promises exactly-once delivery of whatever
@@ -60,6 +64,7 @@ EXACTLY_ONCE_KINDS = (
     "reorder",
     "corrupt",
     "marker_loss",
+    "burst_loss",
 )
 
 #: Packets at or below this size are treated as control traffic by
@@ -74,8 +79,9 @@ class FaultEvent:
 
     ``magnitude`` is kind-specific: drop probability for ``crash`` /
     ``corrupt`` / ``marker_loss`` / ``duplicate``, extra one-way seconds
-    for ``delay_spike``, window depth (packets) for ``reorder``; unused
-    for ``pause``.
+    for ``delay_spike``, window depth (packets) for ``reorder``, target
+    steady-state loss rate for ``burst_loss`` (>= 1 means the channel is
+    pinned in the bad state for the whole window); unused for ``pause``.
     """
 
     time: float
@@ -128,12 +134,37 @@ class _FaultLoss(LossModel):
         self.inner.reset()
 
 
+def _burst_model_for(
+    magnitude: float, rng: random.Random
+) -> GilbertElliottLoss:
+    """Build the Gilbert–Elliott model behind a ``burst_loss`` event.
+
+    ``magnitude`` is the *target steady-state loss rate*.  The recovery
+    probability is fixed at ``p_b2g = 0.25`` (mean burst length of four
+    packets — long enough to straddle an FEC group member on every
+    channel), and the entry probability is solved from the steady-state
+    equation ``pi_bad = p_g2b / (p_g2b + p_b2g) = magnitude``, i.e.
+    ``p_g2b = magnitude * p_b2g / (1 - magnitude)``.  A magnitude at or
+    above 1 pins the channel in the bad state deterministically, which is
+    the regression fixture for "a burst erases a whole k+m group".
+    """
+    if magnitude <= 0.0:
+        raise ValueError(
+            f"burst_loss magnitude must be > 0, got {magnitude}"
+        )
+    if magnitude >= 1.0:
+        return GilbertElliottLoss(p_g2b=1.0, p_b2g=0.0, rng=rng)
+    p_b2g = 0.25
+    p_g2b = min(1.0, magnitude * p_b2g / (1.0 - magnitude))
+    return GilbertElliottLoss(p_g2b=p_g2b, p_b2g=p_b2g, rng=rng)
+
+
 class FaultInjector:
     """Applies one channel's share of a :class:`FaultSchedule`.
 
-    Transmit-side faults (``crash``) ride a wrapping loss model so the
-    channel's own statistics count them; ``pause`` uses the channel's
-    administrative pause.  Receive-side faults interpose on the channel's
+    Transmit-side faults (``crash``, ``burst_loss``) ride a wrapping loss
+    model so the channel's own statistics count them; ``pause`` uses the
+    channel's administrative pause.  Receive-side faults interpose on the channel's
     ``on_deliver``.  Delay spikes are clamped so per-channel release times
     stay non-decreasing — the channel model remains FIFO, as the paper
     requires; reordering comes only from explicit ``reorder`` bursts.
@@ -157,6 +188,8 @@ class FaultInjector:
         self._corrupt_p = 1.0
         self._marker_loss_until = -1.0
         self._marker_loss_p = 1.0
+        self._burst_until = -1.0
+        self._burst_model: Optional[GilbertElliottLoss] = None
         self._dup_until = -1.0
         self._dup_p = 1.0
         self._delay_until = -1.0
@@ -169,6 +202,7 @@ class FaultInjector:
         self._scheduled = 0
 
         self.crash_drops = 0
+        self.burst_drops = 0
         self.corrupt_drops = 0
         self.marker_drops = 0
         self.duplicates_injected = 0
@@ -211,6 +245,11 @@ class FaultInjector:
         elif kind == "marker_loss":
             self._marker_loss_until = max(self._marker_loss_until, end)
             self._marker_loss_p = event.magnitude
+        elif kind == "burst_loss":
+            self._burst_until = max(self._burst_until, end)
+            self._burst_model = _burst_model_for(
+                event.magnitude, rng=self.rng
+            )
 
     def _end_pause(self) -> None:
         self._pause_depth -= 1
@@ -225,6 +264,13 @@ class FaultInjector:
             self._crash_p >= 1.0 or self.rng.random() < self._crash_p
         ):
             self.crash_drops += 1
+            return True
+        if (
+            self.sim.now < self._burst_until
+            and self._burst_model is not None
+            and self._burst_model.should_drop(0, size)
+        ):
+            self.burst_drops += 1
             return True
         return False
 
@@ -304,6 +350,10 @@ class InstalledFaults:
         return sum(i.crash_drops for i in self.injectors)
 
     @property
+    def burst_drops(self) -> int:
+        return sum(i.burst_drops for i in self.injectors)
+
+    @property
     def corrupt_drops(self) -> int:
         return sum(i.corrupt_drops for i in self.injectors)
 
@@ -324,6 +374,7 @@ class InstalledFaults:
         """Packets visibly perturbed (dropped, duplicated, or reordered)."""
         return (
             self.crash_drops
+            + self.burst_drops
             + self.corrupt_drops
             + self.marker_drops
             + self.duplicates_injected
@@ -431,6 +482,40 @@ def persistent_loss_schedule(
     )
 
 
+def burst_loss_schedule(
+    n_channels: int,
+    loss_rate: float,
+    start: float = 0.0,
+    until: float = 1.0,
+) -> FaultSchedule:
+    """A schedule imposing Gilbert–Elliott burst loss on every channel.
+
+    The burst-loss complement of :func:`persistent_loss_schedule`: the
+    same long-run loss rate, but correlated into multi-packet bursts (mean
+    burst length four packets) instead of i.i.d. drops.  This is the
+    regime that separates FEC parameterizations — i.i.d. loss rarely
+    claims two members of the same group, bursts routinely do.  A
+    ``loss_rate >= 1`` pins every channel in the bad state for the whole
+    window, deterministically erasing each group that transits it.
+    """
+    if loss_rate <= 0.0:
+        raise ValueError(f"loss rate must be > 0, got {loss_rate}")
+    if until <= start:
+        raise ValueError("loss window must have positive duration")
+    return FaultSchedule(
+        [
+            FaultEvent(
+                time=start,
+                channel=channel,
+                kind="burst_loss",
+                duration=until - start,
+                magnitude=loss_rate,
+            )
+            for channel in range(n_channels)
+        ]
+    )
+
+
 #: Per-kind magnitude samplers for randomized plans.
 _MAGNITUDES: dict = {
     "crash": lambda rng: 1.0,
@@ -440,6 +525,7 @@ _MAGNITUDES: dict = {
     "reorder": lambda rng: float(rng.randint(2, 6)),
     "corrupt": lambda rng: rng.uniform(0.3, 1.0),
     "marker_loss": lambda rng: rng.uniform(0.5, 1.0),
+    "burst_loss": lambda rng: rng.uniform(0.05, 0.3),
 }
 
 

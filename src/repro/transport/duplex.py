@@ -33,6 +33,7 @@ from repro.core.striper import MarkerPolicy
 from repro.net.stack import Stack
 from repro.sim.engine import Simulator
 from repro.transport.credit import CreditSender
+from repro.transport.reliability import arq_enabled
 from repro.transport.socket_striping import (
     StripedSocketReceiver,
     StripedSocketSender,
@@ -136,10 +137,10 @@ def connect_duplex(
         raise ValueError("need an algorithm_factory or a discipline")
     marker_free = mode == "direct"
     if marker_free:
-        if reliability == "reliable":
+        if arq_enabled(reliability):
             raise ValueError(
-                "marker-free duplex cannot be reliable: piggybacked SACKs "
-                "need a marker stream to ride on"
+                f"marker-free duplex cannot be {reliability}: piggybacked "
+                "SACKs need a marker stream to ride on"
             )
         return _connect_duplex_marker_free(
             sim, stack_a, stack_b, a_to_b, b_to_a, algorithm_factory,
@@ -219,7 +220,7 @@ def connect_duplex(
     credit_a.on_unblocked = sender_a.pump
     credit_b.on_unblocked = sender_b.pump
 
-    if reliability == "reliable":
+    if arq_enabled(reliability):
         # Arriving piggybacked SACKs feed the co-located sender's ARQ,
         # and an ack-worthy event (out-of-order arrival, delayed-ack
         # expiry) forces a marker batch out of the co-located sender so

@@ -68,10 +68,13 @@ from repro.transport.health import (
     ChannelLifecycleManager,
     SenderHealthMonitor,
 )
+from repro.transport.fec import FecReceiver, FecSender
 from repro.transport.reliability import (
     RELIABILITY_MODES,
     ReliableReceiver,
     ReliableSender,
+    arq_enabled,
+    fec_enabled,
 )
 from repro.transport.sync_model import (
     HashSyncModel,
@@ -406,14 +409,23 @@ class StripeSenderPipeline:
             default the batched pump is used when every port supports
             ``send_burst``/``free_capacity``.
         reliability: service level — ``"best_effort"`` / ``"quasi_fifo"``
-            (the default; both leave the submit path untouched) or
+            (the default; both leave the submit path untouched),
             ``"reliable"``, which sequences every submitted packet
             through a :class:`~repro.transport.reliability.ReliableSender`
-            (selective-repeat ARQ; requires ``sim``).
+            (selective-repeat ARQ; requires ``sim``), ``"fec"``, which
+            mounts a :class:`~repro.transport.fec.FecSender` (proactive
+            erasure-coded recovery, parity striped through the same SRR
+            kernel), or ``"hybrid"`` (FEC above ARQ: reconstruction
+            first, retransmission backstop).
         reliability_options: keyword arguments forwarded to
             :class:`~repro.transport.reliability.ReliableSender`
             (``window_packets``, ``max_retries``,
-            ``on_channel_suspect``, ...).
+            ``on_channel_suspect``, ...).  FEC knobs ride under the
+            ``"fec"`` key — a dict forwarded to
+            :class:`~repro.transport.fec.FecSender` (``k``, ``m``,
+            ``seal_timeout_s``, ``numpy``, ...) — so transport adapters
+            forwarding ``reliability_options`` support every mode
+            unchanged.
         discipline_options: forwarded to :func:`make_discipline` when
             ``discipline`` is a name.
         fabric: optional :class:`~repro.transport.fabric.FabricScheduler`
@@ -471,24 +483,45 @@ class StripeSenderPipeline:
         #: discipline-supplied packet transformation (MPPP headers,
         #: BONDING frames); None for the paper's no-modification schemes.
         self._wrap = getattr(sharer, "wrap_packet", None)
-        if reliability == "reliable":
-            if sim is None:
-                raise ValueError("reliable mode needs an event scheduler")
+        arq = arq_enabled(reliability)
+        fec = fec_enabled(reliability)
+        self.fec: Optional[FecSender] = None
+        if arq or fec:
+            if arq and sim is None:
+                raise ValueError(f"{reliability} mode needs an event scheduler")
             if self._wrap is not None:
                 raise ValueError(
-                    "reliable mode needs a non-transforming discipline "
-                    "(MPPP/BONDING fragment packets below the ARQ layer)"
+                    f"{reliability} mode needs a non-transforming discipline "
+                    "(MPPP/BONDING fragment packets below the recovery layer)"
                 )
             # Recording proxies report actual transmissions (channel +
             # time) back to the ARQ layer; the striper stays oblivious.
+            # Pure fec wraps too, for the envelope byte accounting — its
+            # packets carry no rseq, so the ARQ hooks never fire.
             self.ports = _wrap_recording_ports(
                 self.ports,
                 lambda c, p: self.reliable.note_sent(c, p),
                 lambda c, ps: self.reliable.note_burst(c, ps),
             )
-            arq_options = dict(reliability_options or {})
-            arq_options.setdefault("submit_many", self._stripe_many)
-            self.reliable = ReliableSender(self._stripe, sim, **arq_options)
+        options = dict(reliability_options or {})
+        fec_options = dict(options.pop("fec", None) or {})
+        if arq:
+            options.setdefault("submit_many", self._stripe_many)
+            self.reliable = ReliableSender(self._stripe, sim, **options)
+        if fec:
+            # FEC sits above ARQ: the downstream stamps rseq (hybrid)
+            # before the shard is serialized, and parity bypasses the
+            # retransmission buffer — it is expendable redundancy — but
+            # still stripes through the kernel's rotated placement.
+            self.fec = FecSender(
+                self.reliable.submit if arq else self._stripe,
+                self._stripe_many,
+                sim=sim,
+                downstream_many=(
+                    self.reliable.submit_many if arq else self._stripe_many
+                ),
+                **fec_options,
+            )
         if fast is None:
             fast = all(
                 hasattr(port, "send_burst") and hasattr(port, "free_capacity")
@@ -622,7 +655,9 @@ class StripeSenderPipeline:
     def _submit(self, packet: Any) -> None:
         if self._sync_observer is not None:
             self._sync_observer((packet,))
-        if self.reliable is not None:
+        if self.fec is not None:
+            self.fec.submit(packet)
+        elif self.reliable is not None:
             self.reliable.submit(packet)
         else:
             self._stripe(packet)
@@ -630,7 +665,9 @@ class StripeSenderPipeline:
     def _submit_many(self, packets: Sequence[Any]) -> None:
         if self._sync_observer is not None:
             self._sync_observer(packets)
-        if self.reliable is not None:
+        if self.fec is not None:
+            self.fec.submit_many(list(packets))
+        elif self.reliable is not None:
             self.reliable.submit_many(list(packets))
         else:
             self._stripe_many(packets)
@@ -674,7 +711,9 @@ class StripeSenderPipeline:
             self.reliable.on_ack(ack)
 
     def flush(self) -> None:
-        """Flush discipline-buffered residue (a partial BONDING frame)."""
+        """Flush buffered residue (a partial BONDING frame or FEC group)."""
+        if self.fec is not None:
+            self.fec.flush()
         flush = getattr(self.sharer, "flush", None)
         if flush is None:
             return
@@ -700,6 +739,8 @@ class StripeSenderPipeline:
             self.fabric.pump()
 
     def close(self) -> None:
+        if self.fec is not None and not self._closed:
+            self.fec.flush()
         self._closed = True
         self.sync.stop()
         for port in self.ports:
@@ -748,10 +789,19 @@ class StripeReceiverPipeline:
             deliver the resequencer output as-is (the default);
             ``"reliable"`` runs it through a
             :class:`~repro.transport.reliability.ReliableReceiver`
-            (exactly-once, in-order, acks on the reverse path).
-        send_ack: reliable mode's ack transmitter, ``fn(SackInfo)``.
+            (exactly-once, in-order, acks on the reverse path);
+            ``"fec"`` mounts a :class:`~repro.transport.fec.FecReceiver`
+            that reconstructs lost group members from parity and
+            resequences by FEC group number (no reverse traffic at all);
+            ``"hybrid"`` stacks both — FEC repairs first, the ARQ
+            backstop retransmits what parity could not cover.
+        send_ack: reliable/hybrid mode's ack transmitter, ``fn(SackInfo)``.
         reliability_options: keyword arguments forwarded to
-            :class:`~repro.transport.reliability.ReliableReceiver`.
+            :class:`~repro.transport.reliability.ReliableReceiver`; FEC
+            knobs ride under the ``"fec"`` key (a dict forwarded to
+            :class:`~repro.transport.fec.FecReceiver`: ``k``, ``m``,
+            ``group_timeout_s``, ``on_escalate``, ...), mirroring the
+            sender pipeline.
     """
 
     def __init__(
@@ -787,27 +837,45 @@ class StripeReceiverPipeline:
         self.retain_delivered = True
         self.reliability = reliability
         self.reliable: Optional[ReliableReceiver] = None
-        if reliability == "reliable":
+        self.fec: Optional[FecReceiver] = None
+        options = dict(reliability_options or {})
+        fec_options = dict(options.pop("fec", None) or {})
+        if arq_enabled(reliability):
             self.reliable = ReliableReceiver(
                 self._deliver_final,
                 send_ack=send_ack,
                 sim=sim,
-                **(reliability_options or {}),
+                **options,
+            )
+        # Delivery chain: sync model -> [FecReceiver] -> [ReliableReceiver]
+        # -> final.  In hybrid mode the FEC layer passes packets through to
+        # the ARQ receiver (which owns rseq ordering/dedup) and fills its
+        # holes with reconstructions; in pure fec it resequences by fseq
+        # itself.
+        final_sink = (
+            self.reliable.push if self.reliable is not None
+            else self._deliver_final
+        )
+        if fec_enabled(reliability):
+            self.fec = FecReceiver(
+                final_sink,
+                ordered=self.reliable is None,
+                sim=sim,
+                **fec_options,
             )
         self.credit = credit
         if clock is None and sim is not None:
             clock = lambda: sim.now  # noqa: E731
         # The synchronization model binds the reception engine's delivery
-        # callback directly to its destination (ARQ receiver or final
-        # delivery) — one less call per delivered packet; ``reliable`` is
-        # fixed at construction.
+        # callback directly to its destination (FEC layer, ARQ receiver,
+        # or final delivery) — one less call per delivered packet; the
+        # chain is fixed at construction.
         self.sync = make_sync_model(
             mode,
             algorithm,
             n_channels=n_channels,
             on_deliver=(
-                self.reliable.push if self.reliable is not None
-                else self._deliver_final
+                self.fec.on_packet if self.fec is not None else final_sink
             ),
             clock=clock,
             sim=sim,
@@ -968,7 +1036,9 @@ class StripeReceiverPipeline:
 
     def _deliver(self, packet: Any) -> None:
         """Resequencer output: quasi-FIFO stream (still with loss gaps)."""
-        if self.reliable is not None:
+        if self.fec is not None:
+            self.fec.on_packet(packet)
+        elif self.reliable is not None:
             self.reliable.push(packet)
         else:
             self._deliver_final(packet)

@@ -41,7 +41,19 @@ from collections import deque
 from repro.core.packet import Codepoint, SackInfo
 
 #: the per-session reliability service levels (endpoint ``reliability=``)
-RELIABILITY_MODES = ("best_effort", "quasi_fifo", "reliable")
+RELIABILITY_MODES = (
+    "best_effort", "quasi_fifo", "reliable", "fec", "hybrid",
+)
+
+
+def arq_enabled(mode: str) -> bool:
+    """True when ``mode`` mounts the selective-repeat ARQ layer."""
+    return mode in ("reliable", "hybrid")
+
+
+def fec_enabled(mode: str) -> bool:
+    """True when ``mode`` mounts the erasure-coded recovery layer."""
+    return mode in ("fec", "hybrid")
 
 #: SACK holes are retransmitted after this many ack arrivals reported
 #: newer data while the hole stayed open (TCP's dupthresh).
@@ -85,6 +97,14 @@ class RtoEstimator:
     packets transmitted exactly once — is the caller's job);
     ``backoff`` doubles the timeout after a retransmission timeout,
     capped at ``max_rto``.  The next valid sample collapses the backoff.
+
+    Doubling is additionally capped at ``backoff_cap`` *consecutive*
+    backoffs: during a long channel outage the timer would otherwise
+    keep doubling well past any useful probe interval, and the first
+    exchange after recovery would wait out the whole inflated timeout.
+    ``reset_backoff`` (called on ack-triggered channel rejoin) collapses
+    the streak immediately, recomputing the timeout from the smoothed
+    estimate instead of the backed-off value.
     """
 
     ALPHA = 0.125
@@ -96,16 +116,24 @@ class RtoEstimator:
         initial_rto: float = 0.2,
         min_rto: float = 0.02,
         max_rto: float = 2.0,
+        backoff_cap: int = 6,
     ) -> None:
         if not 0 < min_rto <= initial_rto <= max_rto:
             raise ValueError("need 0 < min_rto <= initial_rto <= max_rto")
+        if backoff_cap < 1:
+            raise ValueError("backoff_cap must be >= 1")
         self.min_rto = min_rto
         self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.backoff_cap = backoff_cap
         self.srtt: Optional[float] = None
         self.rttvar: Optional[float] = None
         self.rto = initial_rto
         self.samples = 0
         self.backoffs = 0
+        #: backoff calls refused because the consecutive streak hit the cap
+        self.capped_backoffs = 0
+        self._backoff_streak = 0
 
     def sample(self, rtt: float) -> None:
         """Feed one round-trip measurement (seconds)."""
@@ -122,11 +150,30 @@ class RtoEstimator:
             )
             self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
         self.rto = self._clamp(self.srtt + self.K * self.rttvar)
+        self._backoff_streak = 0
 
     def backoff(self) -> None:
         """Exponential backoff after a retransmission timeout."""
         self.backoffs += 1
+        if self._backoff_streak >= self.backoff_cap:
+            self.capped_backoffs += 1
+            return
+        self._backoff_streak += 1
         self.rto = self._clamp(self.rto * 2.0)
+
+    def reset_backoff(self) -> None:
+        """Collapse accumulated backoff (ack-triggered channel rejoin).
+
+        The timeout returns to the smoothed estimate — or the initial
+        timeout when no sample has been taken yet — so the first
+        post-rejoin exchange is not stuck waiting out an outage-inflated
+        timer.
+        """
+        self._backoff_streak = 0
+        if self.srtt is not None:
+            self.rto = self._clamp(self.srtt + self.K * self.rttvar)
+        else:
+            self.rto = self._clamp(self.initial_rto)
 
     def _clamp(self, value: float) -> float:
         return min(self.max_rto, max(self.min_rto, value))
@@ -481,6 +528,21 @@ class ReliableSender:
         else:
             for record in records:
                 self._submit(record.packet)
+
+    def on_channel_rejoin(self) -> None:
+        """Ack-triggered channel rejoin: collapse accumulated RTO backoff.
+
+        An outage inflates the shared timer exponentially; once the
+        lifecycle machinery confirms a channel is carrying acks again,
+        the inflation is stale state, not signal.  Re-arm the timer so
+        the oldest outstanding packet is retried at the collapsed
+        timeout instead of waiting out the backed-off one.
+        """
+        self.rto.reset_backoff()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._ensure_timer()
 
     # ------------------------------------------------------------------ #
     # retransmission timer (single timer for the oldest outstanding)

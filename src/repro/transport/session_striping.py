@@ -33,11 +33,14 @@ from repro.transport.endpoint import (
     SenderHealthMonitor,
     _wrap_recording_ports,
 )
+from repro.transport.fec import FecReceiver, FecSender
 from repro.transport.reliability import (
     RELIABILITY_MODES,
     AckPacket,
     ReliableReceiver,
     ReliableSender,
+    arq_enabled,
+    fec_enabled,
 )
 from repro.transport.socket_striping import UdpChannelPort, _udp_layer_for
 
@@ -112,7 +115,8 @@ class SessionSocketSender:
             )
         self.reliability = reliability
         self.reliable: Optional[ReliableSender] = None
-        if reliability == "reliable":
+        self.fec: Optional[FecSender] = None
+        if arq_enabled(reliability):
             # Recording proxies keep their *full-set* index, which is the
             # channel id resets and exclusions speak — escalation maps a
             # suspect packet straight onto session.exclude_channel.
@@ -148,13 +152,26 @@ class SessionSocketSender:
             sim, self.ports, config, marker_policy=marker_policy,
             striper_factory=striper_factory,
         )
-        if reliability == "reliable":
-            options = dict(reliability_options or {})
+        options = dict(reliability_options or {})
+        fec_options = dict(options.pop("fec", None) or {})
+        if arq_enabled(reliability):
             options.setdefault("on_channel_suspect", self._on_suspect)
             self.reliable = ReliableSender(
                 self.session.submit, sim, **options
             )
             self.session.on_ack = self.reliable.on_ack
+        if fec_enabled(reliability):
+            # The session exposes a per-packet submit only; parity rides
+            # the same path (striped by the epoch's kernel, never through
+            # the ARQ retransmit buffer).
+            self.fec = FecSender(
+                self.reliable.submit
+                if self.reliable is not None
+                else self.session.submit,
+                self._stripe_parity,
+                sim=sim,
+                **fec_options,
+            )
         for port in self.ports:
             port.on_unblocked = self.pump
         self.udp.bind(control_port, on_datagram=self._on_control)
@@ -228,10 +245,21 @@ class SessionSocketSender:
             self.submit(flow_id, packet)
             return
         self.messages_submitted += 1
-        if self.reliable is not None:
+        if self.fec is not None:
+            self.fec.submit(packet)
+        elif self.reliable is not None:
             self.reliable.submit(packet)
         else:
             self.session.submit(packet)
+
+    def _stripe_parity(self, parity: Sequence[Any]) -> None:
+        for packet in parity:
+            self.session.submit(packet)
+
+    def flush(self) -> None:
+        """Seal a partial FEC group immediately (end of stream)."""
+        if self.fec is not None:
+            self.fec.flush()
 
     def can_submit(self, flow_id: Any = None) -> bool:
         """Backpressure signal: False while a reliable window is full.
@@ -274,6 +302,12 @@ class SessionSocketSender:
             # carries (a rejoined channel must be watchable again).
             for index in self.session.config.active_channels:
                 self.health_monitor.clear(index)
+        if self.reliable is not None:
+            # The reset handshake completed over the reverse ack path, so
+            # the bundle is demonstrably exchanging control traffic again:
+            # collapse any outage-accumulated RTO backoff rather than
+            # letting the first post-rejoin retransmission wait it out.
+            self.reliable.on_channel_rejoin()
 
 
 class SessionSocketReceiver:
@@ -327,14 +361,26 @@ class SessionSocketReceiver:
         self._control_socket = self.udp.bind()
         self.reliability = reliability
         self.reliable: Optional[ReliableReceiver] = None
-        if reliability == "reliable":
+        self.fec: Optional[FecReceiver] = None
+        _options = dict(reliability_options or {})
+        _fec_options = dict(_options.pop("fec", None) or {})
+        if arq_enabled(reliability):
             # Acks ride the existing reverse control flow (the RESET/ACK
             # path), so reliable mode needs no extra socket plumbing.
             self.reliable = ReliableReceiver(
                 self._deliver_final,
                 send_ack=self._send_ack,
                 sim=sim,
-                **(reliability_options or {}),
+                **_options,
+            )
+        if fec_enabled(reliability):
+            self.fec = FecReceiver(
+                self.reliable.push
+                if self.reliable is not None
+                else self._deliver_final,
+                ordered=self.reliable is None,
+                sim=sim,
+                **_fec_options,
             )
 
         receiver_factory = None
@@ -395,7 +441,9 @@ class SessionSocketReceiver:
 
     def _deliver(self, packet: Packet) -> None:
         """Session output: quasi-FIFO stream (still with loss gaps)."""
-        if self.reliable is not None:
+        if self.fec is not None:
+            self.fec.on_packet(packet)
+        elif self.reliable is not None:
             self.reliable.push(packet)
         else:
             self._deliver_final(packet)

@@ -36,7 +36,7 @@ from repro.transport.endpoint import (
     StripeReceiverPipeline,
     StripeSenderPipeline,
 )
-from repro.transport.reliability import AckPacket
+from repro.transport.reliability import AckPacket, arq_enabled
 from repro.transport.udp import UdpLayer, UdpSocket
 
 
@@ -285,7 +285,7 @@ class StripedSocketReceiver(StripeReceiverPipeline):
         send_ack = None
         if (ack_to is None) != (ack_port is None):
             raise ValueError("ack_to and ack_port go together")
-        if reliability == "reliable" and ack_to is not None:
+        if arq_enabled(reliability) and ack_to is not None:
             # Standalone ack flow; without it acks must ride the reverse
             # direction's markers (duplex piggyback — the caller wires
             # ``reliable.send_ack`` / the reverse ``sack_sink``).

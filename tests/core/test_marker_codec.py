@@ -189,6 +189,44 @@ class TestFuzz:
         with pytest.raises(ValueError, match="version"):
             decode_marker(bytes(wire))
 
+    def test_reserved_fec_flag_rejected(self):
+        """0x04 is reserved for FEC metadata: no payload format is defined
+        at codec version 1, so a frame claiming it must not half-parse."""
+        wire = bytearray(
+            encode_marker(MarkerPacket(channel=0, round_number=0, deficit=0.0))
+        )
+        wire[3] |= 0x04
+        with pytest.raises(MarkerDecodeError, match="FEC"):
+            decode_marker(bytes(wire))
+
+    def test_unknown_flag_bits_rejected(self):
+        """Every flag bit outside the known mask (credit | sack | fec) is
+        a hard decode error, alone or combined with valid bits."""
+        marker = MarkerPacket(channel=1, round_number=2, deficit=3.0, credit=4)
+        wire = bytearray(encode_marker(marker))
+        base_flags = wire[3]
+        for bit in range(3, 8):
+            corrupted = bytearray(wire)
+            corrupted[3] = base_flags | (1 << bit)
+            with pytest.raises(MarkerDecodeError):
+                decode_marker(bytes(corrupted))
+
+    def test_flag_byte_fuzz_never_escapes_typed_error(self):
+        """All 256 flag-byte values either decode or raise the typed
+        error; the ones that decode carry only known flag bits."""
+        marker = MarkerPacket(channel=0, round_number=5, deficit=1.0)
+        attach_sack(marker, SackInfo(cum_ack=4, blocks=((6, 8),)))
+        wire = bytearray(encode_marker(marker))
+        for flags in range(256):
+            corrupted = bytearray(wire)
+            corrupted[3] = flags
+            try:
+                decode_marker(bytes(corrupted))
+            except MarkerDecodeError:
+                continue
+            assert flags & ~0x07 == 0
+            assert not flags & 0x04
+
 
 class TestPiggyback:
     def test_data_packet_carries_nothing(self):

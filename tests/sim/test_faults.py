@@ -14,6 +14,7 @@ from repro.sim.faults import (
     FaultEvent,
     FaultPlan,
     FaultSchedule,
+    burst_loss_schedule,
 )
 from repro.sim.loss import BernoulliLoss
 
@@ -246,6 +247,110 @@ class TestReceiveSideFaults:
         base = 500 * 8 / 8e6 + 0.5e-3
         spiked = [t - (0.001 * seq + base) for t, seq in arrivals]
         assert max(spiked) > 0.015
+
+
+class TestBurstLoss:
+    def test_pinned_burst_drops_everything_in_window(self, sim):
+        """magnitude >= 1 pins the channel in the bad state: the window is
+        a deterministic wipe, and recovery afterwards is immediate."""
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, channel=0, kind="burst_loss",
+                        duration=0.0105, magnitude=1.0)]
+        )
+        installed = schedule.install(sim, [channel])
+        drive(sim, channel, 40, interval=0.001)
+        sim.run()
+        # Loss draws happen at transmission completion (send + 0.5 ms of
+        # wire time), so exactly the sends completing inside the window
+        # are wiped.
+        assert installed.burst_drops == 10
+        assert channel.stats.lost_packets == 10
+        assert [p.seq for p in arrived] == list(range(10, 40))
+
+    def test_fractional_magnitude_is_bursty_at_the_target_rate(self, sim):
+        """magnitude 0.25 long-run: the empirical rate lands near the
+        target, and drops arrive in multi-packet runs (mean burst length
+        ~4 with the fixed p_b2g), unlike i.i.d. loss at the same rate."""
+        channel = make_channel(sim)
+        arrived = []
+        channel.on_deliver = arrived.append
+        schedule = burst_loss_schedule(1, 0.25, until=4.0)
+        installed = schedule.install(sim, [channel], seed=3)
+        drive(sim, channel, 3000, interval=0.001)
+        sim.run()
+        rate = installed.burst_drops / 3000
+        assert 0.12 < rate < 0.40
+        # Run-length structure: consecutive missing seqs form bursts.
+        got = {p.seq for p in arrived}
+        runs, current = [], 0
+        for seq in range(3000):
+            if seq in got:
+                if current:
+                    runs.append(current)
+                current = 0
+            else:
+                current += 1
+        if current:
+            runs.append(current)
+        assert sum(runs) / len(runs) > 2.0, "drops were not bursty"
+        assert max(runs) >= 4
+
+    def test_burst_erases_whole_fec_group(self, sim):
+        """Regression (FEC tentpole): one pinned burst claims every member
+        of a k+m stripe group — data and parity — so the group can never
+        decode; the pure-fec receiver gap-skips it and delivery resumes
+        with the next group intact."""
+        from repro.transport.fec import FecReceiver, FecSender
+
+        channel = make_channel(sim)
+        delivered = []
+        receiver = FecReceiver(
+            delivered.append, k=3, m=1, sim=sim, group_timeout_s=0.05
+        )
+        channel.on_deliver = receiver.on_packet
+        sender = FecSender(
+            lambda p: channel.send(p, force=True),
+            lambda ps: [channel.send(p, force=True) for p in ps],
+            k=3, m=1, sim=sim,
+        )
+        # Group 0 (fseq 0-2 + parity, all sent by t=0.002) transmits
+        # inside the burst window; group 1 starts at t=0.003, outside it.
+        schedule = burst_loss_schedule(1, 1.0, until=0.0025)
+        installed = schedule.install(sim, [channel])
+        for i in range(9):
+            sim.schedule_at(
+                i * 0.001,
+                lambda seq=i: sender.submit(
+                    Packet(size=200, seq=seq, payload=bytes([seq]) * 8)
+                ),
+            )
+        sim.run()
+        assert installed.burst_drops == 4, "burst missed part of the group"
+        assert [p.seq for p in delivered] == list(range(3, 9))
+        assert receiver.stats.skipped == 3
+        assert receiver.stats.reconstructed == 0
+
+    def test_burst_loss_schedule_validation(self):
+        with pytest.raises(ValueError, match="loss rate"):
+            burst_loss_schedule(2, 0.0)
+        with pytest.raises(ValueError, match="positive duration"):
+            burst_loss_schedule(2, 0.1, start=1.0, until=0.5)
+        schedule = burst_loss_schedule(3, 0.2, until=2.0)
+        assert len(schedule) == 3
+        assert schedule.kinds_used() == ("burst_loss",)
+
+    def test_burst_magnitude_rejected_at_zero(self, sim):
+        channel = make_channel(sim)
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, channel=0, kind="burst_loss",
+                        magnitude=0.0)]
+        )
+        with pytest.raises(ValueError, match="magnitude must be > 0"):
+            schedule.install(sim, [channel])
+            sim.run()
 
 
 class TestSchedule:

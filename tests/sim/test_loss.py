@@ -160,6 +160,31 @@ class TestSeededReset:
         replay = [model.should_drop(i, 100) for i in range(500)]
         assert replay == first
 
+    def test_gilbert_elliott_reset_mid_burst_restores_seeded_walk(self):
+        """Interrupting the walk mid-burst and resetting must rewind both
+        the Markov state *and* the RNG — an FEC sweep that reuses one
+        channel model across arms depends on identical burst placement."""
+        model = GilbertElliottLoss(
+            p_g2b=0.3, p_b2g=0.2, rng=random.Random(99)
+        )
+        full = [model.should_drop(i, 100) for i in range(300)]
+        assert any(full), "walk never entered a loss burst"
+        model.reset()
+        for i in range(137):  # stop partway, wherever the state landed
+            model.should_drop(i, 100)
+        model.reset()
+        assert not model.in_bad_state
+        assert [model.should_drop(i, 100) for i in range(300)] == full
+
+    def test_gilbert_elliott_same_seed_same_walk_across_instances(self):
+        def walk():
+            model = GilbertElliottLoss(
+                p_g2b=0.2, p_b2g=0.4, rng=random.Random(5)
+            )
+            return [model.should_drop(i, 100) for i in range(400)]
+
+        assert walk() == walk()
+
     def test_reset_makes_repeated_runs_comparable(self):
         """Two experiment arms sharing one model see identical loss."""
         model = BernoulliLoss(0.5, rng=random.Random(3))

@@ -91,6 +91,46 @@ class TestRtoEstimator:
         assert rto.samples == 0
         assert rto.srtt is None
 
+    def test_consecutive_doublings_capped(self):
+        rto = RtoEstimator(initial_rto=0.1, max_rto=1000.0, backoff_cap=3)
+        for _ in range(6):
+            rto.backoff()
+        # Three doublings applied, three refused — but every timeout is
+        # still counted (harnesses assert on ``backoffs``).
+        assert rto.rto == pytest.approx(0.8)
+        assert rto.backoffs == 6
+        assert rto.capped_backoffs == 3
+
+    def test_sample_reopens_the_doubling_budget(self):
+        rto = RtoEstimator(initial_rto=0.1, max_rto=1000.0, backoff_cap=2)
+        rto.backoff()
+        rto.backoff()
+        rto.backoff()  # refused
+        assert rto.capped_backoffs == 1
+        rto.sample(0.1)
+        rto.backoff()  # streak reset: doubles again
+        assert rto.rto == pytest.approx(2 * (0.1 + 4.0 * 0.05))
+
+    def test_reset_backoff_restores_smoothed_estimate(self):
+        rto = RtoEstimator(initial_rto=0.2, max_rto=1000.0)
+        rto.sample(0.1)
+        base = rto.rto
+        rto.backoff()
+        rto.backoff()
+        assert rto.rto > base
+        rto.reset_backoff()
+        assert rto.rto == pytest.approx(base)
+
+    def test_reset_backoff_without_samples_uses_initial(self):
+        rto = RtoEstimator(initial_rto=0.2, max_rto=1000.0)
+        rto.backoff()
+        rto.reset_backoff()
+        assert rto.rto == pytest.approx(0.2)
+
+    def test_backoff_cap_validated(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(backoff_cap=0)
+
 
 # ---------------------------------------------------------------------- #
 # sender harness: "striping" = record the packet, then report the
@@ -303,6 +343,38 @@ class TestTimerAndEscalation:
         h.submit(1, size=123)
         sim.run(until=0.2)  # two timeouts (t=0.05, then backed-off t=0.15)
         assert h.sender.retransmitted_bytes == {0: 2 * 123}
+
+    def test_channel_rejoin_collapses_inflated_rto(self, sim):
+        """Regression (channel rejoin satellite): after an outage inflates
+        the shared RTO, an ack-triggered rejoin collapses it — the next
+        retry fires at the smoothed estimate, not the backed-off timer."""
+        h = SenderHarness(
+            sim, rto=RtoEstimator(initial_rto=0.05, max_rto=30.0)
+        )
+        h.submit(1)
+        h.sender.rto.sample(0.05)
+        base = h.sender.rto.rto
+        sim.run(until=2.0)  # several unanswered timeouts back the timer off
+        assert h.sender.rto.backoffs >= 3
+        inflated = h.sender.rto.rto
+        assert inflated > 2 * base
+        sent_before = len(h.sent)
+
+        h.sender.on_channel_rejoin()
+        assert h.sender.rto.rto == pytest.approx(base)
+        # The single retransmission timer was re-armed at the collapsed
+        # timeout: the pending packet goes out again within ~base, far
+        # sooner than the inflated timer would have allowed.
+        sim.run(until=sim.now + 2 * base)
+        assert len(h.sent) > sent_before
+
+    def test_channel_rejoin_with_nothing_outstanding_is_noop(self, sim):
+        h = SenderHarness(sim, rto=RtoEstimator(initial_rto=0.05))
+        h.submit(1)
+        h.sender.on_ack(sack(1))
+        h.sender.on_channel_rejoin()
+        sim.run(until=1.0)
+        assert h.sender.stats.timeouts == 0
 
 
 # ---------------------------------------------------------------------- #
