@@ -2,7 +2,8 @@
 
 .PHONY: install test bench experiments quick-experiments examples clean \
 	endpoints-smoke chaos-smoke reliability-smoke fabric-smoke \
-	fast-reliable-smoke sprinklers-smoke fec-smoke lint-endpoints
+	fast-reliable-smoke sprinklers-smoke fec-smoke recovery-smoke \
+	lint-endpoints
 
 install:
 	pip install -e . || python setup.py develop
@@ -84,6 +85,18 @@ fec-smoke:
 		tests/properties/test_fec_properties.py
 	FEC_BENCH_TOTAL_S=0.4 FEC_BENCH_RATES=0.03,0.10 \
 		PYTHONPATH=src pytest benchmarks/test_bench_fec.py -x -q
+
+# Fast confidence check for the crash-recovery work: the checkpoint
+# codec/store/handshake unit suite (incl. the 39-cell registry
+# serialization fixpoint), the kill/restart chaos properties (warm
+# checkpointed restarts and the cold marker-resync leg), the extended
+# fault-injector suite (corrupt_deliver, endpoint_crash, pool
+# double-release guard), and a quick pass of the recovery experiment.
+recovery-smoke:
+	PYTHONPATH=src pytest tests/transport/test_recovery.py \
+		tests/properties/test_recovery_properties.py \
+		tests/sim/test_faults.py
+	PYTHONPATH=src python -m repro.experiments.runner recovery --quick
 
 # Complexity/length guard for src/repro/transport/ (C901, PLR0915);
 # ruff is not vendored — install it locally to run this target.

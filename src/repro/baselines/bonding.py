@@ -218,6 +218,26 @@ class BondingDiscipline(LoadSharer):
         mux = self.mux
         self.mux = BondingMux(mux.n_channels, mux.frame_bytes)
 
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        mux = self.mux
+        return {
+            "next_sequence": mux.next_sequence,
+            "residual": [list(entry) for entry in mux._residual],
+            "residual_bytes": mux._residual_bytes,
+            "frames_emitted": mux.frames_emitted,
+            "padding_bytes": mux.padding_bytes,
+        }
+
+    def restore(self, state: Any) -> None:
+        mux = self.mux
+        mux.next_sequence = state["next_sequence"]
+        mux._residual = [tuple(entry) for entry in state["residual"]]
+        mux._residual_bytes = state["residual_bytes"]
+        mux.frames_emitted = state["frames_emitted"]
+        mux.padding_bytes = state["padding_bytes"]
+
 
 class BondingResequencer:
     """Receiver half of :class:`BondingDiscipline` for the endpoint pipeline.
@@ -265,3 +285,29 @@ class BondingResequencer:
 
     def revive_channel(self, channel: int) -> None:
         """Alignment is sequence-driven; a returning channel just resumes."""
+
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        demux = self.demux
+        return {
+            "next_expected": demux.next_expected,
+            "pending": [demux._pending[seq] for seq in sorted(demux._pending)],
+            "frames_released": demux.frames_released,
+            "frames_lost": demux.frames_lost,
+            "sync_losses": demux.sync_losses,
+            "assembly": dict(demux._assembly),
+            "packets_reassembled": list(demux.packets_reassembled),
+            "delivered": self.delivered,
+        }
+
+    def restore(self, state: Any) -> None:
+        demux = self.demux
+        demux.next_expected = state["next_expected"]
+        demux._pending = {frame.sequence: frame for frame in state["pending"]}
+        demux.frames_released = state["frames_released"]
+        demux.frames_lost = state["frames_lost"]
+        demux.sync_losses = state["sync_losses"]
+        demux._assembly = dict(state["assembly"])
+        demux.packets_reassembled = list(state["packets_reassembled"])
+        self.delivered = state["delivered"]

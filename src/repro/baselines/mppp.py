@@ -170,6 +170,33 @@ class MpppDiscipline(LoadSharer):
         self.inner.reset()
         self.next_sequence = 0
 
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        inner_snap = getattr(self.inner, "snapshot", None)
+        if inner_snap is not None:
+            inner_state = inner_snap()
+        else:
+            kernel = getattr(self.inner, "kernel", None)
+            inner_state = kernel.snapshot() if kernel is not None else None
+        return {
+            "next_sequence": self.next_sequence,
+            "header_overhead_bytes": self.header_overhead_bytes,
+            "inner": inner_state,
+        }
+
+    def restore(self, state: Any) -> None:
+        self.next_sequence = state["next_sequence"]
+        self.header_overhead_bytes = state["header_overhead_bytes"]
+        inner_state = state["inner"]
+        if inner_state is None:
+            return
+        inner_restore = getattr(self.inner, "restore", None)
+        if inner_restore is not None:
+            inner_restore(inner_state)
+        else:
+            self.inner.kernel.restore(inner_state)
+
 
 class MpppReceiver:
     """Sequence-number resequencer with gap timeout.
@@ -282,3 +309,28 @@ class MpppReceiver:
             if self.on_deliver is not None:
                 self.on_deliver(fragment.inner)
         return out
+
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        return {
+            "next_expected": self.next_expected,
+            "pending": [frag for _, _, frag in sorted(self._heap)],
+            "delivered": self.delivered,
+            "gaps_skipped": self.gaps_skipped,
+            "duplicates": self.duplicates,
+            "max_buffered": self.max_buffered,
+        }
+
+    def restore(self, state: Any) -> None:
+        self.next_expected = state["next_expected"]
+        self._heap = [
+            (frag.sequence, frag.uid, frag) for frag in state["pending"]
+        ]
+        heapq.heapify(self._heap)
+        self._buffered = {frag.sequence for frag in state["pending"]}
+        self.delivered = state["delivered"]
+        self.gaps_skipped = state["gaps_skipped"]
+        self.duplicates = state["duplicates"]
+        self.max_buffered = state["max_buffered"]
+        self._manage_gap_timer()

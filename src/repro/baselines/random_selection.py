@@ -67,3 +67,14 @@ class RandomSelection(LoadSharer):
 
     def reset(self) -> None:
         self._pending = None
+
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        # Random.getstate() is a (version, ints-tuple, gauss) triple —
+        # plain data, so checkpoints stay codec-native.
+        return {"rng": self.rng.getstate(), "pending": self._pending}
+
+    def restore(self, state: Any) -> None:
+        self.rng.setstate(state["rng"])
+        self._pending = state["pending"]

@@ -77,3 +77,11 @@ class ShortestQueueFirst(LoadSharer):
 
     def reset(self) -> None:
         self._fallback = 0
+
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        return {"fallback": self._fallback}
+
+    def restore(self, state: Any) -> None:
+        self._fallback = state["fallback"]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.kernel import SRRKernel
 from repro.core.srr import SRR, SRRState
@@ -30,6 +30,8 @@ CODEPOINT_RESET_ACK = "reset_ack"
 CODEPOINT_RESET_REQUEST = "reset_request"
 CODEPOINT_PROBE = "probe"
 CODEPOINT_PROBE_ACK = "probe_ack"
+CODEPOINT_RESUME = "resume"
+CODEPOINT_RESUME_REPORT = "resume_report"
 
 
 @dataclass(frozen=True)
@@ -146,16 +148,81 @@ class ProbeAckPacket:
     codepoint: str = CODEPOINT_PROBE_ACK
 
 
+@dataclass
+class ResumePacket:
+    """Forward-path announcement of a (re)started sender incarnation.
+
+    Sent on every channel after a crash restart, retried until a
+    :class:`ResumeReportPacket` echoes ``epoch``.  Like
+    :class:`ResetPacket` carries its config, the resume carries the
+    sender's current kernel snapshot (``state``) so the receiver can
+    warm-adopt the mirror instead of resetting; ``base_rseq`` is the
+    lowest bundle sequence the sender can still replay, which a
+    checkpoint-less (cold) receiver adopts as its cursor.  Data packets
+    stay headerless — only this control packet carries the epoch.
+    """
+
+    epoch: int
+    peer_epoch: int = 0
+    base_rseq: int = -1
+    state: Any = None
+    size: int = 40
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESUME
+
+    def __repr__(self) -> str:
+        return (
+            f"Resume(epoch={self.epoch}, peer={self.peer_epoch}, "
+            f"base={self.base_rseq})"
+        )
+
+
+@dataclass
+class ResumeReportPacket:
+    """Reverse-path reconciliation report answering a :class:`ResumePacket`
+    (or announcing a restarted receiver).
+
+    Carries the receiver's rseq high-water (``cum_ack``) and SACK blocks
+    so the sender can rewrite its scoreboard — a restarted receiver may
+    have lost out-of-order packets the sender believed SACKed — and
+    replay exactly the missing suffix.  ``cold`` marks a checkpoint-less
+    restart: no history, replay the whole window and send the base.
+    """
+
+    epoch: int
+    peer_epoch: int = 0
+    cum_ack: int = 0
+    blocks: Tuple[Tuple[int, int], ...] = ()
+    cold: bool = False
+    size: int = 24
+    uid: int = field(default_factory=lambda: next(_control_ids))
+    codepoint: str = CODEPOINT_RESUME_REPORT
+
+    def __post_init__(self) -> None:
+        if self.size == 24:
+            self.size = min(24 + 8 * len(self.blocks), 64)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResumeReport(epoch={self.epoch}, peer={self.peer_epoch}, "
+            f"cum={self.cum_ack}, cold={self.cold})"
+        )
+
+
 __all__ = [
     "CODEPOINT_PROBE",
     "CODEPOINT_PROBE_ACK",
     "CODEPOINT_RESET",
     "CODEPOINT_RESET_ACK",
     "CODEPOINT_RESET_REQUEST",
+    "CODEPOINT_RESUME",
+    "CODEPOINT_RESUME_REPORT",
     "ProbeAckPacket",
     "ProbePacket",
     "ResetAckPacket",
     "ResetPacket",
     "ResetRequestPacket",
+    "ResumePacket",
+    "ResumeReportPacket",
     "StripeConfig",
 ]

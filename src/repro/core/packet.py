@@ -186,12 +186,27 @@ class PacketPool:
       reception mode and is asserted by the fast-path stats tests.
     * a reacquired packet gets a **fresh** ``uid``, so tracing and dedup
       logic see it as the new logical packet it is.
+    * releasing the **same object twice** is refused (counted in
+      ``double_releases``): a ``duplicate`` fault delivers one packet
+      object through two delivery callbacks, and pooling it twice would
+      hand the same storage to two independent acquirers.  The guard is
+      uid-based, so a recycled-and-reacquired packet (fresh uid) releases
+      normally.
     """
 
-    __slots__ = ("_free", "max_size", "allocated", "reused", "released")
+    __slots__ = (
+        "_free",
+        "_free_uids",
+        "max_size",
+        "allocated",
+        "reused",
+        "released",
+        "double_releases",
+    )
 
     def __init__(self, max_size: int = 4096) -> None:
         self._free: list = []
+        self._free_uids: set = set()
         self.max_size = max_size
         #: fresh constructions (free list was empty)
         self.allocated = 0
@@ -199,6 +214,8 @@ class PacketPool:
         self.reused = 0
         #: packets retired into the free list
         self.released = 0
+        #: release attempts refused because the packet was already pooled
+        self.double_releases = 0
 
     def acquire(
         self,
@@ -211,6 +228,7 @@ class PacketPool:
         free = self._free
         if free:
             packet = free.pop()
+            self._free_uids.discard(packet.uid)
             packet.size = size
             packet.seq = seq
             packet.label = None
@@ -233,19 +251,28 @@ class PacketPool:
         original sender-side packet they stand in for may still live in an
         ARQ retransmit buffer or arrive late off a channel, so recycling
         the reconstruction could alias two live logical packets.
+
+        A packet already sitting in the free list (same uid) is refused —
+        a ``duplicate`` fault delivers one object twice, and accepting
+        both releases would alias two future acquisitions.
         """
         if (
             type(packet) is Packet
             and not packet.synthesized
             and len(self._free) < self.max_size
         ):
+            if packet.uid in self._free_uids:
+                self.double_releases += 1
+                return
             self.released += 1
             self._free.append(packet)
+            self._free_uids.add(packet.uid)
 
     def stats(self) -> dict:
         return {
             "allocated": self.allocated,
             "reused": self.reused,
             "released": self.released,
+            "double_releases": self.double_releases,
             "free": len(self._free),
         }

@@ -351,3 +351,42 @@ class SprinklersDiscipline(LoadSharer):
         self._flows.clear()
         self.estimator.reset()
         self.resizes = 0
+
+    # -- checkpoint support (repro.transport.recovery) ------------------ #
+
+    def snapshot(self) -> Any:
+        """Plain-data capture of every stripe + the rate estimator.
+
+        The estimator's clock callback is not state; ``total_bytes`` and
+        the per-flow ``rate_state`` pairs carry everything the EWMA needs.
+        """
+        return {
+            "total_bytes": self.estimator.total_bytes,
+            "resizes": self.resizes,
+            "flows": [
+                [
+                    flow,
+                    list(s.channels),
+                    s.cursor,
+                    s.current,
+                    s.credit,
+                    list(s.rate_state),
+                    s.packets,
+                ]
+                for flow, s in self._flows.items()
+            ],
+        }
+
+    def restore(self, state: Any) -> None:
+        self.estimator.total_bytes = state["total_bytes"]
+        self.resizes = state["resizes"]
+        self._flows.clear()
+        for flow, channels, cursor, current, credit, rate_state, packets in (
+            state["flows"]
+        ):
+            stripe = _FlowStripe(list(channels), list(rate_state), credit)
+            stripe.cursor = cursor
+            stripe.current = current
+            stripe.credit = credit
+            stripe.packets = packets
+            self._flows[flow] = stripe

@@ -151,6 +151,12 @@ def _run_reliability(quick: bool = False):
     return run_reliability(quick=quick)
 
 
+def _run_recovery(quick: bool = False):
+    from repro.experiments.recovery import run_recovery
+
+    return run_recovery(quick=quick)
+
+
 def _run_fec(quick: bool = False):
     from repro.experiments.fec_recovery import run_fec_recovery
 
@@ -296,6 +302,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Best-effort vs selective-repeat ARQ under persistent loss: "
             "completeness, ordering, and retransmission cost",
             _run_reliability,
+        ),
+        Experiment(
+            "recovery", "Section 5 (extension)",
+            "Crash-tolerant endpoints: recovery latency vs checkpoint "
+            "interval, with warm (checkpointed) and cold-resync restarts",
+            _run_recovery,
         ),
         Experiment(
             "fec", "Section 7 (extension)",

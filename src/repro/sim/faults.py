@@ -19,7 +19,11 @@ pipelines knows it is being injected against.
   — adversarially targets the resync machinery), and ``burst_loss``
   (transmit-side Gilbert–Elliott bursts — the correlated-loss regime
   FEC groups must survive; a long enough burst erases a whole k+m
-  group).
+  group), ``corrupt_deliver`` (flip a byte and *deliver* the damaged
+  packet — unlike ``corrupt``, which models the CRC-drop path, this
+  exercises the receiver's own decode-and-discard handling), and
+  ``endpoint_crash`` (kill a whole endpoint — sender or receiver — for
+  the window and restart it; exercises :mod:`repro.transport.recovery`).
 * :class:`FaultSchedule` — an ordered set of events with an installation
   hook that wires injectors onto live :class:`~repro.sim.channel.Channel`
   objects (transmit side via a wrapping loss model and pause/resume,
@@ -41,7 +45,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.sim.engine import Simulator
 from repro.sim.loss import GilbertElliottLoss, LossModel
 
-#: Every fault kind the injector understands.
+#: Every fault kind the machinery understands.
 FAULT_KINDS = (
     "crash",
     "pause",
@@ -49,8 +53,17 @@ FAULT_KINDS = (
     "duplicate",
     "reorder",
     "corrupt",
+    "corrupt_deliver",
     "marker_loss",
     "burst_loss",
+    "endpoint_crash",
+)
+
+#: Kinds that perturb a *channel*.  ``endpoint_crash`` instead targets a
+#: whole endpoint and needs an :class:`~repro.sim.host` crash controller
+#: wired at install time, so randomized plans exclude it by default.
+CHANNEL_FAULT_KINDS = tuple(
+    kind for kind in FAULT_KINDS if kind != "endpoint_crash"
 )
 
 #: Kinds for which the protocol promises exactly-once delivery of whatever
@@ -63,6 +76,7 @@ EXACTLY_ONCE_KINDS = (
     "delay_spike",
     "reorder",
     "corrupt",
+    "corrupt_deliver",
     "marker_loss",
     "burst_loss",
 )
@@ -78,10 +92,15 @@ class FaultEvent:
     """One timed fault on one channel.
 
     ``magnitude`` is kind-specific: drop probability for ``crash`` /
-    ``corrupt`` / ``marker_loss`` / ``duplicate``, extra one-way seconds
-    for ``delay_spike``, window depth (packets) for ``reorder``, target
-    steady-state loss rate for ``burst_loss`` (>= 1 means the channel is
-    pinned in the bad state for the whole window); unused for ``pause``.
+    ``corrupt`` / ``marker_loss`` / ``duplicate``, corruption probability
+    for ``corrupt_deliver``, extra one-way seconds for ``delay_spike``,
+    window depth (packets) for ``reorder``, target steady-state loss rate
+    for ``burst_loss`` (>= 1 means the channel is pinned in the bad state
+    for the whole window); unused for ``pause`` and ``endpoint_crash``.
+
+    ``target`` applies only to ``endpoint_crash``: which endpoint dies
+    (``"sender"`` or ``"receiver"``).  The endpoint is killed at ``time``
+    and restarted at ``end``; ``channel`` is ignored for that kind.
     """
 
     time: float
@@ -89,6 +108,7 @@ class FaultEvent:
     kind: str
     duration: float = 0.05
     magnitude: float = 1.0
+    target: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -103,6 +123,17 @@ class FaultEvent:
             )
         if self.channel < 0:
             raise ValueError(f"channel must be >= 0, got {self.channel}")
+        if self.kind == "endpoint_crash":
+            if self.target not in ("sender", "receiver"):
+                raise ValueError(
+                    "endpoint_crash needs target='sender' or 'receiver', "
+                    f"got {self.target!r}"
+                )
+        elif self.target:
+            raise ValueError(
+                f"target is only meaningful for endpoint_crash faults, "
+                f"got {self.target!r} on {self.kind!r}"
+            )
 
     @property
     def end(self) -> float:
@@ -186,6 +217,8 @@ class FaultInjector:
         self._crash_p = 1.0
         self._corrupt_until = -1.0
         self._corrupt_p = 1.0
+        self._corrupt_deliver_until = -1.0
+        self._corrupt_deliver_p = 1.0
         self._marker_loss_until = -1.0
         self._marker_loss_p = 1.0
         self._burst_until = -1.0
@@ -204,6 +237,7 @@ class FaultInjector:
         self.crash_drops = 0
         self.burst_drops = 0
         self.corrupt_drops = 0
+        self.corrupt_delivered = 0
         self.marker_drops = 0
         self.duplicates_injected = 0
         self.reordered = 0
@@ -242,6 +276,11 @@ class FaultInjector:
         elif kind == "corrupt":
             self._corrupt_until = max(self._corrupt_until, end)
             self._corrupt_p = event.magnitude
+        elif kind == "corrupt_deliver":
+            self._corrupt_deliver_until = max(
+                self._corrupt_deliver_until, end
+            )
+            self._corrupt_deliver_p = event.magnitude
         elif kind == "marker_loss":
             self._marker_loss_until = max(self._marker_loss_until, end)
             self._marker_loss_p = event.magnitude
@@ -290,12 +329,60 @@ class FaultInjector:
         ):
             self.marker_drops += 1
             return
+        if (
+            now < self._corrupt_deliver_until
+            and self.rng.random() < self._corrupt_deliver_p
+        ):
+            packet = self._corrupted_copy(packet)
         if now < self._reorder_until:
             self._reorder_buf.append(packet)
             if len(self._reorder_buf) >= self._reorder_depth:
                 self._flush_reorder()
             return
         self._release(packet)
+
+    def _corrupted_copy(self, packet: Any) -> Any:
+        """A delivered-but-damaged copy of ``packet`` (one byte flipped).
+
+        Markers are corrupted *on the wire*: the marker is encoded, its
+        magic byte flipped (guaranteeing :class:`MarkerDecodeError` rather
+        than a silently-wrong snapshot), and the raw bytes delivered —
+        the receiver's decode path does the counting and discarding.
+        Data packets get a payload byte flipped on a **copy**; the
+        original object is never mutated because it may be aliased by the
+        sender's retransmission buffer.  Payload-less packets (size-only
+        models) pass through unchanged.
+        """
+        # Protocol imports are deliberately lazy: the fault layer stays
+        # ignorant of endpoint machinery except inside this one fault.
+        from repro.core.markers import encode_marker
+        from repro.core.packet import is_marker
+
+        if isinstance(packet, (bytes, bytearray)):
+            wire = bytearray(packet)
+            if not wire:
+                return packet
+            wire[self.rng.randrange(len(wire))] ^= 0xFF
+            self.corrupt_delivered += 1
+            return bytes(wire)
+        if is_marker(packet):
+            wire = bytearray(encode_marker(packet))
+            wire[0] ^= 0xFF
+            self.corrupt_delivered += 1
+            return bytes(wire)
+        payload = getattr(packet, "payload", None)
+        if not payload or not isinstance(payload, (bytes, bytearray)):
+            # Size-only models and structured payloads (e.g. a Frame
+            # carrying an IPPacket) have no byte image to damage.
+            return packet
+        import copy as _copy
+
+        clone = _copy.copy(packet)
+        damaged = bytearray(payload)
+        damaged[self.rng.randrange(len(damaged))] ^= 0xFF
+        clone.payload = bytes(damaged)
+        self.corrupt_delivered += 1
+        return clone
 
     def _flush_reorder(self) -> None:
         buffered = self._reorder_buf
@@ -358,6 +445,10 @@ class InstalledFaults:
         return sum(i.corrupt_drops for i in self.injectors)
 
     @property
+    def corrupt_delivered(self) -> int:
+        return sum(i.corrupt_delivered for i in self.injectors)
+
+    @property
     def marker_drops(self) -> int:
         return sum(i.marker_drops for i in self.injectors)
 
@@ -376,6 +467,7 @@ class InstalledFaults:
             self.crash_drops
             + self.burst_drops
             + self.corrupt_drops
+            + self.corrupt_delivered
             + self.marker_drops
             + self.duplicates_injected
             + self.reordered
@@ -418,6 +510,7 @@ class FaultSchedule:
         *,
         seed: int = 0,
         control_size_max: int = CONTROL_SIZE_MAX,
+        endpoints: Optional[Any] = None,
     ) -> InstalledFaults:
         """Wire injectors onto live channels and arm every event.
 
@@ -425,8 +518,22 @@ class FaultSchedule:
         ``on_deliver`` (the injector interposes on the current handler).
         Injector randomness is derived from ``seed`` per channel, so a
         schedule replays identically for the same seed.
+
+        ``endpoints`` (anything with ``crash(target)`` / ``restart(target)``
+        methods, e.g. :class:`repro.sim.host.EndpointCrashController`) is
+        required iff the schedule contains ``endpoint_crash`` events: each
+        such event kills its target at ``event.time`` and restarts it at
+        ``event.end``.
         """
+        crash_events = [e for e in self.events if e.kind == "endpoint_crash"]
+        if crash_events and endpoints is None:
+            raise ValueError(
+                "schedule contains endpoint_crash events; install() needs "
+                "an endpoints= crash controller to apply them"
+            )
         for event in self.events:
+            if event.kind == "endpoint_crash":
+                continue
             if event.channel >= len(channels):
                 raise ValueError(
                     f"event targets channel {event.channel} but only "
@@ -442,9 +549,13 @@ class FaultSchedule:
             for index, channel in enumerate(channels)
         ]
         for event in self.events:
-            sim.schedule_at(
-                event.time, injectors[event.channel].apply, event
-            )
+            if event.kind == "endpoint_crash":
+                sim.schedule_at(event.time, endpoints.crash, event.target)
+                sim.schedule_at(event.end, endpoints.restart, event.target)
+            else:
+                sim.schedule_at(
+                    event.time, injectors[event.channel].apply, event
+                )
         return InstalledFaults(schedule=self, injectors=injectors)
 
 
@@ -516,6 +627,34 @@ def burst_loss_schedule(
     )
 
 
+def endpoint_crash_schedule(
+    crashes: Sequence[Tuple[float, str]],
+    *,
+    outage: float = 0.05,
+) -> FaultSchedule:
+    """A schedule of endpoint kills from ``(time, target)`` pairs.
+
+    Each pair kills ``target`` (``"sender"`` or ``"receiver"``) at
+    ``time`` and restarts it ``outage`` seconds later.  Installing the
+    resulting schedule requires an ``endpoints=`` crash controller (see
+    :meth:`FaultSchedule.install`).
+    """
+    if outage < 0:
+        raise ValueError(f"outage must be >= 0, got {outage}")
+    return FaultSchedule(
+        [
+            FaultEvent(
+                time=time,
+                channel=0,
+                kind="endpoint_crash",
+                duration=outage,
+                target=target,
+            )
+            for time, target in crashes
+        ]
+    )
+
+
 #: Per-kind magnitude samplers for randomized plans.
 _MAGNITUDES: dict = {
     "crash": lambda rng: 1.0,
@@ -524,8 +663,10 @@ _MAGNITUDES: dict = {
     "duplicate": lambda rng: rng.uniform(0.2, 1.0),
     "reorder": lambda rng: float(rng.randint(2, 6)),
     "corrupt": lambda rng: rng.uniform(0.3, 1.0),
+    "corrupt_deliver": lambda rng: rng.uniform(0.3, 1.0),
     "marker_loss": lambda rng: rng.uniform(0.5, 1.0),
     "burst_loss": lambda rng: rng.uniform(0.05, 0.3),
+    "endpoint_crash": lambda rng: 1.0,
 }
 
 
@@ -540,7 +681,9 @@ class FaultPlan:
     Args:
         n_channels: channels the target bundle has.
         cease_by: all faults end strictly before this simulated time.
-        kinds: fault kinds to draw from (default: every kind).
+        kinds: fault kinds to draw from (default: every *channel* kind;
+            ``endpoint_crash`` must be opted into explicitly because it
+            needs a crash controller at install time).
         max_events: up to this many events per schedule (at least 1).
         start_after: no fault starts before this time (lets the protocol
             reach steady state first).
@@ -552,7 +695,7 @@ class FaultPlan:
         n_channels: int,
         cease_by: float,
         *,
-        kinds: Sequence[str] = FAULT_KINDS,
+        kinds: Sequence[str] = CHANNEL_FAULT_KINDS,
         max_events: int = 6,
         start_after: float = 0.1,
         min_duration: float = 0.02,
@@ -596,6 +739,11 @@ class FaultPlan:
                     kind=kind,
                     duration=duration,
                     magnitude=_MAGNITUDES[kind](rng),
+                    target=(
+                        rng.choice(("sender", "receiver"))
+                        if kind == "endpoint_crash"
+                        else ""
+                    ),
                 )
             )
         return FaultSchedule(events)

@@ -21,6 +21,7 @@ smaller batches.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional
 
 from repro.sim.engine import Simulator
@@ -172,3 +173,87 @@ class HostCPU:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_time / elapsed)
+
+
+@dataclass
+class Outage:
+    """One completed (or still-open) endpoint outage window."""
+
+    target: str
+    down_at: float
+    up_at: float = -1.0
+
+    @property
+    def open(self) -> bool:
+        return self.up_at < 0
+
+
+class EndpointCrashController:
+    """Kill and restart whole endpoints mid-run (``endpoint_crash`` faults).
+
+    The paper's crash story is a reset: "We deal with sender or receiver
+    node crashes by doing a reset."  This controller models the node
+    itself: at ``crash(target)`` the endpoint object is torn down via the
+    rig-supplied ``kill_*`` callable (cancelling its timers — a dead host
+    takes no further actions, but packets already handed to the channels
+    stay in flight, they are *in the network*); at ``restart(target)`` the
+    ``build_*`` callable reconstructs a fresh incarnation, typically from
+    its last :mod:`repro.transport.recovery` checkpoint.
+
+    The controller is deliberately ignorant of endpoint internals: the
+    rig owns construction, teardown, and rewiring (its stable per-channel
+    dispatchers must be installed *before* fault injectors wrap
+    ``channel.on_deliver``, so a rebuilt endpoint swaps in behind the
+    injector, never over it).
+
+    Crash/restart are idempotent per target — overlapping schedules
+    collapse into one outage window.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        kill_sender: Callable[[], None],
+        build_sender: Callable[[], None],
+        kill_receiver: Callable[[], None],
+        build_receiver: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self._kill = {"sender": kill_sender, "receiver": kill_receiver}
+        self._build = {"sender": build_sender, "receiver": build_receiver}
+        self.alive = {"sender": True, "receiver": True}
+        self.outages: List[Outage] = []
+        self._open: dict = {}
+        self.crashes = {"sender": 0, "receiver": 0}
+        self.restarts = {"sender": 0, "receiver": 0}
+
+    def crash(self, target: str) -> None:
+        """Destroy ``target`` now (no-op if it is already down)."""
+        if target not in self.alive:
+            raise ValueError(f"unknown crash target {target!r}")
+        if not self.alive[target]:
+            return
+        self.alive[target] = False
+        self.crashes[target] += 1
+        outage = Outage(target=target, down_at=self.sim.now)
+        self.outages.append(outage)
+        self._open[target] = outage
+        self._kill[target]()
+
+    def restart(self, target: str) -> None:
+        """Reconstruct ``target`` now (no-op if it is already up)."""
+        if target not in self.alive:
+            raise ValueError(f"unknown crash target {target!r}")
+        if self.alive[target]:
+            return
+        self._build[target]()
+        self.alive[target] = True
+        self.restarts[target] += 1
+        outage = self._open.pop(target, None)
+        if outage is not None:
+            outage.up_at = self.sim.now
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(self.crashes.values())

@@ -930,6 +930,11 @@ class StripeReceiverPipeline:
         detector = self.failure_detector
         if detector is not None:
             detector.note_arrival(channel)
+        if type(packet) is bytes:
+            # A raw wire frame (e.g. a marker whose bytes were corrupted
+            # in flight and delivered anyway): route through the codec,
+            # which counts malformed frames instead of raising.
+            return self.push_wire(channel, packet)
         if not is_marker(packet):
             if (
                 self.buffer_packets is not None
@@ -975,6 +980,12 @@ class StripeReceiverPipeline:
             pushed = self._pushed_data
 
             def handle(packet: Any) -> None:
+                if type(packet) is bytes:
+                    # Corrupted-in-flight wire frame: codec path counts
+                    # and drops it (cheap C-level type check keeps the
+                    # hot loop unburdened).
+                    self.push_wire(index, packet)
+                    return
                 if not is_marker(packet):
                     pushed[index] += 1
                 push(index, packet)

@@ -1,0 +1,1224 @@
+"""Crash-tolerant endpoints: durable state + epoch-stamped resume.
+
+The paper prescribes exactly one thing for endpoint death: "We deal with
+sender or receiver node crashes by doing a reset."  This module makes
+that prescription — and its much cheaper modern refinement — executable:
+
+* **Durable state.**  :func:`sender_to_bytes` / :func:`receiver_to_bytes`
+  serialize the *composed* endpoint state (SRR kernel, sync-model mirror,
+  resequencer buffers, ARQ scoreboard + retransmit buffer, fabric flow
+  table + DRR state, FEC group counters) into one versioned, CRC-guarded
+  frame; :class:`CheckpointStore` is the durable-medium stand-in holding
+  the last two checkpoints (last-good fallback) plus a write-ahead log of
+  per-packet records so nothing submitted between checkpoints is lost.
+
+* **Epoch-stamped resume.**  Every incarnation of an endpoint draws a
+  fresh epoch from its store.  A restarted endpoint announces itself with
+  a :class:`~repro.core.control.ResumePacket` /
+  :class:`~repro.core.control.ResumeReportPacket` handshake; acks are
+  stamped with the receiver's epoch so a sender rejects stale acks from
+  the previous incarnation.  Data packets carry **no** epoch — the paper's
+  no-header-on-data constraint (section 2.1) holds — staleness on the data
+  plane is absorbed by rseq dedup (reliable modes) and by the marker
+  stream itself (quasi-FIFO), which self-synchronizes within one marker
+  round (Theorem 5.1).
+
+* **Warm adoption, not reset.**  A restarted *sender* resumes from its
+  checkpointed kernel, which is *behind* the receiver's mirror by the
+  in-flight delta; since markers only ever move a mirror forward, the
+  ResumePacket carries the sender's kernel snapshot and the receiver
+  adopts it (:meth:`~repro.core.markers.SRRReceiver.adopt_snapshot`),
+  flushing stale buffered data from the dead incarnation.  A restarted
+  *receiver* restores a mirror that is stale-*behind* the live sender —
+  exactly the state incoming markers are designed to fast-forward — so no
+  reset is needed at all; the report simply tells the sender what to
+  replay.  A receiver restarted **without** a checkpoint converges by
+  waiting for the next marker round: cold resync, the Theorem 5.1
+  mechanism itself.
+
+Reconciliation (reliable modes): the receiver reports its rseq
+high-water and SACK blocks; the sender treats the report as
+*authoritative* — it retires below ``cum_ack``, rewrites its sacked flags
+exactly to the report (a restarted receiver may have lost
+out-of-order packets the sender believed sacked; classic SACK reneging),
+replays everything else from the ARQ retransmit buffer *through SRR* so
+recovery traffic stays inside the Theorem 3.2 fairness envelope, and
+resets its RTO backoff per Karn's rule (the old samples describe a dead
+path).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.control import ResumePacket, ResumeReportPacket
+from repro.core.markers import ReceiverSnapshot, decode_marker, encode_marker
+from repro.core.packet import Packet, SackInfo, is_marker, is_parity
+from repro.core.srr import SRRState
+from repro.transport.reliability import AckPacket
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointStore",
+    "CheckpointVersionError",
+    "ReceiverRecovery",
+    "SenderRecovery",
+    "checksum",
+    "decode_checkpoint",
+    "encode_checkpoint",
+    "receiver_from_bytes",
+    "receiver_to_bytes",
+    "sender_from_bytes",
+    "sender_to_bytes",
+]
+
+
+def checksum(data: bytes) -> int:
+    """CRC-32 as an unsigned 32-bit int.
+
+    One helper for both corruption domains: checkpoint/WAL frames here and
+    the delivered-corruption chaos assertions (``corrupt_deliver`` flips a
+    byte; this is how tests prove the flip landed).
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class CheckpointError(ValueError):
+    """Base class for checkpoint codec failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Frame failed its magic or CRC check (bit rot, torn write)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """Frame is intact but written by an unknown codec version."""
+
+
+# --------------------------------------------------------------------- #
+# tagged tree codec
+#
+# Checkpoints are trees of plain values (dict/list/tuple/str/bytes/
+# int/float/bool/None) with two protocol-native leaves: SRRState (the
+# kernel triple) and ReceiverSnapshot (the mirror quintuple).  Anything
+# else — opaque scheme state from an exotic CFQ kernel, a foreign payload
+# object — rides as a tagged pickle blob.  The envelope is versioned and
+# CRC-guarded, and checkpoints are local trusted files, so the fallback
+# does not widen the attack surface beyond the process's own state.
+
+_U32 = struct.Struct("!I")
+_F64 = struct.Struct("!d")
+
+
+def _encode_tree(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif type(value) is int:
+        body = str(value).encode("ascii")
+        out.append(b"i" + _U32.pack(len(body)) + body)
+    elif type(value) is float:
+        out.append(b"f" + _F64.pack(value))
+    elif type(value) is str:
+        body = value.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(body)) + body)
+    elif type(value) is bytes:
+        out.append(b"y" + _U32.pack(len(value)) + value)
+    elif type(value) is list or type(value) is tuple:
+        out.append((b"l" if type(value) is list else b"t") + _U32.pack(len(value)))
+        for item in value:
+            _encode_tree(item, out)
+    elif type(value) is dict:
+        out.append(b"d" + _U32.pack(len(value)))
+        for key, item in value.items():
+            _encode_tree(key, out)
+            _encode_tree(item, out)
+    elif type(value) is SRRState:
+        out.append(b"K")
+        _encode_tree((value.ptr, value.round_number, list(value.dc)), out)
+    elif type(value) is ReceiverSnapshot:
+        out.append(b"R")
+        _encode_tree(
+            (
+                value.ptr,
+                value.round_number,
+                list(value.dc),
+                list(value.pending),
+                list(value.sync_round),
+            ),
+            out,
+        )
+    else:
+        body = pickle.dumps(value, protocol=4)
+        out.append(b"P" + _U32.pack(len(body)) + body)
+
+
+def _decode_tree(data: bytes, pos: int) -> Tuple[Any, int]:
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"f":
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag in (b"i", b"s", b"y", b"P"):
+        (length,) = _U32.unpack_from(data, pos)
+        pos += 4
+        body = data[pos : pos + length]
+        if len(body) != length:
+            raise CheckpointCorruptError("truncated leaf")
+        pos += length
+        if tag == b"i":
+            return int(body), pos
+        if tag == b"s":
+            return body.decode("utf-8"), pos
+        if tag == b"y":
+            return body, pos
+        return pickle.loads(body), pos
+    if tag in (b"l", b"t"):
+        (count,) = _U32.unpack_from(data, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode_tree(data, pos)
+            items.append(item)
+        return (items if tag == b"l" else tuple(items)), pos
+    if tag == b"d":
+        (count,) = _U32.unpack_from(data, pos)
+        pos += 4
+        tree: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_tree(data, pos)
+            value, pos = _decode_tree(data, pos)
+            tree[key] = value
+        return tree, pos
+    if tag == b"K":
+        triple, pos = _decode_tree(data, pos)
+        ptr, round_number, dc = triple
+        return SRRState(ptr, round_number, tuple(dc)), pos
+    if tag == b"R":
+        fields, pos = _decode_tree(data, pos)
+        ptr, round_number, dc, pending, sync_round = fields
+        return (
+            ReceiverSnapshot(
+                ptr, round_number, tuple(dc), tuple(pending), tuple(sync_round)
+            ),
+            pos,
+        )
+    raise CheckpointCorruptError(f"unknown tree tag {tag!r}")
+
+
+CHECKPOINT_MAGIC = b"SRCK"
+CHECKPOINT_VERSION = 1
+_HEADER = struct.Struct("!4sHI")  # magic, version, body length
+
+
+def encode_checkpoint(tree: Any, *, version: int = CHECKPOINT_VERSION) -> bytes:
+    """Frame ``tree`` as ``magic | version | length | body | crc32``."""
+    parts: List[bytes] = []
+    _encode_tree(tree, parts)
+    body = b"".join(parts)
+    frame = _HEADER.pack(CHECKPOINT_MAGIC, version, len(body)) + body
+    return frame + _U32.pack(checksum(frame))
+
+
+def decode_checkpoint(blob: bytes) -> Any:
+    """Validate and decode a checkpoint frame.
+
+    Validation order is magic → CRC → version: a bit-rotted frame raises
+    :class:`CheckpointCorruptError` even if the rot landed in the version
+    field, while an *intact* frame from a future codec raises the typed
+    :class:`CheckpointVersionError` so callers can distinguish skew from
+    damage.
+    """
+    if len(blob) < _HEADER.size + 4:
+        raise CheckpointCorruptError("checkpoint too short")
+    if blob[:4] != CHECKPOINT_MAGIC:
+        raise CheckpointCorruptError("bad checkpoint magic")
+    frame, (crc,) = blob[:-4], _U32.unpack(blob[-4:])
+    if checksum(frame) != crc:
+        raise CheckpointCorruptError("checkpoint CRC mismatch")
+    magic, version, length = _HEADER.unpack_from(blob, 0)
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(f"unknown checkpoint version {version}")
+    body = blob[_HEADER.size : _HEADER.size + length]
+    if len(body) != length:
+        raise CheckpointCorruptError("checkpoint body truncated")
+    tree, _ = _decode_tree(body, 0)
+    return tree
+
+
+def _seal_record(payload: bytes) -> bytes:
+    return _U32.pack(len(payload)) + payload + _U32.pack(checksum(payload))
+
+
+def _unseal_records(blob: bytes) -> Tuple[List[bytes], int]:
+    """Decode a concatenation of sealed WAL records.
+
+    Returns ``(payloads, skipped)``; a torn or bit-rotted tail stops the
+    scan (everything after a bad record is unordered noise) and counts as
+    skipped.
+    """
+    payloads: List[bytes] = []
+    skipped = 0
+    pos = 0
+    total = len(blob)
+    while pos + 4 <= total:
+        (length,) = _U32.unpack_from(blob, pos)
+        end = pos + 4 + length + 4
+        if end > total:
+            skipped += 1
+            break
+        payload = blob[pos + 4 : pos + 4 + length]
+        (crc,) = _U32.unpack_from(blob, pos + 4 + length)
+        if checksum(payload) != crc:
+            skipped += 1
+            break
+        payloads.append(payload)
+        pos = end
+    return payloads, skipped
+
+
+class CheckpointStore:
+    """Durable-medium stand-in that survives endpoint reconstruction.
+
+    Holds the current checkpoint, the previous one (last-good fallback:
+    if the current frame fails its CRC the previous is served instead),
+    a write-ahead log of sealed records appended since the last
+    checkpoint, and the endpoint's persistent incarnation-epoch counter.
+    In the simulator this lives in host memory across kill/restart; a
+    production port would back it with two checkpoint files and an
+    append-only log, unchanged API.
+    """
+
+    def __init__(self) -> None:
+        self._current: Optional[bytes] = None
+        self._previous: Optional[bytes] = None
+        self._wal: List[bytes] = []
+        self.epoch = 0
+        self.checkpoints_saved = 0
+        self.wal_records = 0
+        self.wal_bytes = 0
+        self.fallbacks = 0
+        self.corrupt_wal_records = 0
+
+    def next_epoch(self) -> int:
+        """Draw a fresh incarnation epoch (first incarnation gets 1)."""
+        self.epoch += 1
+        return self.epoch
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        return len(self._current) if self._current is not None else 0
+
+    def save_checkpoint(self, blob: bytes) -> None:
+        """Install a new checkpoint; the WAL it subsumes is truncated."""
+        self._previous = self._current
+        self._current = blob
+        self._wal.clear()
+        self.checkpoints_saved += 1
+
+    def append_wal(self, payload: bytes) -> None:
+        sealed = _seal_record(payload)
+        self._wal.append(sealed)
+        self.wal_records += 1
+        self.wal_bytes += len(sealed)
+
+    def load_checkpoint(self) -> Optional[Any]:
+        """Decode the newest intact checkpoint, or None if there is none.
+
+        Corruption falls back to the previous checkpoint (counted in
+        ``fallbacks``); version skew propagates as the typed
+        :class:`CheckpointVersionError` — skew is an operator problem, not
+        something an older frame can paper over.
+        """
+        for blob in (self._current, self._previous):
+            if blob is None:
+                continue
+            try:
+                return decode_checkpoint(blob)
+            except CheckpointVersionError:
+                raise
+            except CheckpointCorruptError:
+                self.fallbacks += 1
+        return None
+
+    def wal_payloads(self) -> List[bytes]:
+        payloads, skipped = _unseal_records(b"".join(self._wal))
+        self.corrupt_wal_records += skipped
+        return payloads
+
+    def lose_data(self) -> None:
+        """Simulate losing checkpoints and WAL while the epoch survives.
+
+        The cold-restart fixture: crash-recovery epochs must stay
+        monotonic even when state is gone (think an NVRAM incarnation
+        counter, or a clock-derived epoch), so only the *data* is wiped.
+        The next :meth:`load_checkpoint` returns None and the endpoint
+        comes up cold.
+        """
+        self._current = None
+        self._previous = None
+        self._wal.clear()
+
+
+# --------------------------------------------------------------------- #
+# packet packing
+
+_PACKET_FIELDS = (
+    "size", "seq", "label", "flow", "payload", "codepoint", "rseq", "fseq",
+    "synthesized",
+)
+
+
+_PARITY_FIELDS = (
+    "group", "members", "index", "nparity", "shard_len", "payload", "size",
+    "seq", "rseq", "fseq",
+)
+
+
+def pack_packet(packet: Any) -> Any:
+    """Checkpoint form of a data, marker, or parity packet.
+
+    Markers reuse the canonical 32-byte wire codec; data and parity
+    packets are field tuples (``uid`` is deliberately dropped — a restored
+    packet is a new object).  Parity needs its own shape: a stripe-group
+    shard buffered in a resequencer at checkpoint time must come back with
+    its group geometry or the FEC receiver cannot consume it.
+    """
+    if is_marker(packet):
+        return {"m": encode_marker(packet)}
+    if is_parity(packet):
+        return {"q": [getattr(packet, name) for name in _PARITY_FIELDS]}
+    return {"p": [getattr(packet, name, None) for name in _PACKET_FIELDS]}
+
+
+def unpack_packet(tree: Any) -> Any:
+    wire = tree.get("m")
+    if wire is not None:
+        return decode_marker(wire)
+    parity = tree.get("q")
+    if parity is not None:
+        from repro.transport.fec import ParityPacket
+
+        group, members, index, nparity, shard_len, payload, size, seq, rseq, fseq = parity
+        return ParityPacket(
+            group, members, index, nparity, shard_len, payload,
+            size=size, seq=seq, rseq=rseq, fseq=fseq,
+        )
+    size, seq, label, flow, payload, codepoint, rseq, fseq, synthesized = tree["p"]
+    packet = Packet(
+        size, seq=seq, label=label, flow=flow, payload=payload,
+        codepoint=codepoint, rseq=rseq, fseq=fseq,
+    )
+    packet.synthesized = bool(synthesized)
+    return packet
+
+
+def _sharer_snapshot(sharer: Any) -> Any:
+    snap = getattr(sharer, "snapshot", None)
+    if snap is not None:
+        return snap()
+    kernel = getattr(sharer, "kernel", None)
+    if kernel is not None:
+        return kernel.snapshot()
+    return None
+
+
+def _sharer_restore(sharer: Any, state: Any) -> None:
+    if state is None:
+        return
+    restore = getattr(sharer, "restore", None)
+    if restore is not None:
+        restore(state)
+        return
+    kernel = getattr(sharer, "kernel", None)
+    if kernel is not None:
+        kernel.restore(state)
+        return
+    raise CheckpointError(f"{type(sharer).__name__} cannot restore state")
+
+
+# --------------------------------------------------------------------- #
+# composed endpoint state <-> tree
+
+
+def sender_state_tree(pipeline: Any, *, peer_epoch: int = 0) -> Dict[str, Any]:
+    striper = pipeline.striper
+    reliable = pipeline.reliable
+    tree: Dict[str, Any] = {
+        "role": "sender",
+        "peer_epoch": peer_epoch,
+        "striper": {
+            "sharer": _sharer_snapshot(striper.sharer),
+            "packets_sent": striper.packets_sent,
+            "bytes_sent": striper.bytes_sent,
+            "markers_sent": striper.markers_sent,
+            "crossings": striper._crossings_seen,
+            "initial_markers": striper._initial_markers_pending,
+            # Queue entries already stamped with an rseq alias the ARQ
+            # retransmit buffer and come back through the replay path;
+            # only unstamped entries are serialized here.
+            "queue": [
+                pack_packet(p)
+                for p in striper.input_queue
+                if getattr(p, "rseq", None) is None
+            ],
+        },
+    }
+    if reliable is not None:
+        tree["reliable"] = {
+            "next_rseq": reliable.next_rseq,
+            "window": [pack_packet(r.packet) for r in reliable.unacked.values()],
+            "sacked": [
+                rseq for rseq, r in reliable.unacked.items() if r.sacked
+            ],
+            "overflow": [pack_packet(p) for p in reliable._overflow],
+            "rto": [reliable.rto.srtt, reliable.rto.rttvar, reliable.rto.rto],
+        }
+    else:
+        tree["reliable"] = None
+    fec = pipeline.fec
+    if fec is not None:
+        # The in-progress group's shards are dropped: after restart the
+        # group would seal with holes anyway, and hybrid's ARQ backstop
+        # (or pure-fec's gap skip) already owns unrecoverable positions.
+        tree["fec"] = {
+            "next_fseq": fec._next_fseq,
+            "group_base": fec._group_base,
+        }
+    else:
+        tree["fec"] = None
+    fabric = pipeline.fabric
+    if fabric is not None:
+        snap = fabric.snapshot()
+        tree["fabric"] = {
+            "flows": [
+                {
+                    "id": f.flow_id,
+                    "tenant": f.tenant,
+                    "weight": f.weight,
+                    "queue": [pack_packet(p) for p in f.queue],
+                }
+                for f in fabric.table
+            ],
+            "sched": [
+                [[fid, deficit, visits] for fid, deficit, visits in snap.flows],
+                list(snap.active_order),
+                snap.head_credited,
+            ],
+        }
+    else:
+        tree["fabric"] = None
+    return tree
+
+
+def restore_sender_state(pipeline: Any, tree: Dict[str, Any]) -> None:
+    if tree.get("role") != "sender":
+        raise CheckpointError("not a sender checkpoint")
+    striper = pipeline.striper
+    st = tree["striper"]
+    _sharer_restore(striper.sharer, st["sharer"])
+    striper.packets_sent = st["packets_sent"]
+    striper.bytes_sent = st["bytes_sent"]
+    striper.markers_sent = st["markers_sent"]
+    striper._crossings_seen = st["crossings"]
+    striper._initial_markers_pending = st["initial_markers"]
+    rel = tree.get("reliable")
+    if rel is not None and pipeline.reliable is not None:
+        reliable = pipeline.reliable
+        window = [unpack_packet(p) for p in rel["window"]]
+        overflow = [unpack_packet(p) for p in rel["overflow"]]
+        reliable.register_restored(
+            window + overflow,
+            next_rseq=rel["next_rseq"],
+            sacked_rseqs=rel["sacked"],
+        )
+        srtt, rttvar, rto = rel["rto"]
+        reliable.rto.srtt = srtt
+        reliable.rto.rttvar = rttvar
+        reliable.rto.rto = rto
+    fec_tree = tree.get("fec")
+    if fec_tree is not None and pipeline.fec is not None:
+        pipeline.fec._next_fseq = fec_tree["next_fseq"]
+        pipeline.fec._group_base = fec_tree["group_base"]
+    fab_tree = tree.get("fabric")
+    if fab_tree is not None and pipeline.fabric is not None:
+        fabric = pipeline.fabric
+        for row in fab_tree["flows"]:
+            flow = fabric.table.get(row["id"])
+            if flow is None:
+                flow = fabric.table.register(
+                    row["id"], weight=row["weight"], tenant=row["tenant"]
+                )
+            flow.queue.clear()
+            flow.queue.extend(unpack_packet(p) for p in row["queue"])
+        flows, active_order, head_credited = fab_tree["sched"]
+        from repro.transport.fabric import FabricSnapshot
+
+        fabric.restore(
+            FabricSnapshot(
+                flows=tuple((fid, deficit, visits) for fid, deficit, visits in flows),
+                active_order=tuple(active_order),
+                head_credited=head_credited,
+            )
+        )
+    # Queued-but-unstamped input is re-submitted through the normal path
+    # last, so it lands behind everything the ARQ buffer will replay.
+    for packed in st["queue"]:
+        pipeline._submit(unpack_packet(packed))
+
+
+def receiver_state_tree(pipeline: Any, *, sender_epoch: int = 0) -> Dict[str, Any]:
+    reseq = pipeline.resequencer
+    buffers = getattr(reseq, "buffers", None)
+    tree: Dict[str, Any] = {
+        "role": "receiver",
+        "sender_epoch": sender_epoch,
+        "sync": pipeline.sync.snapshot(),
+        "buffers": (
+            None
+            if buffers is None
+            else [[pack_packet(p) for p in buf] for buf in buffers]
+        ),
+        "pushed": list(pipeline._pushed_data),
+    }
+    reliable = pipeline.reliable
+    if reliable is not None:
+        tree["arq"] = {
+            "next_expected": reliable.next_expected,
+            "ooo": [
+                [rseq, pack_packet(p)] for rseq, p in reliable._ooo.items()
+            ],
+            "last_ooo": reliable._last_ooo,
+        }
+    else:
+        tree["arq"] = None
+    fec = pipeline.fec
+    if fec is not None:
+        # Partial groups and cached shards are dropped: parity for them
+        # may already be lost with the process, and the ARQ backstop /
+        # gap-skip timer owns those positions after restart.
+        tree["fec"] = {
+            "next_expected": fec._next_expected,
+            "delivered_hw": fec._delivered_hw,
+        }
+    else:
+        tree["fec"] = None
+    return tree
+
+
+def restore_receiver_state(pipeline: Any, tree: Dict[str, Any]) -> None:
+    if tree.get("role") != "receiver":
+        raise CheckpointError("not a receiver checkpoint")
+    snap = tree.get("sync")
+    reseq = pipeline.resequencer
+    if snap is not None:
+        if isinstance(snap, ReceiverSnapshot):
+            # Faithful restore, not adopt_snapshot: adoption is the warm
+            # handshake path and deliberately resets pending/sync_round.
+            reseq.restore(snap)
+        else:
+            restore = getattr(reseq, "restore", None)
+            if restore is None:
+                raise CheckpointError(
+                    f"{type(reseq).__name__} cannot restore state"
+                )
+            restore(snap)
+    packed_buffers = tree.get("buffers")
+    if packed_buffers is not None and hasattr(reseq, "buffers"):
+        count = 0
+        for buf, packed in zip(reseq.buffers, packed_buffers):
+            buf.clear()
+            buf.extend(unpack_packet(p) for p in packed)
+            count += len(buf)
+        if hasattr(reseq, "_buffered"):
+            reseq._buffered = count
+    pushed = tree.get("pushed")
+    if pushed is not None:
+        for channel, value in enumerate(pushed):
+            if channel < len(pipeline._pushed_data):
+                pipeline._pushed_data[channel] = value
+    arq = tree.get("arq")
+    if arq is not None and pipeline.reliable is not None:
+        pipeline.reliable.restore_window(
+            arq["next_expected"],
+            {rseq: unpack_packet(p) for rseq, p in arq["ooo"]},
+            last_ooo=arq["last_ooo"],
+        )
+    fec_tree = tree.get("fec")
+    if fec_tree is not None and pipeline.fec is not None:
+        pipeline.fec._next_expected = fec_tree["next_expected"]
+        pipeline.fec._delivered_hw = fec_tree["delivered_hw"]
+
+
+def sender_to_bytes(pipeline: Any, *, peer_epoch: int = 0) -> bytes:
+    """Serialize a :class:`StripeSenderPipeline`'s composed state."""
+    return encode_checkpoint(sender_state_tree(pipeline, peer_epoch=peer_epoch))
+
+
+def sender_from_bytes(pipeline: Any, blob: bytes) -> Dict[str, Any]:
+    """Restore a freshly constructed sender pipeline from a checkpoint."""
+    tree = decode_checkpoint(blob)
+    restore_sender_state(pipeline, tree)
+    return tree
+
+
+def receiver_to_bytes(pipeline: Any, *, sender_epoch: int = 0) -> bytes:
+    """Serialize a :class:`StripeReceiverPipeline`'s composed state."""
+    return encode_checkpoint(
+        receiver_state_tree(pipeline, sender_epoch=sender_epoch)
+    )
+
+
+def receiver_from_bytes(pipeline: Any, blob: bytes) -> Dict[str, Any]:
+    """Restore a freshly constructed receiver pipeline from a checkpoint."""
+    tree = decode_checkpoint(blob)
+    restore_receiver_state(pipeline, tree)
+    return tree
+
+
+# --------------------------------------------------------------------- #
+# WAL record payloads (tree-coded, individually CRC-sealed by the store)
+
+
+def _wal_encode(tree: Any) -> bytes:
+    parts: List[bytes] = []
+    _encode_tree(tree, parts)
+    return b"".join(parts)
+
+
+def _wal_decode(payload: bytes) -> Any:
+    tree, _ = _decode_tree(payload, 0)
+    return tree
+
+
+# --------------------------------------------------------------------- #
+# recovery managers
+
+
+class SenderRecovery:
+    """Checkpoint + WAL + resume handshake for a sender pipeline.
+
+    WAL records between checkpoints:
+
+    * ``pkt`` — a packet the ARQ layer stamped (carries its rseq); written
+      synchronously with submission, so nothing accepted from the
+      application can be lost by a crash.
+    * ``sub`` — a fabric submission (uid-keyed), written before the packet
+      enters its flow queue.
+    * ``bind`` — ``uid -> rseq``, written when a fabric packet drains into
+      the ARQ layer.  Replaying a restored fabric in DRR order could
+      assign *different* rseqs than the original incremental drain did, so
+      bound packets are reinstalled with their original rseqs and only
+      unbound ones re-drain through the fabric.
+
+    On restart, :meth:`install` restores the last checkpoint, applies the
+    WAL, announces the new epoch with a :class:`ResumePacket` (retried
+    until the receiver's report echoes it), and on the report reconciles +
+    replays through SRR.
+    """
+
+    def __init__(
+        self,
+        pipeline: Any,
+        store: CheckpointStore,
+        *,
+        sim: Any = None,
+        checkpoint_interval_s: Optional[float] = None,
+        send_control: Optional[Callable[[Any], None]] = None,
+        resume_retry_s: float = 0.04,
+    ) -> None:
+        self.pipeline = pipeline
+        self.store = store
+        self.sim = sim
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.send_control = send_control
+        self.resume_retry_s = resume_retry_s
+        self.epoch = 0
+        self.peer_epoch = 0
+        self.resumed_from_checkpoint = False
+        self.recovered_at: Optional[float] = None
+        self.stale_acks = 0
+        self.stale_reports = 0
+        self.replayed_packets = 0
+        self.wal_packets_restored = 0
+        self._ckpt_timer: Any = None
+        self._resume_timer: Any = None
+        self._awaiting_report = False
+        self._pending_replay = False
+        self._reconciled_pair = (0, 0)
+        self._stopped = False
+        self._orig_fabric_submit: Optional[Callable[..., Any]] = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def install(self) -> bool:
+        """Hook the pipeline, restore durable state, start the handshake.
+
+        Returns True when state was restored from the store (a restart),
+        False on a first incarnation.
+        """
+        restored = self._restore()
+        self.epoch = self.store.next_epoch()
+        reliable = self.pipeline.reliable
+        if reliable is not None:
+            reliable.on_register = self._on_register
+        if self.pipeline.fabric is not None:
+            self._orig_fabric_submit = self.pipeline.submit
+            self.pipeline.submit = self._logged_submit
+        if restored:
+            self.resumed_from_checkpoint = True
+            self._pending_replay = reliable is not None
+            self._awaiting_report = True
+            self._send_resume()
+            # Collapse checkpoint + WAL into one fresh checkpoint so the
+            # WAL never needs to be idempotent across repeated crashes.
+            self.checkpoint()
+        self._arm_checkpoint_timer()
+        return restored
+
+    def stop(self) -> None:
+        """Cancel timers; called when this incarnation is killed."""
+        self._stopped = True
+        for timer in (self._ckpt_timer, self._resume_timer):
+            if timer is not None:
+                timer.cancel()
+        self._ckpt_timer = None
+        self._resume_timer = None
+
+    def checkpoint(self) -> bytes:
+        blob = sender_to_bytes(self.pipeline, peer_epoch=self.peer_epoch)
+        self.store.save_checkpoint(blob)
+        return blob
+
+    def _arm_checkpoint_timer(self) -> None:
+        if (
+            self.checkpoint_interval_s is None
+            or self.sim is None
+            or self._stopped
+        ):
+            return
+        self._ckpt_timer = self.sim.schedule(
+            self.checkpoint_interval_s, self._on_checkpoint_timer
+        )
+
+    def _on_checkpoint_timer(self) -> None:
+        self._ckpt_timer = None
+        if self._stopped:
+            return
+        self.checkpoint()
+        self._arm_checkpoint_timer()
+
+    # -- WAL hooks ------------------------------------------------------ #
+
+    def _on_register(self, packet: Any) -> None:
+        if self._orig_fabric_submit is not None:
+            self.store.append_wal(
+                _wal_encode({"t": "bind", "uid": packet.uid, "rseq": packet.rseq})
+            )
+        else:
+            self.store.append_wal(_wal_encode({"t": "pkt", "pkt": pack_packet(packet)}))
+
+    def _logged_submit(self, flow_id: Any, packet: Any) -> bool:
+        self.store.append_wal(
+            _wal_encode(
+                {"t": "sub", "uid": packet.uid, "flow": flow_id, "pkt": pack_packet(packet)}
+            )
+        )
+        assert self._orig_fabric_submit is not None
+        return self._orig_fabric_submit(flow_id, packet)
+
+    # -- restore --------------------------------------------------------- #
+
+    def _restore(self) -> bool:
+        tree = self.store.load_checkpoint()
+        if tree is None:
+            return False
+        restore_sender_state(self.pipeline, tree)
+        self.peer_epoch = tree.get("peer_epoch", 0)
+        self._apply_wal()
+        return True
+
+    def _apply_wal(self) -> None:
+        reliable = self.pipeline.reliable
+        fabric = self.pipeline.fabric
+        pending: Dict[int, Tuple[Any, Any]] = {}  # uid -> (flow_id, packet)
+        bound: List[Any] = []
+        for payload in self.store.wal_payloads():
+            record = _wal_decode(payload)
+            kind = record["t"]
+            if kind == "pkt":
+                packet = unpack_packet(record["pkt"])
+                if reliable is not None and packet.rseq is not None:
+                    bound.append(packet)
+                else:
+                    self.pipeline._submit(packet)
+                self.wal_packets_restored += 1
+            elif kind == "sub":
+                pending[record["uid"]] = (record["flow"], unpack_packet(record["pkt"]))
+            elif kind == "bind":
+                uid = record["uid"]
+                entry = pending.pop(uid, None)
+                if entry is not None:
+                    packet = entry[1]
+                    packet.rseq = record["rseq"]
+                    bound.append(packet)
+                elif fabric is not None:
+                    # Submitted before the checkpoint, drained after it:
+                    # the packet sits in a restored flow queue.  Move it
+                    # to the ARQ buffer under its logged rseq.
+                    packet = _pop_fabric_uid(fabric, uid)
+                    if packet is not None:
+                        packet.rseq = record["rseq"]
+                        bound.append(packet)
+                self.wal_packets_restored += 1
+        if bound and reliable is not None:
+            reliable.register_restored(bound)
+        for flow_id, packet in pending.values():
+            # Logged at fabric entry but never drained: re-submit through
+            # the normal fabric path (rseq assignment happens at drain).
+            packet.rseq = None
+            assert self._orig_fabric_submit is None  # not hooked yet
+            self.pipeline.submit(flow_id, packet)
+
+    # -- handshake ------------------------------------------------------- #
+
+    def _kernel_state(self) -> Any:
+        return _sharer_snapshot(self.pipeline.striper.sharer)
+
+    def _base_rseq(self) -> int:
+        reliable = self.pipeline.reliable
+        if reliable is None:
+            return -1
+        if reliable.unacked:
+            return min(reliable.unacked)
+        return reliable.next_rseq
+
+    def _send_resume(self) -> None:
+        if self.send_control is None:
+            return
+        self.send_control(
+            ResumePacket(
+                epoch=self.epoch,
+                peer_epoch=self.peer_epoch,
+                base_rseq=self._base_rseq(),
+                state=self._kernel_state(),
+            )
+        )
+        if self._awaiting_report and self.sim is not None:
+            if self._resume_timer is not None:
+                self._resume_timer.cancel()
+            self._resume_timer = self.sim.schedule(
+                self.resume_retry_s, self._resume_retry
+            )
+
+    def _resume_retry(self) -> None:
+        self._resume_timer = None
+        if self._stopped or not self._awaiting_report:
+            return
+        self._send_resume()
+
+    def on_control(self, packet: Any) -> None:
+        """Handle a control packet from the reverse path."""
+        if isinstance(packet, ResumeReportPacket):
+            self._on_report(packet)
+
+    def _on_report(self, report: ResumeReportPacket) -> None:
+        if report.epoch < self.peer_epoch:
+            self.stale_reports += 1
+            return
+        fresh_peer = report.epoch > self.peer_epoch
+        self.peer_epoch = report.epoch
+        addressed_to_us = report.peer_epoch >= self.epoch
+        if addressed_to_us and self._awaiting_report:
+            self._awaiting_report = False
+            if self._resume_timer is not None:
+                self._resume_timer.cancel()
+                self._resume_timer = None
+        if fresh_peer or not addressed_to_us:
+            # Echo the announce *before* any replay traffic so the
+            # restarted receiver's stale-buffer flush runs ahead of the
+            # replayed packets on every channel (also re-arms a receiver
+            # whose first echo was lost).
+            self._send_resume()
+        reliable = self.pipeline.reliable
+        if reliable is None:
+            return
+        # Reconcile once per (peer incarnation, own incarnation) pair: a
+        # max-of-epochs guard would wrongly suppress the replay when the
+        # receiver restarts *after* the sender already recovered at the
+        # same epoch number (e.g. sender at epoch 2, then receiver at 2).
+        epoch_pair = (report.epoch, self.epoch)
+        should_reconcile = (
+            fresh_peer or (self._pending_replay and addressed_to_us)
+        ) and self._reconciled_pair != epoch_pair
+        if should_reconcile:
+            self._reconciled_pair = epoch_pair
+            self._pending_replay = False
+            if report.cold:
+                # The receiver has no history: replay the whole window.
+                replayed = reliable.reconcile(self._base_rseq(), ())
+            else:
+                replayed = reliable.reconcile(
+                    report.cum_ack, tuple((s, e) for s, e in report.blocks)
+                )
+            self.replayed_packets += replayed
+            if self.sim is not None:
+                self.recovered_at = self.sim.now
+            self.pipeline.pump()
+
+    def on_ack(self, ack: Any) -> None:
+        """Epoch fence for the reverse ack path."""
+        epoch = getattr(ack, "epoch", 0)
+        if epoch and epoch < self.peer_epoch:
+            self.stale_acks += 1
+            return
+        self.pipeline.on_ack(ack)
+
+
+def _pop_fabric_uid(fabric: Any, uid: int) -> Optional[Any]:
+    for flow in fabric.table:
+        for packet in flow.queue:
+            if packet.uid == uid:
+                flow.queue.remove(packet)
+                return packet
+    return None
+
+
+class ReceiverRecovery:
+    """Checkpoint + delivery-cursor WAL + resume handshake for a receiver.
+
+    The WAL holds one record per in-order delivery (``rseq`` cursor),
+    written *before* the application callback runs — after a restart the
+    replayed cursor guarantees nothing already handed up is delivered
+    twice (exactly-once across the crash).  Acks are deliberately not
+    logged: losing them only costs duplicate retransmissions, which rseq
+    dedup absorbs, and that loss is exactly what makes the checkpoint
+    interval a real recovery-latency knob.
+    """
+
+    def __init__(
+        self,
+        pipeline: Any,
+        store: CheckpointStore,
+        *,
+        sim: Any = None,
+        checkpoint_interval_s: Optional[float] = None,
+        send_control: Optional[Callable[[Any], None]] = None,
+        resume_retry_s: float = 0.04,
+    ) -> None:
+        self.pipeline = pipeline
+        self.store = store
+        self.sim = sim
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.send_control = send_control
+        self.resume_retry_s = resume_retry_s
+        self.epoch = 0
+        self.sender_epoch = 0
+        self.cold = True
+        self.resumed_from_checkpoint = False
+        self.stale_resumes = 0
+        self.stale_flushed = 0
+        self.adoptions = 0
+        self.wal_cursor_restored = 0
+        self._ckpt_timer: Any = None
+        self._report_timer: Any = None
+        self._awaiting_echo = False
+        self._stopped = False
+        self._orig_deliver: Optional[Callable[[Any], Any]] = None
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def install(self) -> bool:
+        restored = self._restore()
+        self.cold = not restored
+        self.resumed_from_checkpoint = restored
+        self.epoch = self.store.next_epoch()
+        reliable = self.pipeline.reliable
+        if reliable is not None:
+            self._orig_deliver = reliable.on_deliver
+            reliable.on_deliver = self._logged_deliver
+            if reliable.send_ack is not None:
+                orig_send = reliable.send_ack
+                reliable.send_ack = lambda sack: orig_send(
+                    AckPacket(sack, epoch=self.epoch)
+                )
+        if self.epoch > 1:
+            # A restart (warm or cold): report to the sender so it can
+            # reconcile; retried until the sender's announce echoes us.
+            self._awaiting_echo = True
+            self._send_report()
+        if restored:
+            self.checkpoint()
+        self._arm_checkpoint_timer()
+        return restored
+
+    def stop(self) -> None:
+        self._stopped = True
+        for timer in (self._ckpt_timer, self._report_timer):
+            if timer is not None:
+                timer.cancel()
+        self._ckpt_timer = None
+        self._report_timer = None
+
+    def checkpoint(self) -> bytes:
+        blob = receiver_to_bytes(self.pipeline, sender_epoch=self.sender_epoch)
+        self.store.save_checkpoint(blob)
+        return blob
+
+    def _arm_checkpoint_timer(self) -> None:
+        if (
+            self.checkpoint_interval_s is None
+            or self.sim is None
+            or self._stopped
+        ):
+            return
+        self._ckpt_timer = self.sim.schedule(
+            self.checkpoint_interval_s, self._on_checkpoint_timer
+        )
+
+    def _on_checkpoint_timer(self) -> None:
+        self._ckpt_timer = None
+        if self._stopped:
+            return
+        self.checkpoint()
+        self._arm_checkpoint_timer()
+
+    # -- delivery cursor WAL -------------------------------------------- #
+
+    def _logged_deliver(self, packet: Any) -> Any:
+        rseq = getattr(packet, "rseq", None)
+        if rseq is not None:
+            # Write-ahead: the cursor is durable before the application
+            # sees the packet, so a crash between the two redelivers
+            # nothing (crashes land between simulator events, never
+            # mid-callback).
+            self.store.append_wal(_wal_encode(rseq))
+        assert self._orig_deliver is not None
+        return self._orig_deliver(packet)
+
+    def _restore(self) -> bool:
+        tree = self.store.load_checkpoint()
+        if tree is None:
+            return False
+        restore_receiver_state(self.pipeline, tree)
+        self.sender_epoch = tree.get("sender_epoch", 0)
+        reliable = self.pipeline.reliable
+        if reliable is not None:
+            cursor = reliable.next_expected
+            for payload in self.store.wal_payloads():
+                rseq = _wal_decode(payload)
+                if isinstance(rseq, int) and rseq >= cursor:
+                    cursor = rseq + 1
+                    self.wal_cursor_restored += 1
+            # Post-checkpoint deliveries: advance the cursor past them and
+            # drop any checkpointed out-of-order copies it now covers.
+            if cursor > reliable.next_expected:
+                reliable.adopt_base(cursor)
+        return True
+
+    # -- handshake ------------------------------------------------------- #
+
+    def _send_report(self) -> None:
+        if self.send_control is None:
+            return
+        reliable = self.pipeline.reliable
+        if reliable is not None:
+            sack = reliable.sack_info()
+            cum_ack, blocks = sack.cum_ack, sack.blocks
+        else:
+            cum_ack, blocks = 0, ()
+        self.send_control(
+            ResumeReportPacket(
+                epoch=self.epoch,
+                peer_epoch=self.sender_epoch,
+                cum_ack=cum_ack,
+                blocks=blocks,
+                cold=self.cold,
+            )
+        )
+        if self._awaiting_echo and self.sim is not None:
+            if self._report_timer is not None:
+                self._report_timer.cancel()
+            self._report_timer = self.sim.schedule(
+                self.resume_retry_s, self._report_retry
+            )
+
+    def _report_retry(self) -> None:
+        self._report_timer = None
+        if self._stopped or not self._awaiting_echo:
+            return
+        self._send_report()
+
+    def on_control(self, packet: Any) -> None:
+        """Handle a ResumePacket arriving on a forward channel."""
+        if not isinstance(packet, ResumePacket):
+            return
+        if packet.epoch < self.sender_epoch:
+            self.stale_resumes += 1
+            return
+        fresh_sender = packet.epoch > self.sender_epoch
+        self.sender_epoch = packet.epoch
+        if packet.peer_epoch >= self.epoch and self._awaiting_echo:
+            self._awaiting_echo = False
+            if self._report_timer is not None:
+                self._report_timer.cancel()
+                self._report_timer = None
+        if fresh_sender:
+            self._flush_stale()
+            if packet.state is not None:
+                self._adopt(packet.state)
+        if self.cold and packet.base_rseq >= 0:
+            reliable = self.pipeline.reliable
+            if reliable is not None:
+                # No history at all: accept the sender's replay base as
+                # our cursor — cold resync delivers FIFO from here
+                # (Theorem 5.1); exactly-once holds from this point, not
+                # across the lost history.
+                reliable.adopt_base(packet.base_rseq)
+                self.cold = False
+        # Always answer: the sender retries its announce until this report
+        # echoes its epoch.
+        self._send_report()
+
+    def _flush_stale(self) -> None:
+        """Drop buffered data from the dead sender incarnation."""
+        reseq = self.pipeline.resequencer
+        buffers = getattr(reseq, "buffers", None)
+        if buffers is None:
+            return
+        count = 0
+        for buf in buffers:
+            count += len(buf)
+            buf.clear()
+        if hasattr(reseq, "_buffered"):
+            reseq._buffered = 0
+        self.stale_flushed += count
+
+    def _adopt(self, state: Any) -> None:
+        """Warm-adopt the restarted sender's kernel state as our mirror."""
+        reseq = self.pipeline.resequencer
+        adopt = getattr(reseq, "adopt_snapshot", None)
+        if adopt is not None:
+            adopt(state)
+            self.adoptions += 1
+            return
+        restore = getattr(reseq, "restore", None)
+        if restore is not None:
+            try:
+                restore(state)
+                self.adoptions += 1
+            except (TypeError, ValueError, AttributeError):
+                pass  # marker-free / stateless receivers need no mirror

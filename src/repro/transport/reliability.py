@@ -78,6 +78,10 @@ class AckPacket:
     size: int = 0
     uid: int = field(default_factory=lambda: next(_ack_ids))
     codepoint: str = Codepoint.ACK
+    #: receiver incarnation epoch (crash recovery, :mod:`repro.transport.
+    #: recovery`); rides reserved header space, so the size formula is
+    #: unchanged.  0 = unstamped (no recovery manager attached).
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.size == 0:
@@ -216,6 +220,9 @@ class ReliabilityStats:
     sack_scans: int = 0
     #: retransmissions resubmitted as one batch through the striper
     batched_retransmissions: int = 0
+    #: packets replayed from the retransmit buffer by a crash-recovery
+    #: reconciliation (:meth:`ReliableSender.reconcile`)
+    replays: int = 0
 
 
 class ReliableSender:
@@ -274,6 +281,10 @@ class ReliableSender:
         #: retransmission can resurrect the packet, i.e. the earliest
         #: moment a packet pool may recycle it.
         self.on_retire: Optional[Callable[[Any], None]] = None
+        #: optional ``fn(packet)`` invoked the instant a packet's rseq is
+        #: stamped (before it can reach any channel) — the write-ahead-log
+        #: hook of the crash-recovery layer.
+        self.on_register: Optional[Callable[[Any], None]] = None
         self.rto = rto if rto is not None else RtoEstimator()
         self.stats = ReliabilityStats()
         self.next_rseq = 0
@@ -309,6 +320,8 @@ class ReliableSender:
         packet.rseq = self.next_rseq
         self.next_rseq += 1
         self.stats.submitted += 1
+        if self.on_register is not None:
+            self.on_register(packet)
         if self._overflow or len(self.unacked) >= self.window_packets:
             self.stats.backpressure_stalls += 1
             self._overflow.append(packet)
@@ -334,6 +347,9 @@ class ReliableSender:
         self.next_rseq = rseq
         self.stats.submitted += len(packets)
         self.stats.burst_submits += 1
+        if self.on_register is not None:
+            for packet in packets:
+                self.on_register(packet)
         unacked = self.unacked
         overflow = self._overflow
         window = self.window_packets
@@ -543,6 +559,73 @@ class ReliableSender:
             self._timer.cancel()
             self._timer = None
         self._ensure_timer()
+
+    # ------------------------------------------------------------------ #
+    # crash recovery (see repro.transport.recovery)
+
+    def register_restored(
+        self,
+        packets: List[Any],
+        *,
+        next_rseq: Optional[int] = None,
+        sacked_rseqs: Any = (),
+    ) -> None:
+        """Rebuild the retransmission window from checkpointed packets.
+
+        Nothing is transmitted: restored records carry zero transmissions
+        and no send timestamp, so the retransmission timer ignores them
+        until the resume reconciliation replays them (or, should the
+        handshake stall past the RTO, a timer fire replays the oldest —
+        a harmless spurious replay, absorbed by receiver dedup).
+        """
+        sacked = set(sacked_rseqs)
+        for packet in sorted(packets, key=lambda p: p.rseq):
+            if not self._overflow and len(self.unacked) < self.window_packets:
+                record = _TxRecord(packet=packet, size=packet.size)
+                record.sacked = packet.rseq in sacked
+                self.unacked[packet.rseq] = record
+            else:
+                self._overflow.append(packet)
+            if packet.rseq >= self.next_rseq:
+                self.next_rseq = packet.rseq + 1
+        if next_rseq is not None and next_rseq > self.next_rseq:
+            self.next_rseq = next_rseq
+
+    def reconcile(self, cum_ack: int, blocks: Any) -> int:
+        """Adopt a resume report as the authoritative receiver state.
+
+        Retires below ``cum_ack``, rewrites the SACK scoreboard *exactly*
+        to ``blocks`` — clearing sacked flags the report does not confirm,
+        because a restarted receiver may have lost out-of-order data it
+        once acknowledged (SACK reneging, which the normal ack path is
+        forbidden to express) — then replays every live record through
+        the striper and collapses RTO backoff per Karn (samples from the
+        dead incarnation describe a path that no longer exists).
+
+        Returns the number of packets replayed.
+        """
+        opened = self._absorb_cum_ack(cum_ack)
+        block_list = sorted(tuple(b) for b in blocks)
+        live: List[_TxRecord] = []
+        for rseq, record in self.unacked.items():
+            covered = any(start <= rseq < end for start, end in block_list)
+            record.sacked = covered
+            record.dup_hints = 0
+            record.rtx_pending = False
+            if not covered:
+                live.append(record)
+        self.stats.replays += len(live)
+        if live:
+            self._retransmit_many(live)
+        opened = self._refill() or opened
+        self.rto.reset_backoff()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._ensure_timer()
+        if opened and self.on_window_open is not None:
+            self.on_window_open()
+        return len(live)
 
     # ------------------------------------------------------------------ #
     # retransmission timer (single timer for the oldest outstanding)
@@ -772,3 +855,38 @@ class ReliableReceiver:
         self._unacked_deliveries = 0
         self.stats.acks_sent += 1
         self.send_ack(self.sack_info())
+
+    # ------------------------------------------------------------------ #
+    # crash recovery (see repro.transport.recovery)
+
+    def restore_window(
+        self,
+        next_expected: int,
+        ooo: Dict[int, Any],
+        *,
+        last_ooo: Optional[int] = None,
+    ) -> None:
+        """Reinstall the checkpointed delivery cursor + reorder buffer."""
+        self.next_expected = next_expected
+        self._ooo = dict(ooo)
+        self._last_ooo = last_ooo
+
+    def adopt_base(self, base: int) -> None:
+        """Advance the cursor to ``base`` (never backwards).
+
+        Two callers: the WAL delivery-cursor replay (deliveries logged
+        after the checkpoint must not repeat) and cold resync (a
+        checkpoint-less restart adopts the sender's replay base).  Buffered
+        out-of-order copies the new cursor covers are dropped.
+        """
+        if base <= self.next_expected:
+            return
+        self.next_expected = base
+        for rseq in [r for r in self._ooo if r < base]:
+            del self._ooo[rseq]
+        # Anything buffered may now be contiguous with the new cursor.
+        while self.next_expected in self._ooo:
+            packet = self._ooo.pop(self.next_expected)
+            self.next_expected += 1
+            self.stats.delivered += 1
+            self.on_deliver(packet)

@@ -110,7 +110,8 @@ class TestPacketPool:
         packet = pool.acquire(100, seq=1)
         assert packet.size == 100 and packet.seq == 1
         assert pool.stats() == {
-            "allocated": 1, "reused": 0, "released": 0, "free": 0,
+            "allocated": 1, "reused": 0, "released": 0,
+            "double_releases": 0, "free": 0,
         }
 
     def test_reacquired_packet_is_reset_with_fresh_uid(self):

@@ -16,7 +16,8 @@ class TestRegistry:
             "table1", "fig2_3", "fig5_6", "fig8_13", "fig15",
             "grr_worst", "sync_loss", "marker_freq", "marker_pos",
             "credit_fc", "video", "fault_tolerance", "chaos", "reliability",
-            "fec", "mtu", "multiflow", "fabric", "scalability", "sprinklers",
+            "recovery", "fec", "mtu", "multiflow", "fabric", "scalability",
+            "sprinklers",
             "tcp_channels", "cell_striping", "kernel_bench", "sim_bench",
         }
         assert expected == set(EXPERIMENTS)

@@ -123,7 +123,9 @@ class ChaosRig:
             inner = self.receiver.channel_handler(index)
 
             def handler(packet, inner=inner):
-                if not is_marker(packet):
+                # Raw bytes are corrupted-marker wire images from the
+                # corrupt_deliver fault; the pipeline counts-and-drops.
+                if not is_marker(packet) and not isinstance(packet, bytes):
                     self.arrived.append(packet.seq)
                 inner(packet)
 
